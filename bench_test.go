@@ -1,0 +1,371 @@
+package srpc_test
+
+// One benchmark per table and figure of the paper's evaluation (§4), plus
+// the design-choice ablations from DESIGN.md §5 and micro-benchmarks of
+// the substrate hot paths.
+//
+// The figure benchmarks report the deterministic modeled time of the
+// experiment ("model-s" metric) next to the host wall-clock; the modeled
+// numbers are the ones comparable to the paper (see EXPERIMENTS.md).
+// Benchmarks default to a 8191-node tree so `go test -bench .` stays
+// fast; `cmd/srpcbench` runs the full 32,767-node sweeps.
+
+import (
+	"fmt"
+	"testing"
+
+	srpc "smartrpc"
+	"smartrpc/internal/bench"
+	"smartrpc/internal/core"
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/swizzle"
+	"smartrpc/internal/types"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+	"smartrpc/internal/xdr"
+)
+
+const benchNodes = 8191
+
+func benchModel() netsim.Model { return netsim.Ethernet10SPARC() }
+
+func runTreeBench(b *testing.B, cfg bench.TreeConfig) {
+	b.Helper()
+	var last bench.TreeResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTree(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Time.Seconds(), "model-s")
+	b.ReportMetric(float64(last.Callbacks), "callbacks")
+	b.ReportMetric(float64(last.Bytes), "net-bytes")
+}
+
+// BenchmarkTable1 regenerates the data allocation table illustration.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 measures processing time against access ratio for the
+// three methods (Figure 4).
+func BenchmarkFig4(b *testing.B) {
+	policies := map[string]core.Policy{
+		"eager": core.PolicyEager,
+		"lazy":  core.PolicyLazy,
+		"smart": core.PolicySmart,
+	}
+	for _, ratio := range []float64{0, 0.5, 1.0} {
+		for name, pol := range policies {
+			b.Run(fmt.Sprintf("policy=%s/ratio=%.1f", name, ratio), func(b *testing.B) {
+				runTreeBench(b, bench.TreeConfig{
+					Policy:      pol,
+					Nodes:       benchNodes,
+					AccessRatio: ratio,
+					Model:       benchModel(),
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 measures callback counts for lazy vs smart (Figure 5).
+func BenchmarkFig5(b *testing.B) {
+	for _, pol := range []core.Policy{core.PolicyLazy, core.PolicySmart} {
+		b.Run(fmt.Sprintf("policy=%s", pol), func(b *testing.B) {
+			runTreeBench(b, bench.TreeConfig{
+				Policy:      pol,
+				Nodes:       benchNodes,
+				AccessRatio: 1.0,
+				Model:       benchModel(),
+			})
+		})
+	}
+}
+
+// BenchmarkFig6 measures the closure-size sweep with repeated searches
+// (Figure 6).
+func BenchmarkFig6(b *testing.B) {
+	for _, closure := range []int{512, 4096, 8192, 65536} {
+		b.Run(fmt.Sprintf("closure=%d", closure), func(b *testing.B) {
+			runTreeBench(b, bench.TreeConfig{
+				Nodes:       benchNodes,
+				ClosureSize: closure,
+				AccessRatio: 1.0,
+				Repeats:     10,
+				Model:       benchModel(),
+			})
+		})
+	}
+}
+
+// BenchmarkFig7 measures update vs read-only cost (Figure 7).
+func BenchmarkFig7(b *testing.B) {
+	for _, update := range []bool{false, true} {
+		b.Run(fmt.Sprintf("update=%v", update), func(b *testing.B) {
+			runTreeBench(b, bench.TreeConfig{
+				Nodes:       benchNodes,
+				AccessRatio: 0.5,
+				Update:      update,
+				Model:       benchModel(),
+			})
+		})
+	}
+}
+
+// BenchmarkAblationPageSize sweeps the protection grain.
+func BenchmarkAblationPageSize(b *testing.B) {
+	for _, ps := range []int{512, 4096, 16384} {
+		b.Run(fmt.Sprintf("page=%d", ps), func(b *testing.B) {
+			runTreeBench(b, bench.TreeConfig{
+				Nodes:       benchNodes,
+				AccessRatio: 0.5,
+				PageSize:    ps,
+				Model:       benchModel(),
+			})
+		})
+	}
+}
+
+// BenchmarkAblationTraversal compares BFS and DFS closure orders.
+func BenchmarkAblationTraversal(b *testing.B) {
+	for _, tr := range []core.Traversal{core.TraverseBFS, core.TraverseDFS} {
+		name := "bfs"
+		if tr == core.TraverseDFS {
+			name = "dfs"
+		}
+		b.Run(name, func(b *testing.B) {
+			runTreeBench(b, bench.TreeConfig{
+				Nodes:       benchNodes,
+				AccessRatio: 1.0,
+				Traversal:   tr,
+				Model:       benchModel(),
+			})
+		})
+	}
+}
+
+// BenchmarkAblationCoherence compares piggyback vs naive write-back.
+func BenchmarkAblationCoherence(b *testing.B) {
+	for _, co := range []core.Coherence{core.CoherencePiggyback, core.CoherenceWriteBack} {
+		name := "piggyback"
+		if co == core.CoherenceWriteBack {
+			name = "writeback"
+		}
+		b.Run(name, func(b *testing.B) {
+			runTreeBench(b, bench.TreeConfig{
+				Nodes:       benchNodes,
+				AccessRatio: 0.5,
+				Update:      true,
+				Coherence:   co,
+				Model:       benchModel(),
+			})
+		})
+	}
+}
+
+// BenchmarkAblationAllocPolicy compares the per-origin page heuristic
+// against mixed packing on a two-origin workload.
+func BenchmarkAblationAllocPolicy(b *testing.B) {
+	for _, ap := range []swizzle.AllocPolicy{swizzle.PolicyPerOrigin, swizzle.PolicyMixed} {
+		name := "per-origin"
+		if ap == swizzle.PolicyMixed {
+			name = "mixed"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last bench.TreeResult
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunTwoOriginSearch(benchModel(), 256, ap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Time.Seconds(), "model-s")
+			b.ReportMetric(float64(last.Callbacks), "callbacks")
+		})
+	}
+}
+
+// BenchmarkAblationAllocBatching compares batched remote allocation with
+// the modeled per-operation alternative.
+func BenchmarkAblationAllocBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.BatchingAblation(benchModel(), 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].Time.Seconds(), "batched-model-s")
+			b.ReportMetric(rows[1].Time.Seconds(), "per-op-model-s")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks (host time) ---
+
+// BenchmarkXDREncodeNode measures canonical encoding of one tree node.
+func BenchmarkXDREncodeNode(b *testing.B) {
+	e := xdr.NewEncoder(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutUint32(1)
+		e.PutUint32(0x1000)
+		e.PutUint32(1)
+		e.PutUint32(1)
+		e.PutUint32(0x2000)
+		e.PutUint32(1)
+		e.PutInt64(42)
+	}
+}
+
+// BenchmarkSwizzle measures long-pointer translation (table hit).
+func BenchmarkSwizzle(b *testing.B) {
+	sp, err := vmem.NewSpace(vmem.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := bench.NewRegistry()
+	tb := swizzle.New(sp, reg, 1, swizzle.PolicyPerOrigin)
+	lp := wire.LongPtr{Space: 2, Addr: 0x1000, Type: bench.NodeType}
+	if _, _, err := tb.Swizzle(lp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tb.Swizzle(lp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedAccess measures a read of cached remote data: the cost
+// the paper claims is "exactly the same as the cost to access ordinary
+// local data" (plus our software MMU check).
+func BenchmarkCachedAccess(b *testing.B) {
+	sp, err := vmem.NewSpace(vmem.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := sp.Alloc(16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sp.WriteUint(addr, 8, 42); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.ReadUint(addr, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNullCall measures a scalar-only RPC round trip over the
+// in-process transport (host time).
+func BenchmarkNullCall(b *testing.B) {
+	net, err := srpc.NewLocalNetwork(srpc.NetModel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	reg := bench.NewRegistry()
+	an, _ := net.Attach(1)
+	bn, _ := net.Attach(2)
+	caller, err := core.New(core.Options{ID: 1, Node: an, Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer caller.Close()
+	callee, err := core.New(core.Options{ID: 2, Node: bn, Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer callee.Close()
+	err = callee.Register("echo", func(ctx *core.Ctx, args []core.Value) ([]core.Value, error) {
+		return args, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := caller.BeginSession(); err != nil {
+		b.Fatal(err)
+	}
+	defer caller.EndSession()
+	arg := []core.Value{core.Int64Value(7)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caller.Call(2, "echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTypeLayout measures layout computation with the registry cache.
+func BenchmarkTypeLayout(b *testing.B) {
+	reg := bench.NewRegistry()
+	p := srpc.SPARC32()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Layout(types.ID(1), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationClosureHint compares unrestricted closure traversal
+// against a programmer-supplied "left"-only shape hint on a path walk.
+func BenchmarkAblationClosureHint(b *testing.B) {
+	for _, hint := range []bool{false, true} {
+		name := "none"
+		if hint {
+			name = "left-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last bench.TreeResult
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunPathWalk(benchModel(), 12, 8192, hint)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Time.Seconds(), "model-s")
+			b.ReportMetric(float64(last.Bytes), "net-bytes")
+		})
+	}
+}
+
+// BenchmarkAblationChainCoherence compares the circulating piggyback
+// protocol against naive write-back on a three-space update chain.
+func BenchmarkAblationChainCoherence(b *testing.B) {
+	for _, co := range []core.Coherence{core.CoherencePiggyback, core.CoherenceWriteBack} {
+		name := "piggyback"
+		if co == core.CoherenceWriteBack {
+			name = "writeback"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last bench.TreeResult
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunChainUpdate(benchModel(), 8, co)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Time.Seconds(), "model-s")
+			b.ReportMetric(float64(last.Messages), "messages")
+		})
+	}
+}

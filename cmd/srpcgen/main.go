@@ -1,0 +1,53 @@
+// Command srpcgen is the stub generator: it reads a Smart RPC IDL file
+// and emits Go stubs (type registration, typed reference wrappers, and
+// client/server stubs).
+//
+//	srpcgen -in tree.idl -pkg treegen -out gen.go
+//
+// See internal/idl for the IDL grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartrpc/internal/idl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "srpcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("srpcgen", flag.ContinueOnError)
+	in := fs.String("in", "", "input IDL file")
+	out := fs.String("out", "", "output Go file (default stdout)")
+	pkg := fs.String("pkg", "stubs", "generated package name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in FILE")
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	file, err := idl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	code, err := idl.Generate(file, *pkg)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(code)
+		return err
+	}
+	return os.WriteFile(*out, code, 0o644)
+}

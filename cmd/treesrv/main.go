@@ -1,0 +1,259 @@
+// Command treesrv is a real-network (TCP) demonstration of Smart RPC: a
+// server process searches a binary tree that lives in the client
+// process's address space, dereferencing the client's pointers
+// transparently, like the paper's SPARCstations did over Ethernet.
+//
+// The server also hosts the type database (§3.2's network name server) on
+// a second port; the client process compiles in NO schema — it resolves
+// "TreeNode" over the wire before starting its runtime.
+//
+// Start the server, then run the client against it:
+//
+//	treesrv -serve 127.0.0.1:7070 -typedb 127.0.0.1:7071
+//	treesrv -connect 127.0.0.1:7070 -typedb 127.0.0.1:7071 -nodes 8191 -ratio 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	srpc "smartrpc"
+)
+
+// Space IDs: the client is 1 (it owns the tree), the server is 2, the
+// type database is 100, and the client's resolver node is 101.
+const (
+	clientID   uint32 = 1
+	serverID   uint32 = 2
+	typedbID   uint32 = 100
+	resolverID uint32 = 101
+)
+
+// traceEvents enables protocol event logging on the runtimes.
+var traceEvents bool
+
+// maybeTrace attaches a stderr tracer when -trace is set.
+func maybeTrace(rt *srpc.Runtime) {
+	if traceEvents {
+		rt.SetTracer(srpc.NewWriterTracer(os.Stderr))
+	}
+}
+
+func main() {
+	serve := flag.String("serve", "", "run as server, listening on this address")
+	connect := flag.String("connect", "", "run as client against this server address")
+	typedb := flag.String("typedb", "127.0.0.1:7071", "type database (name server) address")
+	nodes := flag.Int("nodes", 8191, "tree size (2^k - 1)")
+	ratio := flag.Float64("ratio", 0.5, "fraction of nodes to search")
+	closure := flag.Int("closure", 8192, "closure size in bytes")
+	trace := flag.Bool("trace", false, "log runtime protocol events to stderr")
+	flag.Parse()
+	traceEvents = *trace
+	var err error
+	switch {
+	case *serve != "":
+		err = runServer(*serve, *typedb, *closure)
+	case *connect != "":
+		err = runClient(*connect, *typedb, *nodes, *ratio, *closure)
+	default:
+		err = fmt.Errorf("need -serve ADDR or -connect ADDR")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// schema builds the authoritative registry. Only the SERVER compiles this
+// in; the client resolves it from the type database at startup.
+func schema() (*srpc.Registry, error) {
+	reg := srpc.NewRegistry()
+	reg.MustRegister(&srpc.TypeDesc{
+		ID:   1,
+		Name: "TreeNode",
+		Fields: []srpc.Field{
+			{Name: "left", Kind: srpc.KindPtr, Elem: 1},
+			{Name: "right", Kind: srpc.KindPtr, Elem: 1},
+			{Name: "data", Kind: srpc.KindInt64},
+		},
+	})
+	return reg, reg.Validate()
+}
+
+func runServer(addr, typedbAddr string, closure int) error {
+	reg, err := schema()
+	if err != nil {
+		return err
+	}
+	// Host the type database (the paper's network name server).
+	dbNode, err := srpc.ListenTCP(typedbID, typedbAddr, nil)
+	if err != nil {
+		return err
+	}
+	db := srpc.NewTypeServer(dbNode, reg)
+	defer db.Close()
+	log.Printf("type database on %s (space %d)", dbNode.Addr(), typedbID)
+
+	node, err := srpc.ListenTCP(serverID, addr, nil)
+	if err != nil {
+		return err
+	}
+	rt, err := srpc.New(srpc.Options{
+		ID:          serverID,
+		Node:        node,
+		Registry:    reg,
+		ClosureSize: closure,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	maybeTrace(rt)
+	err = rt.Register("searchTree", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+		budget := args[1].Int64()
+		var visited, sum int64
+		var walk func(v srpc.Value) error
+		walk = func(v srpc.Value) error {
+			if v.IsNullPtr() || visited >= budget {
+				return nil
+			}
+			ref, err := ctx.Runtime().Deref(v)
+			if err != nil {
+				return err
+			}
+			visited++
+			d, err := ref.Int("data", 0)
+			if err != nil {
+				return err
+			}
+			sum += d
+			l, err := ref.Ptr("left", 0)
+			if err != nil {
+				return err
+			}
+			if err := walk(l); err != nil {
+				return err
+			}
+			r, err := ref.Ptr("right", 0)
+			if err != nil {
+				return err
+			}
+			return walk(r)
+		}
+		if err := walk(args[0]); err != nil {
+			return nil, err
+		}
+		log.Printf("searched %d nodes, sum %d", visited, sum)
+		return []srpc.Value{srpc.Int64Value(visited), srpc.Int64Value(sum)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("tree search server on %s (space %d); ^C to stop", node.Addr(), serverID)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return nil
+}
+
+func runClient(serverAddr, typedbAddr string, nodes int, ratio float64, closure int) error {
+	// Bootstrap the schema from the network name server: this process
+	// compiles in no type definitions at all.
+	resolverNode, err := srpc.ListenTCP(resolverID, "127.0.0.1:0", map[uint32]string{typedbID: typedbAddr})
+	if err != nil {
+		return err
+	}
+	reg := srpc.NewRegistry()
+	resolver := srpc.NewTypeClient(resolverNode, typedbID, reg)
+	defer resolver.Close()
+	desc, err := resolver.ResolveName("TreeNode")
+	if err != nil {
+		return fmt.Errorf("resolve schema from type database: %w", err)
+	}
+	log.Printf("resolved type %q (id %d) from the name server", desc.Name, desc.ID)
+
+	node, err := srpc.ListenTCP(clientID, "127.0.0.1:0", map[uint32]string{serverID: serverAddr})
+	if err != nil {
+		return err
+	}
+	rt, err := srpc.New(srpc.Options{
+		ID:          clientID,
+		Node:        node,
+		Registry:    reg,
+		ClosureSize: closure,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	maybeTrace(rt)
+
+	root, err := buildTree(rt, desc.ID, nodes)
+	if err != nil {
+		return err
+	}
+	budget := int64(ratio * float64(nodes))
+	if err := rt.BeginSession(); err != nil {
+		return err
+	}
+	res, err := rt.Call(serverID, "searchTree", []srpc.Value{
+		root, srpc.Int64Value(budget),
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.EndSession(); err != nil {
+		return err
+	}
+	fmt.Printf("server visited %d of %d nodes; checksum %d\n", res[0].Int64(), nodes, res[1].Int64())
+	st := rt.Stats()
+	fmt.Printf("client served %d fetch requests\n", st.FetchesServed)
+	return nil
+}
+
+func buildTree(rt *srpc.Runtime, nodeType srpc.TypeID, n int) (srpc.Value, error) {
+	levels := 0
+	for (1 << (levels + 1)) <= n+1 {
+		levels++
+	}
+	if (1<<levels)-1 != n {
+		return srpc.Value{}, fmt.Errorf("%d is not 2^k - 1", n)
+	}
+	counter := int64(0)
+	var build func(level int) (srpc.Value, error)
+	build = func(level int) (srpc.Value, error) {
+		if level == 0 {
+			return srpc.NullPtr(nodeType), nil
+		}
+		v, err := rt.NewObject(nodeType)
+		if err != nil {
+			return srpc.Value{}, err
+		}
+		counter++
+		ref, err := rt.Deref(v)
+		if err != nil {
+			return srpc.Value{}, err
+		}
+		if err := ref.SetInt("data", 0, counter); err != nil {
+			return srpc.Value{}, err
+		}
+		l, err := build(level - 1)
+		if err != nil {
+			return srpc.Value{}, err
+		}
+		if err := ref.SetPtr("left", 0, l); err != nil {
+			return srpc.Value{}, err
+		}
+		r, err := build(level - 1)
+		if err != nil {
+			return srpc.Value{}, err
+		}
+		if err := ref.SetPtr("right", 0, r); err != nil {
+			return srpc.Value{}, err
+		}
+		return v, nil
+	}
+	return build(levels)
+}

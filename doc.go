@@ -1,0 +1,66 @@
+// Package srpc is a Go reproduction of "Smart Remote Procedure Calls:
+// Transparent Treatment of Remote Pointers" (Kono, Kato, Masuda;
+// ICDCS 1994).
+//
+// Smart RPC lets programs pass pointers to remote procedures and
+// dereference them exactly like local pointers. Three techniques combine
+// to make that transparent:
+//
+//   - Virtual-memory manipulation: remotely referenced data is given a
+//     protected page area; the first access faults, the runtime fetches
+//     the data for the whole page, and access protection is released.
+//     Go cannot take over SIGSEGV or retag pointers under its garbage
+//     collector, so the MMU is simulated in software (package
+//     internal/vmem): every access is a checked load/store against a
+//     paged 32-bit address space with the same fault semantics.
+//
+//   - Pointer swizzling: a long pointer (address-space ID, address,
+//     type ID) travels on the wire and is translated into an ordinary
+//     (local) pointer on arrival, recorded in a data allocation table.
+//
+//   - A session coherency protocol: within an RPC session only one
+//     thread of control is active; dirty cached pages travel with it on
+//     every call and return, and at session end the ground runtime
+//     writes all modifications back to their origin spaces and
+//     multicasts an invalidation.
+//
+// # Quick start
+//
+// Define a schema, attach two runtimes to a network, and pass a pointer:
+//
+//	reg := srpc.NewRegistry()
+//	reg.MustRegister(&srpc.TypeDesc{
+//		ID: 1, Name: "Node",
+//		Fields: []srpc.Field{
+//			{Name: "next", Kind: srpc.KindPtr, Elem: 1},
+//			{Name: "val", Kind: srpc.KindInt64},
+//		},
+//	})
+//
+//	net, _ := srpc.NewLocalNetwork(srpc.Ethernet10SPARC())
+//	an, _ := net.Attach(1)
+//	bn, _ := net.Attach(2)
+//	a, _ := srpc.New(srpc.Options{ID: 1, Node: an, Registry: reg})
+//	b, _ := srpc.New(srpc.Options{ID: 2, Node: bn, Registry: reg})
+//
+//	b.Register("sum", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+//		total := int64(0)
+//		for v := args[0]; !v.IsNullPtr(); {
+//			ref, err := ctx.Runtime().Deref(v) // transparent remote deref
+//			if err != nil {
+//				return nil, err
+//			}
+//			n, _ := ref.Int("val", 0)
+//			total += n
+//			v, _ = ref.Ptr("next", 0)
+//		}
+//		return []srpc.Value{srpc.Int64Value(total)}, nil
+//	})
+//
+//	a.BeginSession()
+//	res, _ := a.Call(2, "sum", []srpc.Value{list})
+//	a.EndSession()
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package srpc

@@ -1,0 +1,284 @@
+// Editgraph demonstrates the full mutation story of the paper: a remote
+// procedure that *edits* a data structure it received by pointer —
+// updating fields, allocating new nodes in the caller's space with
+// extended_malloc, and releasing others with extended_free — all of it
+// reflected in the caller's original structure when the session ends
+// (§3.4 coherency protocol, §3.5 remote memory management).
+//
+// The graph is a doubly linked ring. The editor space reverses the ring's
+// payload order, splices in freshly allocated nodes, and deletes the
+// nodes it was asked to drop.
+//
+// Run with: go run ./examples/editgraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	srpc "smartrpc"
+)
+
+const ringNode srpc.TypeID = 7
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func schema() (*srpc.Registry, error) {
+	reg := srpc.NewRegistry()
+	reg.MustRegister(&srpc.TypeDesc{
+		ID:   ringNode,
+		Name: "RingNode",
+		Fields: []srpc.Field{
+			{Name: "next", Kind: srpc.KindPtr, Elem: ringNode},
+			{Name: "prev", Kind: srpc.KindPtr, Elem: ringNode},
+			{Name: "label", Kind: srpc.KindInt64},
+		},
+	})
+	return reg, reg.Validate()
+}
+
+// buildRing creates a ring 1..n in owner's heap and returns its head.
+func buildRing(owner *srpc.Runtime, n int) (srpc.Value, error) {
+	nodes := make([]srpc.Value, n)
+	for i := range nodes {
+		v, err := owner.NewObject(ringNode)
+		if err != nil {
+			return srpc.Value{}, err
+		}
+		ref, err := owner.Deref(v)
+		if err != nil {
+			return srpc.Value{}, err
+		}
+		if err := ref.SetInt("label", 0, int64(i+1)); err != nil {
+			return srpc.Value{}, err
+		}
+		nodes[i] = v
+	}
+	for i, v := range nodes {
+		ref, err := owner.Deref(v)
+		if err != nil {
+			return srpc.Value{}, err
+		}
+		if err := ref.SetPtr("next", 0, nodes[(i+1)%n]); err != nil {
+			return srpc.Value{}, err
+		}
+		if err := ref.SetPtr("prev", 0, nodes[(i-1+n)%n]); err != nil {
+			return srpc.Value{}, err
+		}
+	}
+	return nodes[0], nil
+}
+
+// readRing renders the ring's labels from head, following next pointers.
+func readRing(rt *srpc.Runtime, head srpc.Value) (string, error) {
+	var labels []string
+	v := head
+	for {
+		ref, err := rt.Deref(v)
+		if err != nil {
+			return "", err
+		}
+		l, err := ref.Int("label", 0)
+		if err != nil {
+			return "", err
+		}
+		labels = append(labels, fmt.Sprint(l))
+		if v, err = ref.Ptr("next", 0); err != nil {
+			return "", err
+		}
+		if v.Addr == head.Addr && v.LP == head.LP {
+			break
+		}
+		if len(labels) > 1000 {
+			return "", fmt.Errorf("ring not closed")
+		}
+	}
+	return strings.Join(labels, " -> "), nil
+}
+
+func registerEditor(editor *srpc.Runtime) error {
+	// negateLabels walks the ring and negates every label in place.
+	err := editor.Register("negateLabels", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+		rt := ctx.Runtime()
+		v := args[0]
+		start := args[0]
+		for {
+			ref, err := rt.Deref(v)
+			if err != nil {
+				return nil, err
+			}
+			l, err := ref.Int("label", 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := ref.SetInt("label", 0, -l); err != nil {
+				return nil, err
+			}
+			if v, err = ref.Ptr("next", 0); err != nil {
+				return nil, err
+			}
+			if v.LP == start.LP {
+				return nil, nil
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// spliceAfter allocates a new node IN THE CALLER'S SPACE and links it
+	// after the head.
+	err = editor.Register("spliceAfter", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+		rt := ctx.Runtime()
+		head, label := args[0], args[1].Int64()
+		fresh, err := rt.ExtendedMalloc(ctx.Caller(), ringNode)
+		if err != nil {
+			return nil, err
+		}
+		headRef, err := rt.Deref(head)
+		if err != nil {
+			return nil, err
+		}
+		second, err := headRef.Ptr("next", 0)
+		if err != nil {
+			return nil, err
+		}
+		freshRef, err := rt.Deref(fresh)
+		if err != nil {
+			return nil, err
+		}
+		if err := freshRef.SetInt("label", 0, label); err != nil {
+			return nil, err
+		}
+		if err := freshRef.SetPtr("next", 0, second); err != nil {
+			return nil, err
+		}
+		if err := freshRef.SetPtr("prev", 0, head); err != nil {
+			return nil, err
+		}
+		if err := headRef.SetPtr("next", 0, fresh); err != nil {
+			return nil, err
+		}
+		secondRef, err := rt.Deref(second)
+		if err != nil {
+			return nil, err
+		}
+		if err := secondRef.SetPtr("prev", 0, fresh); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// dropAfter unlinks the node after head and releases its storage in
+	// the owner's space (extended_free).
+	return editor.Register("dropAfter", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+		rt := ctx.Runtime()
+		headRef, err := rt.Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		victim, err := headRef.Ptr("next", 0)
+		if err != nil {
+			return nil, err
+		}
+		victimRef, err := rt.Deref(victim)
+		if err != nil {
+			return nil, err
+		}
+		after, err := victimRef.Ptr("next", 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := headRef.SetPtr("next", 0, after); err != nil {
+			return nil, err
+		}
+		afterRef, err := rt.Deref(after)
+		if err != nil {
+			return nil, err
+		}
+		if err := afterRef.SetPtr("prev", 0, args[0]); err != nil {
+			return nil, err
+		}
+		return nil, rt.ExtendedFree(victim)
+	})
+}
+
+func run() error {
+	reg, err := schema()
+	if err != nil {
+		return err
+	}
+	net, err := srpc.NewLocalNetwork(srpc.Ethernet10SPARC())
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	ownerNode, err := net.Attach(1)
+	if err != nil {
+		return err
+	}
+	editorNode, err := net.Attach(2)
+	if err != nil {
+		return err
+	}
+	owner, err := srpc.New(srpc.Options{ID: 1, Node: ownerNode, Registry: reg})
+	if err != nil {
+		return err
+	}
+	defer owner.Close()
+	editor, err := srpc.New(srpc.Options{ID: 2, Node: editorNode, Registry: reg})
+	if err != nil {
+		return err
+	}
+	defer editor.Close()
+	if err := registerEditor(editor); err != nil {
+		return err
+	}
+
+	head, err := buildRing(owner, 5)
+	if err != nil {
+		return err
+	}
+	before, err := readRing(owner, head)
+	if err != nil {
+		return err
+	}
+	fmt.Println("before:", before)
+
+	if err := owner.BeginSession(); err != nil {
+		return err
+	}
+	if _, err := owner.Call(2, "negateLabels", []srpc.Value{head}); err != nil {
+		return fmt.Errorf("negateLabels: %w", err)
+	}
+	if _, err := owner.Call(2, "dropAfter", []srpc.Value{head}); err != nil {
+		return fmt.Errorf("dropAfter: %w", err)
+	}
+	if _, err := owner.Call(2, "spliceAfter", []srpc.Value{head, srpc.Int64Value(99)}); err != nil {
+		return fmt.Errorf("spliceAfter: %w", err)
+	}
+	if err := owner.EndSession(); err != nil {
+		return err
+	}
+
+	after, err := readRing(owner, head)
+	if err != nil {
+		return err
+	}
+	fmt.Println("after: ", after)
+	fmt.Println()
+	fmt.Println("negateLabels flipped every label remotely; dropAfter unlinked the")
+	fmt.Println("second node and released its storage in the owner's heap via")
+	fmt.Println("extended_free; spliceAfter then allocated node 99 in the OWNER's")
+	fmt.Println("heap from the editor via extended_malloc. All edits were written")
+	fmt.Println("back to the owner at session end.")
+	return nil
+}

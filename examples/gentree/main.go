@@ -1,0 +1,190 @@
+// Gentree demonstrates the stub-generator workflow: the types and the
+// remote interface are declared in tree.idl, srpcgen emits the stubs in
+// ./treegen, and this program uses only the generated, fully typed API —
+// no srpc.Value juggling, exactly the programming model the paper's stub
+// generator provides.
+//
+// Regenerate the stubs with:
+//
+//	go run ./cmd/srpcgen -in examples/gentree/tree.idl -pkg treegen -out examples/gentree/treegen/gen.go
+//
+// Run with: go run ./examples/gentree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	srpc "smartrpc"
+	"smartrpc/examples/gentree/treegen"
+)
+
+// treeServer implements treegen.TreeServiceServer.
+type treeServer struct {
+	rt *srpc.Runtime
+}
+
+var _ treegen.TreeServiceServer = (*treeServer)(nil)
+
+// Search walks the tree depth-first up to budget nodes.
+func (s *treeServer) Search(ctx *srpc.Ctx, root srpc.Value, budget int64) (int64, int64, error) {
+	var visited, sum int64
+	var walk func(v srpc.Value) error
+	walk = func(v srpc.Value) error {
+		if v.IsNullPtr() || visited >= budget {
+			return nil
+		}
+		node, err := treegen.DerefTreeNode(s.rt, v)
+		if err != nil {
+			return err
+		}
+		visited++
+		d, err := node.Data()
+		if err != nil {
+			return err
+		}
+		sum += d
+		l, err := node.Left()
+		if err != nil {
+			return err
+		}
+		if err := walk(l); err != nil {
+			return err
+		}
+		r, err := node.Right()
+		if err != nil {
+			return err
+		}
+		return walk(r)
+	}
+	if err := walk(root); err != nil {
+		return 0, 0, err
+	}
+	return visited, sum, nil
+}
+
+// Deepen allocates a new child in the CALLER's space (extended_malloc via
+// the runtime), attaches it under node.left, and returns it.
+func (s *treeServer) Deepen(ctx *srpc.Ctx, node srpc.Value, label int64) (srpc.Value, error) {
+	child, err := s.rt.ExtendedMalloc(ctx.Caller(), treegen.TreeNodeType)
+	if err != nil {
+		return srpc.Value{}, err
+	}
+	childRef, err := treegen.DerefTreeNode(s.rt, child)
+	if err != nil {
+		return srpc.Value{}, err
+	}
+	if err := childRef.SetData(label); err != nil {
+		return srpc.Value{}, err
+	}
+	parent, err := treegen.DerefTreeNode(s.rt, node)
+	if err != nil {
+		return srpc.Value{}, err
+	}
+	if err := parent.SetLeft(child); err != nil {
+		return srpc.Value{}, err
+	}
+	return child, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	reg := srpc.NewRegistry()
+	if err := treegen.RegisterTypes(reg); err != nil {
+		return err
+	}
+	net, err := srpc.NewLocalNetwork(srpc.Ethernet10SPARC())
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	cn, err := net.Attach(1)
+	if err != nil {
+		return err
+	}
+	sn, err := net.Attach(2)
+	if err != nil {
+		return err
+	}
+	client, err := srpc.New(srpc.Options{ID: 1, Node: cn, Registry: reg})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	server, err := srpc.New(srpc.Options{ID: 2, Node: sn, Registry: reg})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	if err := treegen.RegisterTreeServiceServer(server, &treeServer{rt: server}); err != nil {
+		return err
+	}
+
+	// Build a 3-node tree in the client space through the generated
+	// typed wrappers.
+	root, err := treegen.NewTreeNode(client)
+	if err != nil {
+		return err
+	}
+	rootRef, err := treegen.DerefTreeNode(client, root)
+	if err != nil {
+		return err
+	}
+	if err := rootRef.SetData(10); err != nil {
+		return err
+	}
+	for i, label := range []int64{20, 30} {
+		v, err := treegen.NewTreeNode(client)
+		if err != nil {
+			return err
+		}
+		ref, err := treegen.DerefTreeNode(client, v)
+		if err != nil {
+			return err
+		}
+		if err := ref.SetData(label); err != nil {
+			return err
+		}
+		if i == 0 {
+			err = rootRef.SetLeft(v)
+		} else {
+			err = rootRef.SetRight(v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if err := client.BeginSession(); err != nil {
+		return err
+	}
+	svc := treegen.TreeServiceClient{RT: client, Target: 2}
+	visited, sum, err := svc.Search(root, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated stub search: visited=%d sum=%d (want 3, 60)\n", visited, sum)
+
+	// Ask the server to grow the tree: the new node lands in OUR heap.
+	left, err := rootRef.Left()
+	if err != nil {
+		return err
+	}
+	if _, err := svc.Deepen(left, 40); err != nil {
+		return err
+	}
+	visited, sum, err = svc.Search(root, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after remote Deepen:  visited=%d sum=%d (want 4, 100)\n", visited, sum)
+	if err := client.EndSession(); err != nil {
+		return err
+	}
+	return nil
+}

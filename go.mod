@@ -1,0 +1,3 @@
+module smartrpc
+
+go 1.22

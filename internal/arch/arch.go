@@ -1,0 +1,106 @@
+// Package arch describes machine architecture profiles for the simulated
+// heterogeneous environment.
+//
+// The paper's system preserves data types across machines with different
+// word sizes, alignments, and byte orders by converting everything through
+// a canonical representation (XDR). A Profile captures exactly the layout
+// parameters the type database needs to compute a concrete in-memory layout
+// for one machine, so two address spaces in one process can disagree about
+// struct layout the same way a SPARC and a VAX would.
+package arch
+
+import "fmt"
+
+// ByteOrder identifies the byte order of an architecture.
+type ByteOrder int
+
+// Supported byte orders.
+const (
+	BigEndian ByteOrder = iota + 1
+	LittleEndian
+)
+
+// String returns the conventional name of the byte order.
+func (o ByteOrder) String() string {
+	switch o {
+	case BigEndian:
+		return "big-endian"
+	case LittleEndian:
+		return "little-endian"
+	default:
+		return fmt.Sprintf("ByteOrder(%d)", int(o))
+	}
+}
+
+// Profile describes the layout rules of one simulated machine architecture.
+// Layout computation in package types consumes a Profile; the XDR layer uses
+// the canonical (big-endian) representation regardless of Profile, which is
+// what makes spaces with different Profiles interoperable.
+type Profile struct {
+	// Name is a human-readable architecture name, e.g. "sparc32".
+	Name string
+	// PointerSize is the size in bytes of an ordinary (swizzled) pointer.
+	PointerSize int
+	// PointerAlign is the required alignment of pointer fields.
+	PointerAlign int
+	// MaxAlign caps the alignment of any field (like #pragma pack).
+	MaxAlign int
+	// Order is the in-memory byte order for scalar fields.
+	Order ByteOrder
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p Profile) Validate() error {
+	switch p.PointerSize {
+	case 4, 8:
+	default:
+		return fmt.Errorf("arch %q: pointer size %d not in {4,8}", p.Name, p.PointerSize)
+	}
+	if p.PointerAlign <= 0 || p.PointerAlign&(p.PointerAlign-1) != 0 {
+		return fmt.Errorf("arch %q: pointer align %d not a positive power of two", p.Name, p.PointerAlign)
+	}
+	if p.MaxAlign <= 0 || p.MaxAlign&(p.MaxAlign-1) != 0 {
+		return fmt.Errorf("arch %q: max align %d not a positive power of two", p.Name, p.MaxAlign)
+	}
+	if p.Order != BigEndian && p.Order != LittleEndian {
+		return fmt.Errorf("arch %q: invalid byte order %d", p.Name, int(p.Order))
+	}
+	return nil
+}
+
+// SPARC32 mimics the paper's Sun SPARC stations: 32-bit big-endian with
+// natural alignment. This is the default profile.
+func SPARC32() Profile {
+	return Profile{
+		Name:         "sparc32",
+		PointerSize:  4,
+		PointerAlign: 4,
+		MaxAlign:     8,
+		Order:        BigEndian,
+	}
+}
+
+// Alpha64 mimics a 64-bit little-endian machine, exercising the
+// heterogeneity paths (different pointer size, alignment, and byte order).
+func Alpha64() Profile {
+	return Profile{
+		Name:         "alpha64",
+		PointerSize:  8,
+		PointerAlign: 8,
+		MaxAlign:     8,
+		Order:        LittleEndian,
+	}
+}
+
+// M68K32 mimics a 32-bit big-endian machine with 2-byte alignment packing
+// (as on classic 68k compilers), exercising layout disagreement beyond
+// pointer size.
+func M68K32() Profile {
+	return Profile{
+		Name:         "m68k32",
+		PointerSize:  4,
+		PointerAlign: 2,
+		MaxAlign:     2,
+		Order:        BigEndian,
+	}
+}

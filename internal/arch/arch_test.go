@@ -1,0 +1,61 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinProfilesValid(t *testing.T) {
+	for _, p := range []Profile{SPARC32(), Alpha64(), M68K32()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileProperties(t *testing.T) {
+	sparc := SPARC32()
+	if sparc.PointerSize != 4 || sparc.Order != BigEndian {
+		t.Errorf("sparc32 = %+v", sparc)
+	}
+	alpha := Alpha64()
+	if alpha.PointerSize != 8 || alpha.Order != LittleEndian {
+		t.Errorf("alpha64 = %+v", alpha)
+	}
+	m68k := M68K32()
+	if m68k.MaxAlign != 2 {
+		t.Errorf("m68k32 MaxAlign = %d", m68k.MaxAlign)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := SPARC32()
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"pointer size 3", func(p *Profile) { p.PointerSize = 3 }},
+		{"pointer size 16", func(p *Profile) { p.PointerSize = 16 }},
+		{"zero pointer align", func(p *Profile) { p.PointerAlign = 0 }},
+		{"non-pow2 pointer align", func(p *Profile) { p.PointerAlign = 3 }},
+		{"zero max align", func(p *Profile) { p.MaxAlign = 0 }},
+		{"non-pow2 max align", func(p *Profile) { p.MaxAlign = 6 }},
+		{"bad byte order", func(p *Profile) { p.Order = ByteOrder(9) }},
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil", tc.name)
+		}
+	}
+}
+
+func TestByteOrderString(t *testing.T) {
+	if BigEndian.String() != "big-endian" || LittleEndian.String() != "little-endian" {
+		t.Error("ByteOrder.String mismatch")
+	}
+	if !strings.Contains(ByteOrder(42).String(), "42") {
+		t.Error("unknown byte order string")
+	}
+}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+
+	"smartrpc/internal/core"
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/types"
+)
+
+// RunPathWalk has the callee walk the leftmost root-to-leaf path of a
+// tree owned by the caller. With hint=true, the caller (the data owner
+// serving the fetches) follows only the "left" pointer during closure
+// traversal — §6's programmer-supplied shape suggestion for a path-shaped
+// consumer.
+func RunPathWalk(model netsim.Model, levels, closure int, hint bool) (TreeResult, error) {
+	clock := &netsim.Clock{}
+	stats := &netsim.Stats{}
+	net, err := transport.NewNetwork(model, clock, stats)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer net.Close()
+	reg := NewRegistry()
+	an, err := net.Attach(CallerID)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	bn, err := net.Attach(CalleeID)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	ownerOpts := core.Options{ID: CallerID, Node: an, Registry: reg, ClosureSize: closure}
+	if hint {
+		ownerOpts.ClosureHints = map[types.ID][]string{NodeType: {"left"}}
+	}
+	owner, err := core.New(ownerOpts)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer owner.Close()
+	walker, err := core.New(core.Options{ID: CalleeID, Node: bn, Registry: reg, ClosureSize: closure})
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer walker.Close()
+
+	err = walker.Register("leftPath", func(ctx *core.Ctx, args []core.Value) ([]core.Value, error) {
+		rt := ctx.Runtime()
+		var n, sum int64
+		v := args[0]
+		for !v.IsNullPtr() {
+			ref, err := rt.Deref(v)
+			if err != nil {
+				return nil, err
+			}
+			n++
+			d, err := ref.Int("data", 0)
+			if err != nil {
+				return nil, err
+			}
+			sum += d
+			if v, err = ref.Ptr("left", 0); err != nil {
+				return nil, err
+			}
+		}
+		return []core.Value{core.Int64Value(n), core.Int64Value(sum)}, nil
+	})
+	if err != nil {
+		return TreeResult{}, err
+	}
+
+	root, err := BuildTree(owner, (1<<levels)-1)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	clock.Reset()
+	stats.Reset()
+	if err := owner.BeginSession(); err != nil {
+		return TreeResult{}, err
+	}
+	res, err := owner.Call(CalleeID, "leftPath", []core.Value{root})
+	if err != nil {
+		return TreeResult{}, err
+	}
+	if err := owner.EndSession(); err != nil {
+		return TreeResult{}, err
+	}
+	return TreeResult{
+		Time:      clock.Now(),
+		Callbacks: walker.Stats().FetchesSent,
+		Messages:  stats.Messages(),
+		Bytes:     stats.Bytes(),
+		Visited:   res[0].Int64(),
+		Sum:       res[1].Int64(),
+	}, nil
+}
+
+// ClosureHintAblation compares unrestricted closure traversal against a
+// "left"-only shape hint on a leftmost-path workload.
+func ClosureHintAblation(model netsim.Model, levels, closure int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, hint := range []bool{false, true} {
+		name := "hint=none"
+		if hint {
+			name = "hint=left-only"
+		}
+		res, err := RunPathWalk(model, levels, closure, hint)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: name, Time: res.Time,
+			Callbacks: res.Callbacks, Messages: res.Messages, Bytes: res.Bytes,
+		})
+	}
+	return rows, nil
+}
+
+// RunChainUpdate drives a three-space chain A→B→C where B and C both
+// update A's data on every hop. Under the paper's piggyback protocol the
+// modified set rides the existing control transfers; under the naive
+// write-back ablation every hop adds separate write-back messages to the
+// origin.
+func RunChainUpdate(model netsim.Model, hops int, coherence core.Coherence) (TreeResult, error) {
+	clock := &netsim.Clock{}
+	stats := &netsim.Stats{}
+	net, err := transport.NewNetwork(model, clock, stats)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer net.Close()
+	reg := NewRegistry()
+	const thirdID uint32 = 3
+	mk := func(id uint32) (*core.Runtime, error) {
+		node, err := net.Attach(id)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.Options{ID: id, Node: node, Registry: reg, Coherence: coherence})
+	}
+	a, err := mk(CallerID)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer a.Close()
+	b, err := mk(CalleeID)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer b.Close()
+	c, err := mk(thirdID)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer c.Close()
+
+	bump := func(ctx *core.Ctx, args []core.Value) ([]core.Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		d, err := ref.Int("data", 0)
+		if err != nil {
+			return nil, err
+		}
+		return []core.Value{core.Int64Value(d)}, ref.SetInt("data", 0, d+1)
+	}
+	if err := c.Register("bump", bump); err != nil {
+		return TreeResult{}, err
+	}
+	err = b.Register("bumpAndForward", func(ctx *core.Ctx, args []core.Value) ([]core.Value, error) {
+		if _, err := bump(ctx, args); err != nil {
+			return nil, err
+		}
+		return ctx.Call(thirdID, "bump", args)
+	})
+	if err != nil {
+		return TreeResult{}, err
+	}
+
+	node, err := a.NewObject(NodeType)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	clock.Reset()
+	stats.Reset()
+	if err := a.BeginSession(); err != nil {
+		return TreeResult{}, err
+	}
+	for i := 0; i < hops; i++ {
+		if _, err := a.Call(CalleeID, "bumpAndForward", []core.Value{node}); err != nil {
+			return TreeResult{}, err
+		}
+	}
+	if err := a.EndSession(); err != nil {
+		return TreeResult{}, err
+	}
+	ref, err := a.Deref(node)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	final, err := ref.Int("data", 0)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	return TreeResult{
+		Time:     clock.Now(),
+		Messages: stats.Messages(),
+		Bytes:    stats.Bytes(),
+		Sum:      final,
+	}, nil
+}
+
+// ChainCoherenceAblation runs the three-space chain under both coherency
+// protocols, reporting cost and the final counter value (2×hops when the
+// protocol is correct).
+func ChainCoherenceAblation(model netsim.Model, hops int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, co := range []core.Coherence{core.CoherencePiggyback, core.CoherenceWriteBack} {
+		name := "chain/piggyback"
+		if co == core.CoherenceWriteBack {
+			name = "chain/writeback"
+		}
+		res, err := RunChainUpdate(model, hops, co)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: fmt.Sprintf("%s (final=%d, want %d)", name, res.Sum, 2*hops),
+			Time: res.Time, Messages: res.Messages, Bytes: res.Bytes,
+		})
+	}
+	return rows, nil
+}

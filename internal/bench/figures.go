@@ -1,0 +1,526 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"smartrpc/internal/core"
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/swizzle"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+// DefaultRatios is the access-ratio sweep used by Figures 4, 5, and 7.
+var DefaultRatios = []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Fig4Row is one X position of Figure 4: processing time by method.
+type Fig4Row struct {
+	Ratio              float64
+	Eager, Lazy, Smart time.Duration
+}
+
+// Fig4 reproduces Figure 4: average processing time of one RPC that
+// searches a 32,767-node tree, as a function of the access ratio, for the
+// fully eager, fully lazy, and proposed (smart, closure 8192) methods.
+func Fig4(model netsim.Model, nodes, closure int, ratios []float64) ([]Fig4Row, error) {
+	if ratios == nil {
+		ratios = DefaultRatios
+	}
+	rows := make([]Fig4Row, 0, len(ratios))
+	for _, r := range ratios {
+		row := Fig4Row{Ratio: r}
+		for _, pol := range []core.Policy{core.PolicyEager, core.PolicyLazy, core.PolicySmart} {
+			res, err := RunTree(TreeConfig{
+				Policy:      pol,
+				Nodes:       nodes,
+				ClosureSize: closure,
+				AccessRatio: r,
+				Model:       model,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig4 ratio %v policy %v: %w", r, pol, err)
+			}
+			switch pol {
+			case core.PolicyEager:
+				row.Eager = res.Time
+			case core.PolicyLazy:
+				row.Lazy = res.Time
+			case core.PolicySmart:
+				row.Smart = res.Time
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig5Row is one X position of Figure 5: callback counts.
+type Fig5Row struct {
+	Ratio       float64
+	Lazy, Smart uint64
+}
+
+// Fig5 reproduces Figure 5: the number of callbacks issued by the callee
+// for the fully lazy and proposed methods, over the same sweep as Fig. 4.
+func Fig5(model netsim.Model, nodes, closure int, ratios []float64) ([]Fig5Row, error) {
+	if ratios == nil {
+		ratios = DefaultRatios
+	}
+	rows := make([]Fig5Row, 0, len(ratios))
+	for _, r := range ratios {
+		row := Fig5Row{Ratio: r}
+		for _, pol := range []core.Policy{core.PolicyLazy, core.PolicySmart} {
+			res, err := RunTree(TreeConfig{
+				Policy:      pol,
+				Nodes:       nodes,
+				ClosureSize: closure,
+				AccessRatio: r,
+				Model:       model,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig5 ratio %v policy %v: %w", r, pol, err)
+			}
+			if pol == core.PolicyLazy {
+				row.Lazy = res.Callbacks
+			} else {
+				row.Smart = res.Callbacks
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DefaultClosureSizes is the closure sweep of Figure 6 (bytes).
+var DefaultClosureSizes = []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144}
+
+// DefaultTreeSizes is Figure 6's family of curves.
+var DefaultTreeSizes = []int{16383, 32767, 65535}
+
+// Fig6Cell is one (tree size, closure size) measurement.
+type Fig6Cell struct {
+	Nodes   int
+	Closure int
+	Time    time.Duration
+}
+
+// Fig6 reproduces Figure 6: processing time of a session performing 10
+// repeated full searches of the tree, as a function of the closure size,
+// for three tree sizes. Repetition exercises cache reuse: "nodes in the
+// upper level will be reused in the subsequent searches".
+func Fig6(model netsim.Model, treeSizes, closures []int, repeats int) ([]Fig6Cell, error) {
+	if treeSizes == nil {
+		treeSizes = DefaultTreeSizes
+	}
+	if closures == nil {
+		closures = DefaultClosureSizes
+	}
+	if repeats <= 0 {
+		repeats = 10
+	}
+	var cells []Fig6Cell
+	for _, n := range treeSizes {
+		for _, cs := range closures {
+			res, err := RunTree(TreeConfig{
+				Policy:      core.PolicySmart,
+				Nodes:       n,
+				ClosureSize: cs,
+				AccessRatio: 1.0,
+				Repeats:     repeats,
+				Model:       model,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig6 nodes %d closure %d: %w", n, cs, err)
+			}
+			cells = append(cells, Fig6Cell{Nodes: n, Closure: cs, Time: res.Time})
+		}
+	}
+	return cells, nil
+}
+
+// Fig7Row is one X position of Figure 7: update vs read-only cost.
+type Fig7Row struct {
+	Ratio               float64
+	Updated, NotUpdated time.Duration
+}
+
+// Fig7 reproduces Figure 7: processing time when the visited nodes are
+// updated versus merely visited, over the access-ratio sweep, with the
+// proposed method at closure 8192.
+func Fig7(model netsim.Model, nodes, closure int, ratios []float64) ([]Fig7Row, error) {
+	if ratios == nil {
+		ratios = DefaultRatios
+	}
+	rows := make([]Fig7Row, 0, len(ratios))
+	for _, r := range ratios {
+		row := Fig7Row{Ratio: r}
+		for _, update := range []bool{true, false} {
+			res, err := RunTree(TreeConfig{
+				Policy:      core.PolicySmart,
+				Nodes:       nodes,
+				ClosureSize: closure,
+				AccessRatio: r,
+				Update:      update,
+				Model:       model,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7 ratio %v update %v: %w", r, update, err)
+			}
+			if update {
+				row.Updated = res.Time
+			} else {
+				row.NotUpdated = res.Time
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1 reproduces the paper's Table 1: the data allocation table of a
+// callee just after two long pointers A and B have been swizzled into one
+// protected page. It returns a rendered table.
+func Table1() (string, error) {
+	sp, err := vmem.NewSpace(vmem.Config{})
+	if err != nil {
+		return "", err
+	}
+	reg := NewRegistry()
+	tb := swizzle.New(sp, reg, CalleeID, swizzle.PolicyPerOrigin)
+	ptrA := wire.LongPtr{Space: CallerID, Addr: 0xA000, Type: NodeType}
+	ptrB := wire.LongPtr{Space: CallerID, Addr: 0xB000, Type: NodeType}
+	if _, _, err := tb.Swizzle(ptrA); err != nil {
+		return "", err
+	}
+	if _, _, err := tb.Swizzle(ptrB); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-22s %s\n", "page #", "offset within the page", "long pointer")
+	names := map[wire.LongPtr]string{ptrA: "A", ptrB: "B"}
+	for _, e := range tb.Entries() {
+		fmt.Fprintf(&b, "%-8d %-22d %s (%s)\n", e.Page, e.Offset, names[e.LP], e.LP)
+	}
+	return b.String(), nil
+}
+
+// Ablations beyond the paper's figures ----------------------------------
+
+// AblationRow is one configuration's outcome in an ablation sweep.
+type AblationRow struct {
+	Name      string
+	Time      time.Duration
+	Callbacks uint64
+	Messages  uint64
+	Bytes     uint64
+}
+
+// PageSizeAblation sweeps the protection grain, a design choice the paper
+// inherits from the hardware (SPARC: 4 KiB).
+func PageSizeAblation(model netsim.Model, nodes int, pageSizes []int) ([]AblationRow, error) {
+	if pageSizes == nil {
+		pageSizes = []int{512, 1024, 2048, 4096, 8192, 16384}
+	}
+	var rows []AblationRow
+	for _, ps := range pageSizes {
+		res, err := RunTree(TreeConfig{
+			Nodes:       nodes,
+			AccessRatio: 0.5,
+			PageSize:    ps,
+			Model:       model,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("page size %d: %w", ps, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: fmt.Sprintf("page=%d", ps), Time: res.Time,
+			Callbacks: res.Callbacks, Messages: res.Messages, Bytes: res.Bytes,
+		})
+	}
+	return rows, nil
+}
+
+// TraversalAblation compares breadth-first (paper) and depth-first closure
+// traversal (§3.3 mentions alternative algorithms).
+func TraversalAblation(model netsim.Model, nodes, closure int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, tr := range []core.Traversal{core.TraverseBFS, core.TraverseDFS} {
+		name := "closure=bfs"
+		if tr == core.TraverseDFS {
+			name = "closure=dfs"
+		}
+		res, err := RunTree(TreeConfig{
+			Nodes:       nodes,
+			ClosureSize: closure,
+			AccessRatio: 1.0,
+			Traversal:   tr,
+			Model:       model,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: name, Time: res.Time,
+			Callbacks: res.Callbacks, Messages: res.Messages, Bytes: res.Bytes,
+		})
+	}
+	return rows, nil
+}
+
+// CoherenceAblation compares the paper's piggyback protocol against naive
+// write-back-on-transfer, on the update workload.
+func CoherenceAblation(model netsim.Model, nodes, closure int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, co := range []core.Coherence{core.CoherencePiggyback, core.CoherenceWriteBack} {
+		name := "coherence=piggyback"
+		if co == core.CoherenceWriteBack {
+			name = "coherence=writeback"
+		}
+		res, err := RunTree(TreeConfig{
+			Nodes:       nodes,
+			ClosureSize: closure,
+			AccessRatio: 0.5,
+			Update:      true,
+			Coherence:   co,
+			Model:       model,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: name, Time: res.Time,
+			Callbacks: res.Callbacks, Messages: res.Messages, Bytes: res.Bytes,
+		})
+	}
+	return rows, nil
+}
+
+// AllocPolicyAblation compares the paper's one-origin-per-page heuristic
+// against mixed-origin packing (§6's worst case) on a workload touching
+// data from two origin spaces.
+func AllocPolicyAblation(model netsim.Model, nodes int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, ap := range []swizzle.AllocPolicy{swizzle.PolicyPerOrigin, swizzle.PolicyMixed} {
+		name := "alloc=per-origin"
+		if ap == swizzle.PolicyMixed {
+			name = "alloc=mixed"
+		}
+		res, err := RunTwoOriginSearch(model, nodes, ap)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: name, Time: res.Time,
+			Callbacks: res.Callbacks, Messages: res.Messages, Bytes: res.Bytes,
+		})
+	}
+	return rows, nil
+}
+
+// BatchingAblation compares batched remote allocation (§3.5) against a
+// hypothetical per-operation flush, estimated from the same run by
+// charging one round trip per allocation instead of one per batch.
+func BatchingAblation(model netsim.Model, allocs int) ([]AblationRow, error) {
+	res, batches, err := runRemoteAllocWorkload(model, allocs)
+	if err != nil {
+		return nil, err
+	}
+	perOp := res.Time + time.Duration(allocs-int(batches))*2*model.Cost(64)
+	return []AblationRow{
+		{Name: "alloc=batched", Time: res.Time, Messages: res.Messages, Bytes: res.Bytes},
+		{Name: "alloc=per-op (modeled)", Time: perOp, Messages: res.Messages + 2*uint64(allocs-int(batches)), Bytes: res.Bytes},
+	}, nil
+}
+
+// runRemoteAllocWorkload has the callee extended_malloc a linked list of n
+// nodes in the caller's space.
+func runRemoteAllocWorkload(model netsim.Model, n int) (TreeResult, uint64, error) {
+	clock := &netsim.Clock{}
+	stats := &netsim.Stats{}
+	net, err := transport.NewNetwork(model, clock, stats)
+	if err != nil {
+		return TreeResult{}, 0, err
+	}
+	defer net.Close()
+	reg := NewRegistry()
+	nodeA, err := net.Attach(CallerID)
+	if err != nil {
+		return TreeResult{}, 0, err
+	}
+	nodeB, err := net.Attach(CalleeID)
+	if err != nil {
+		return TreeResult{}, 0, err
+	}
+	caller, err := core.New(core.Options{ID: CallerID, Node: nodeA, Registry: reg})
+	if err != nil {
+		return TreeResult{}, 0, err
+	}
+	defer caller.Close()
+	callee, err := core.New(core.Options{ID: CalleeID, Node: nodeB, Registry: reg})
+	if err != nil {
+		return TreeResult{}, 0, err
+	}
+	defer callee.Close()
+	err = callee.Register("makeList", func(ctx *core.Ctx, args []core.Value) ([]core.Value, error) {
+		rt := ctx.Runtime()
+		prev := core.NullPtr(NodeType)
+		count := args[0].Int64()
+		for i := int64(0); i < count; i++ {
+			v, err := rt.ExtendedMalloc(ctx.Caller(), NodeType)
+			if err != nil {
+				return nil, err
+			}
+			ref, err := rt.Deref(v)
+			if err != nil {
+				return nil, err
+			}
+			if err := ref.SetInt("data", 0, i); err != nil {
+				return nil, err
+			}
+			if err := ref.SetPtr("left", 0, prev); err != nil {
+				return nil, err
+			}
+			prev = v
+		}
+		return []core.Value{prev}, nil
+	})
+	if err != nil {
+		return TreeResult{}, 0, err
+	}
+	clock.Reset()
+	stats.Reset()
+	if err := caller.BeginSession(); err != nil {
+		return TreeResult{}, 0, err
+	}
+	if _, err := caller.Call(CalleeID, "makeList", []core.Value{core.Int64Value(int64(n))}); err != nil {
+		return TreeResult{}, 0, err
+	}
+	if err := caller.EndSession(); err != nil {
+		return TreeResult{}, 0, err
+	}
+	return TreeResult{
+		Time:     clock.Now(),
+		Messages: stats.Messages(),
+		Bytes:    stats.Bytes(),
+	}, callee.Stats().AllocBatches, nil
+}
+
+// RunTwoOriginSearch builds half the tree's children in a third space so a
+// searching callee touches data from two origins, then searches it all.
+// Under PolicyMixed the two origins share cache pages and one page fault
+// needs fetches from both spaces.
+func RunTwoOriginSearch(model netsim.Model, nodes int, ap swizzle.AllocPolicy) (TreeResult, error) {
+	clock := &netsim.Clock{}
+	stats := &netsim.Stats{}
+	net, err := transport.NewNetwork(model, clock, stats)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer net.Close()
+	reg := NewRegistry()
+	const thirdID uint32 = 3
+	mk := func(id uint32) (*core.Runtime, error) {
+		node, err := net.Attach(id)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.Options{ID: id, Node: node, Registry: reg, AllocPolicy: ap})
+	}
+	caller, err := mk(CallerID)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer caller.Close()
+	callee, err := mk(CalleeID)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer callee.Close()
+	third, err := mk(thirdID)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	defer third.Close()
+	if err := RegisterSearch(callee); err != nil {
+		return TreeResult{}, err
+	}
+	// The third space exposes a builder so half the nodes originate there.
+	err = third.Register("makeNode", func(ctx *core.Ctx, args []core.Value) ([]core.Value, error) {
+		rt := ctx.Runtime()
+		v, err := rt.NewObject(NodeType)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := rt.Deref(v)
+		if err != nil {
+			return nil, err
+		}
+		if err := ref.SetInt("data", 0, args[0].Int64()); err != nil {
+			return nil, err
+		}
+		return []core.Value{v}, nil
+	})
+	if err != nil {
+		return TreeResult{}, err
+	}
+
+	// Build a right-leaning list alternating owners: odd positions live in
+	// the caller, even positions in the third space.
+	if err := caller.BeginSession(); err != nil {
+		return TreeResult{}, err
+	}
+	prev := core.NullPtr(NodeType)
+	for i := nodes; i >= 1; i-- {
+		var v core.Value
+		if i%2 == 0 {
+			res, err := caller.Call(thirdID, "makeNode", []core.Value{core.Int64Value(int64(i))})
+			if err != nil {
+				return TreeResult{}, err
+			}
+			v = res[0]
+		} else {
+			v, err = caller.NewObject(NodeType)
+			if err != nil {
+				return TreeResult{}, err
+			}
+			ref, err := caller.Deref(v)
+			if err != nil {
+				return TreeResult{}, err
+			}
+			if err := ref.SetInt("data", 0, int64(i)); err != nil {
+				return TreeResult{}, err
+			}
+		}
+		ref, err := caller.Deref(v)
+		if err != nil {
+			return TreeResult{}, err
+		}
+		if err := ref.SetPtr("right", 0, prev); err != nil {
+			return TreeResult{}, err
+		}
+		prev = v
+	}
+	clock.Reset()
+	stats.Reset()
+	res, err := caller.Call(CalleeID, SearchProc, []core.Value{
+		prev, core.Int64Value(int64(nodes)), core.BoolValue(false),
+	})
+	if err != nil {
+		return TreeResult{}, err
+	}
+	elapsed := clock.Now()
+	if err := caller.EndSession(); err != nil {
+		return TreeResult{}, err
+	}
+	return TreeResult{
+		Time:      elapsed,
+		Callbacks: callee.Stats().FetchesSent,
+		Messages:  stats.Messages(),
+		Bytes:     stats.Bytes(),
+		Visited:   res[0].Int64(),
+		Sum:       res[1].Int64(),
+	}, nil
+}

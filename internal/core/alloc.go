@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"smartrpc/internal/swizzle"
+	"smartrpc/internal/types"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+// provisionalBase is the start of the reserved provisional address range.
+// Real addresses assigned by vmem are always below it, so a provisional
+// long pointer can never collide with a real one.
+const provisionalBase = uint32(0xF000_0000)
+
+// NewObject allocates a zeroed object of the given type in the local heap
+// and returns a pointer value to it.
+func (rt *Runtime) NewObject(ty types.ID) (Value, error) {
+	layout, err := rt.reg.Layout(ty, rt.space.Profile())
+	if err != nil {
+		return Value{}, err
+	}
+	addr, err := rt.space.Alloc(layout.Size, layout.Align)
+	if err != nil {
+		return Value{}, err
+	}
+	if err := rt.space.WriteRaw(addr, make([]byte, layout.Size)); err != nil {
+		return Value{}, err
+	}
+	return rt.PtrValueAt(addr, ty), nil
+}
+
+// ExtendedMalloc is the paper's extended_malloc(address_space_ID,
+// data_type_ID) primitive (§3.5): it allocates a memory area in the
+// specified address space and returns a swizzled pointer valid locally.
+// The actual allocation in the origin space is batched and flushed when
+// the thread of control next leaves this space.
+func (rt *Runtime) ExtendedMalloc(origin uint32, ty types.ID) (Value, error) {
+	if origin == rt.id {
+		return rt.NewObject(ty)
+	}
+	rt.sessMu.Lock()
+	sess := rt.sess
+	rt.sessMu.Unlock()
+	if sess == 0 {
+		return Value{}, ErrNoSession
+	}
+	layout, err := rt.reg.Layout(ty, rt.space.Profile())
+	if err != nil {
+		return Value{}, err
+	}
+
+	rt.allocMu.Lock()
+	rt.provCount++
+	prov := wire.LongPtr{
+		Space: origin,
+		Addr:  vmem.VAddr(provisionalBase | rt.provCount),
+		Type:  ty,
+	}
+	b, ok := rt.batch[origin]
+	if !ok {
+		b = &originBatch{}
+		rt.batch[origin] = b
+	}
+	b.allocs = append(b.allocs, provAlloc{lp: prov})
+	rt.allocMu.Unlock()
+
+	// Swizzle into a provisional area: born resident, writable, dirty, so
+	// the new data travels with the modified data set and is eventually
+	// written back to its origin.
+	addr, fresh, err := rt.table.SwizzleIn(prov, origin|swizzle.ProvisionalAreaFlag)
+	if err != nil {
+		return Value{}, err
+	}
+	if !fresh {
+		return Value{}, fmt.Errorf("core: provisional pointer %v collided", prov)
+	}
+	if err := rt.space.WriteRaw(addr, make([]byte, layout.Size)); err != nil {
+		return Value{}, err
+	}
+	rt.table.MarkResident(addr)
+	first := rt.space.PageOf(addr)
+	last := rt.space.PageOf(addr + vmem.VAddr(layout.Size-1))
+	for pn := first; pn <= last; pn++ {
+		if err := rt.space.SetProt(pn, vmem.ProtReadWrite); err != nil {
+			return Value{}, err
+		}
+		if err := rt.space.MarkDirty(pn, true); err != nil {
+			return Value{}, err
+		}
+	}
+	return Value{Kind: types.Ptr, Addr: addr, LP: prov, Elem: ty}, nil
+}
+
+// ExtendedFree is the paper's extended_free(void *p) primitive (§3.5): it
+// releases the memory area referenced by p, whose original location may be
+// in another address space. Remote releases are batched like allocations;
+// freeing a not-yet-flushed provisional allocation simply cancels it.
+func (rt *Runtime) ExtendedFree(v Value) error {
+	if v.Kind != types.Ptr || v.Addr == vmem.Null {
+		return fmt.Errorf("core: ExtendedFree of non-pointer or null value")
+	}
+	if rt.space.InHeap(v.Addr) {
+		return rt.space.Free(v.Addr)
+	}
+	e, ok := rt.table.LookupAddr(v.Addr)
+	if !ok {
+		return fmt.Errorf("core: ExtendedFree of unknown cache address %#x", uint32(v.Addr))
+	}
+	lp := e.LP
+	// Drop the table entry first: a freed object must never be fetched,
+	// shipped with the modified data set, or written back.
+	if err := rt.table.Remove(v.Addr); err != nil {
+		return err
+	}
+	rt.allocMu.Lock()
+	defer rt.allocMu.Unlock()
+	if uint32(lp.Addr) >= provisionalBase {
+		// Still provisional: cancel the batched allocation.
+		b := rt.batch[lp.Space]
+		if b != nil {
+			for i := range b.allocs {
+				if b.allocs[i].lp == lp {
+					b.allocs = append(b.allocs[:i], b.allocs[i+1:]...)
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("core: provisional %v not found in batch", lp)
+	}
+	b, ok := rt.batch[lp.Space]
+	if !ok {
+		b = &originBatch{}
+		rt.batch[lp.Space] = b
+	}
+	b.frees = append(b.frees, lp)
+	return nil
+}
+
+// PendingAllocOps reports the number of batched allocation and release
+// operations not yet flushed (for tests and diagnostics).
+func (rt *Runtime) PendingAllocOps() int {
+	rt.allocMu.Lock()
+	defer rt.allocMu.Unlock()
+	n := 0
+	for _, b := range rt.batch {
+		n += len(b.allocs) + len(b.frees)
+	}
+	return n
+}
+
+// flushAllocBatches sends every batched allocation/release to its origin
+// space in a single message per space (§3.5), then rebinds the provisional
+// long pointers to the real addresses the origins assigned. Stored
+// ordinary pointers need no rewriting: only the identity maps change.
+func (rt *Runtime) flushAllocBatches(sess uint64) error {
+	rt.allocMu.Lock()
+	batches := rt.batch
+	rt.batch = make(map[uint32]*originBatch)
+	rt.allocMu.Unlock()
+
+	origins := make([]uint32, 0, len(batches))
+	for o := range batches {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, origin := range origins {
+		b := batches[origin]
+		if len(b.allocs) == 0 && len(b.frees) == 0 {
+			continue
+		}
+		p := wire.AllocBatchPayload{Frees: b.frees}
+		for _, a := range b.allocs {
+			p.Allocs = append(p.Allocs, wire.AllocReq{Token: uint64(a.lp.Addr), Type: a.lp.Type})
+		}
+		rt.stats.allocBatches.Add(1)
+		rt.trace(Event{Kind: EvAllocFlush, Target: origin, Count: len(p.Allocs) + len(p.Frees)})
+		reply, err := rt.sendAndWait(wire.Message{
+			Kind:    wire.KindAllocBatch,
+			Session: sess,
+			To:      origin,
+			Payload: p.Encode(),
+		})
+		if err != nil {
+			return fmt.Errorf("flush alloc batch to space %d: %w", origin, err)
+		}
+		if reply.Err != "" {
+			return fmt.Errorf("space %d rejected alloc batch: %s", origin, reply.Err)
+		}
+		rp, err := wire.DecodeAllocReplyPayload(reply.Payload)
+		if err != nil {
+			return fmt.Errorf("decode alloc reply from space %d: %w", origin, err)
+		}
+		if len(rp.Addrs) != len(b.allocs) {
+			return fmt.Errorf("space %d returned %d addresses for %d allocations",
+				origin, len(rp.Addrs), len(b.allocs))
+		}
+		for i, a := range b.allocs {
+			real := wire.LongPtr{Space: origin, Addr: rp.Addrs[i], Type: a.lp.Type}
+			if err := rt.table.Rebind(a.lp, real); err != nil {
+				return fmt.Errorf("rebind %v -> %v: %w", a.lp, real, err)
+			}
+		}
+	}
+	return nil
+}
+
+// serveAllocBatch performs the batched allocations and releases on the
+// origin space and returns the assigned addresses.
+func (rt *Runtime) serveAllocBatch(m wire.Message) {
+	p, err := wire.DecodeAllocBatchPayload(m.Payload)
+	if err != nil {
+		rt.reply(m, wire.KindAllocReply, nil, fmt.Sprintf("decode: %v", err))
+		return
+	}
+	var out wire.AllocReplyPayload
+	for _, req := range p.Allocs {
+		layout, err := rt.reg.Layout(req.Type, rt.space.Profile())
+		if err != nil {
+			rt.reply(m, wire.KindAllocReply, nil, err.Error())
+			return
+		}
+		addr, err := rt.space.Alloc(layout.Size, layout.Align)
+		if err != nil {
+			rt.reply(m, wire.KindAllocReply, nil, err.Error())
+			return
+		}
+		if err := rt.space.WriteRaw(addr, make([]byte, layout.Size)); err != nil {
+			rt.reply(m, wire.KindAllocReply, nil, err.Error())
+			return
+		}
+		out.Addrs = append(out.Addrs, addr)
+	}
+	for _, lp := range p.Frees {
+		if lp.Space != rt.id {
+			rt.reply(m, wire.KindAllocReply, nil, fmt.Sprintf("free of foreign datum %v", lp))
+			return
+		}
+		if err := rt.space.Free(lp.Addr); err != nil {
+			rt.reply(m, wire.KindAllocReply, nil, err.Error())
+			return
+		}
+		rt.dropModified(lp)
+	}
+	rt.reply(m, wire.KindAllocReply, out.Encode(), "")
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/wire"
+)
+
+// --- transport and peer failures ---
+
+func TestCallToDetachedSpaceFails(t *testing.T) {
+	caller, _ := pair(t, nil)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	defer caller.EndSession()
+	if _, err := caller.Call(99, "x", nil); err == nil {
+		t.Error("call to unattached space succeeded")
+	}
+}
+
+func TestCalleeClosedMidSessionUnblocksCaller(t *testing.T) {
+	caller, callee := pair(t, nil)
+	started := make(chan struct{})
+	err := callee.Register("hang", func(*Ctx, []Value) ([]Value, error) {
+		close(started)
+		select {} // never returns
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := caller.Call(2, "hang", nil)
+		errCh <- err
+	}()
+	<-started
+	// Closing the caller's runtime unblocks the pending call.
+	_ = caller.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("call returned nil after runtime close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call did not unblock on close")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	caller, _ := pair(t, nil)
+	if err := caller.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := caller.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	caller, _ := pair(t, nil)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	_ = caller.Close()
+	if _, err := caller.Call(2, "x", nil); err == nil {
+		t.Error("call after close succeeded")
+	}
+}
+
+// rawNode attaches a bare transport node so tests can inject malformed
+// protocol messages at a runtime.
+func rawAttach(t *testing.T, rtNet *transport.Network, id uint32) transport.Node {
+	t.Helper()
+	n, err := rtNet.Attach(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func newRuntimeOnNet(t *testing.T, rtNet *transport.Network, id uint32) *Runtime {
+	t.Helper()
+	node := rawAttach(t, rtNet, id)
+	rt, err := New(Options{ID: id, Node: node, Registry: newTestRegistry(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	return rt
+}
+
+func TestMalformedCallPayloadRejected(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	rt := newRuntimeOnNet(t, net, 2)
+	_ = rt
+	raw := rawAttach(t, net, 7)
+	err = raw.Send(wire.Message{
+		Kind:    wire.KindCall,
+		Session: 0x700000001,
+		Seq:     1,
+		To:      2,
+		Proc:    "anything",
+		Payload: []byte{0xde, 0xad}, // truncated garbage
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != wire.KindReturn || reply.Err == "" {
+		t.Errorf("malformed call reply = %+v", reply)
+	}
+	if !strings.Contains(reply.Err, "decode") {
+		t.Errorf("error %q does not mention decode", reply.Err)
+	}
+}
+
+func TestFetchForForeignDataRejected(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	_ = newRuntimeOnNet(t, net, 2)
+	raw := rawAttach(t, net, 7)
+	p := wire.FetchPayload{
+		Wants:  []wire.LongPtr{{Space: 3, Addr: 0x1000, Type: 1}}, // not owned by 2
+		Budget: 0,
+	}
+	if err := raw.Send(wire.Message{Kind: wire.KindFetch, Seq: 9, To: 2, Payload: p.Encode()}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err == "" {
+		t.Error("fetch for foreign data accepted")
+	}
+}
+
+func TestFetchForBogusAddressRejected(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	_ = newRuntimeOnNet(t, net, 2)
+	raw := rawAttach(t, net, 7)
+	p := wire.FetchPayload{
+		Wants: []wire.LongPtr{{Space: 2, Addr: 0x3333_0000, Type: 1}}, // unmapped
+	}
+	if err := raw.Send(wire.Message{Kind: wire.KindFetch, Seq: 9, To: 2, Payload: p.Encode()}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err == "" {
+		t.Error("fetch for unmapped address accepted")
+	}
+}
+
+func TestWriteBackForForeignDataRejected(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	_ = newRuntimeOnNet(t, net, 2)
+	raw := rawAttach(t, net, 7)
+	p := wire.ItemsPayload{Items: []wire.DataItem{
+		{LP: wire.LongPtr{Space: 5, Addr: 0x100, Type: 1}, Bytes: make([]byte, 32)},
+	}}
+	if err := raw.Send(wire.Message{Kind: wire.KindWriteBack, Seq: 3, To: 2, Payload: p.Encode()}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != wire.KindWriteBackAck || reply.Err == "" {
+		t.Errorf("foreign write-back reply = %+v", reply)
+	}
+}
+
+func TestAllocBatchFreeingForeignDataRejected(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	_ = newRuntimeOnNet(t, net, 2)
+	raw := rawAttach(t, net, 7)
+	p := wire.AllocBatchPayload{Frees: []wire.LongPtr{{Space: 9, Addr: 0x100, Type: 1}}}
+	if err := raw.Send(wire.Message{Kind: wire.KindAllocBatch, Seq: 4, To: 2, Payload: p.Encode()}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err == "" {
+		t.Error("foreign free accepted")
+	}
+}
+
+func TestAllocBatchUnknownTypeRejected(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	_ = newRuntimeOnNet(t, net, 2)
+	raw := rawAttach(t, net, 7)
+	p := wire.AllocBatchPayload{Allocs: []wire.AllocReq{{Token: 1, Type: 77}}}
+	if err := raw.Send(wire.Message{Kind: wire.KindAllocBatch, Seq: 5, To: 2, Payload: p.Encode()}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err == "" {
+		t.Error("allocation of unknown type accepted")
+	}
+}
+
+func TestInvalidateFromStrangerIsSafe(t *testing.T) {
+	// An invalidate for a session a runtime never joined must not
+	// disturb local heap data (only cache state, which is empty).
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	rt := newRuntimeOnNet(t, net, 2)
+	v, err := rt.NewObject(nodeType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := rt.Deref(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetInt("data", 0, 77); err != nil {
+		t.Fatal(err)
+	}
+	raw := rawAttach(t, net, 7)
+	if err := raw.Send(wire.Message{Kind: wire.KindInvalidate, Seq: 8, To: 2, Payload: []byte{}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != wire.KindInvalidateAck || reply.Err != "" {
+		t.Errorf("invalidate reply = %+v", reply)
+	}
+	d, err := ref.Int("data", 0)
+	if err != nil || d != 77 {
+		t.Errorf("heap data after stranger invalidate = %d, %v", d, err)
+	}
+}
+
+func TestUnsolicitedReplyIgnored(t *testing.T) {
+	// Replies with no matching pending request are dropped, not crashed on.
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	rt := newRuntimeOnNet(t, net, 2)
+	raw := rawAttach(t, net, 7)
+	if err := raw.Send(wire.Message{Kind: wire.KindReturn, Seq: 4242, To: 2, Payload: []byte{}}); err != nil {
+		t.Fatal(err)
+	}
+	// The runtime still works afterwards.
+	v, err := rt.NewObject(nodeType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := rt.Deref(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetInt("data", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- session edge cases ---
+
+func TestHandlerErrorStillSendsCoherentReply(t *testing.T) {
+	// Even when the handler fails, the caller gets a Return and the
+	// session stays usable for further calls.
+	caller, callee := pair(t, nil)
+	boom := errors.New("no")
+	err := callee.Register("fail", func(*Ctx, []Value) ([]Value, error) { return nil, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 3)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(2, "fail", nil); err == nil {
+		t.Error("failed handler returned success")
+	}
+	res, err := caller.Call(2, "sumTree", []Value{root})
+	if err != nil {
+		t.Fatalf("session unusable after handler error: %v", err)
+	}
+	if res[0].Int64() != wantSum(3) {
+		t.Errorf("sum after failure = %d", res[0].Int64())
+	}
+	if err := caller.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyDataSurvivesHandlerError(t *testing.T) {
+	// A handler that modifies cached data and THEN fails: the paper's
+	// protocol has no transactions — the modification still propagates
+	// (documented semantics, matching C behavior where the write already
+	// happened).
+	caller, callee := pair(t, nil)
+	boom := errors.New("late failure")
+	err := callee.Register("writeThenFail", func(ctx *Ctx, args []Value) ([]Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := ref.SetInt("data", 0, 555); err != nil {
+			return nil, err
+		}
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 1)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(2, "writeThenFail", []Value{root}); err == nil {
+		t.Error("handler error lost")
+	}
+	// A follow-up call observes the modification (dirty set traveled on
+	// the NEXT control transfer; error returns carry no payload).
+	res, err := caller.Call(2, "sumTree", []Value{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Int64() != 555 {
+		t.Errorf("sum after failed-but-written handler = %d, want 555", res[0].Int64())
+	}
+	if err := caller.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := caller.Deref(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ref.Int("data", 0)
+	if err != nil || d != 555 {
+		t.Errorf("origin after session = %d, %v; want 555", d, err)
+	}
+}
+
+func TestEndSessionOnNonGroundFails(t *testing.T) {
+	caller, callee := pair(t, nil)
+	done := make(chan error, 1)
+	err := callee.Register("tryEnd", func(ctx *Ctx, args []Value) ([]Value, error) {
+		done <- ctx.Runtime().EndSession()
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessionCall(t, caller, 2, "tryEnd")
+	if err := <-done; err == nil {
+		t.Error("EndSession on non-ground runtime succeeded")
+	}
+}
+
+func TestSessionReusableAfterEnd(t *testing.T) {
+	caller, callee := pair(t, nil)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 4)
+	for i := 0; i < 5; i++ {
+		res := sessionCall(t, caller, 2, "sumTree", root)
+		if res[0].Int64() != wantSum(4) {
+			t.Fatalf("iteration %d sum = %d", i, res[0].Int64())
+		}
+	}
+}
+
+func TestExtendedMallocOutsideSessionFails(t *testing.T) {
+	caller, _ := pair(t, nil)
+	if _, err := caller.ExtendedMalloc(2, nodeType); !errors.Is(err, ErrNoSession) {
+		t.Errorf("ExtendedMalloc outside session: %v", err)
+	}
+}
+
+func TestExtendedMallocUnknownType(t *testing.T) {
+	caller, _ := pair(t, nil)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	defer caller.EndSession()
+	if _, err := caller.ExtendedMalloc(2, 99); err == nil {
+		t.Error("ExtendedMalloc of unknown type succeeded")
+	}
+}
+
+func TestExtendedFreeInvalidValues(t *testing.T) {
+	caller, _ := pair(t, nil)
+	if err := caller.ExtendedFree(Int64Value(1)); err == nil {
+		t.Error("ExtendedFree of scalar succeeded")
+	}
+	if err := caller.ExtendedFree(NullPtr(nodeType)); err == nil {
+		t.Error("ExtendedFree of null succeeded")
+	}
+}
+
+func TestDirtyDataSurvivesHandlerErrorThenSessionEnd(t *testing.T) {
+	// Stronger variant: the session ends immediately after the failing
+	// call; the error return itself must carry the modified data home.
+	caller, callee := pair(t, nil)
+	err := callee.Register("writeThenFail", func(ctx *Ctx, args []Value) ([]Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := ref.SetInt("data", 0, 666); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("late failure")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := buildTree(t, caller, 1)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(2, "writeThenFail", []Value{root}); err == nil {
+		t.Error("handler error lost")
+	}
+	if err := caller.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := caller.Deref(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ref.Int("data", 0)
+	if err != nil || d != 666 {
+		t.Errorf("origin after error+end = %d, %v; want 666", d, err)
+	}
+}

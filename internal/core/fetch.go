@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smartrpc/internal/types"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+// onFault is the runtime's access-violation handler: the software analogue
+// of the SIGSEGV handler the paper installs with the operating system
+// kernel (§3.2). Read faults on protected pages trigger the fetch of all
+// data allocated to the page; write faults on read-only pages implement
+// dirty detection for the coherency protocol (§3.4).
+func (rt *Runtime) onFault(f vmem.Fault) error {
+	prot, err := rt.space.ProtOf(f.Page)
+	if err != nil {
+		return err
+	}
+	rt.trace(Event{Kind: EvFault, Page: f.Page})
+	if prot == vmem.ProtRead {
+		if f.Kind != vmem.FaultWrite {
+			return fmt.Errorf("core: read fault on readable page %d", f.Page)
+		}
+		// Dirty detection: first write to a clean cached page.
+		if err := rt.space.MarkDirty(f.Page, true); err != nil {
+			return err
+		}
+		return rt.space.SetProt(f.Page, vmem.ProtReadWrite)
+	}
+	// ProtNone: the first access to a protected page area. Fetch every
+	// datum allocated to the page — once protection is released, a first
+	// access to the others could no longer be detected.
+	if err := rt.fetchPage(f.Page); err != nil {
+		return err
+	}
+	if f.Kind == vmem.FaultWrite {
+		if err := rt.space.MarkDirty(f.Page, true); err != nil {
+			return err
+		}
+		return rt.space.SetProt(f.Page, vmem.ProtReadWrite)
+	}
+	return nil
+}
+
+// fetchPage requests the data for every non-resident entry on page pn from
+// the owning address spaces and installs the replies. Installing an object
+// swizzles the pointers inside it, which can reserve fresh slots on this
+// very page while it still has room — so the fetch iterates until every
+// entry allocated to the page is resident, upholding §3.2's rule that all
+// data allocated to a page is transferred before its protection is
+// released.
+func (rt *Runtime) fetchPage(pn uint32) error {
+	rt.sessMu.Lock()
+	sess := rt.sess
+	rt.sessMu.Unlock()
+	if sess == 0 {
+		return fmt.Errorf("core: page fault on cached data outside a session (page %d)", pn)
+	}
+	if len(rt.table.PageEntries(pn)) == 0 {
+		return fmt.Errorf("core: fault on cache page %d with no allocation table entries", pn)
+	}
+	for {
+		// Group wants by origin. Under the paper's allocation heuristic
+		// there is exactly one origin per page; PolicyMixed exercises the
+		// multi-origin worst case.
+		byOrigin := make(map[uint32][]wire.LongPtr)
+		for _, e := range rt.table.PageEntries(pn) {
+			if e.Resident {
+				continue
+			}
+			byOrigin[e.LP.Space] = append(byOrigin[e.LP.Space], e.LP)
+		}
+		if len(byOrigin) == 0 {
+			return nil
+		}
+		origins := make([]uint32, 0, len(byOrigin))
+		for o := range byOrigin {
+			origins = append(origins, o)
+		}
+		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+		for _, origin := range origins {
+			p := wire.FetchPayload{Wants: byOrigin[origin], Budget: uint32(rt.closure)}
+			rt.stats.fetchesSent.Add(1)
+			rt.trace(Event{Kind: EvFetchSent, Target: origin, Count: len(byOrigin[origin])})
+			reply, err := rt.sendAndWait(wire.Message{
+				Kind:    wire.KindFetch,
+				Session: sess,
+				To:      origin,
+				Payload: p.Encode(),
+			})
+			if err != nil {
+				return fmt.Errorf("fetch from space %d: %w", origin, err)
+			}
+			if reply.Err != "" {
+				return fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
+			}
+			rp, err := wire.DecodeItemsPayload(reply.Payload)
+			if err != nil {
+				return fmt.Errorf("fetch from space %d: decode: %w", origin, err)
+			}
+			if err := rt.installItems(rp.Items); err != nil {
+				return fmt.Errorf("fetch from space %d: install: %w", origin, err)
+			}
+		}
+	}
+}
+
+// serveFetch answers a data request: it sends the wanted objects plus a
+// transitive closure bounded by the requested budget (§3.3).
+func (rt *Runtime) serveFetch(m wire.Message) {
+	p, err := wire.DecodeFetchPayload(m.Payload)
+	if err != nil {
+		rt.reply(m, wire.KindFetchReply, nil, fmt.Sprintf("decode: %v", err))
+		return
+	}
+	rt.stats.fetchesServed.Add(1)
+	rt.trace(Event{Kind: EvFetchServed, Target: m.From, Count: len(p.Wants)})
+	items, err := rt.buildClosureItems(p.Wants, int(p.Budget))
+	if err != nil {
+		rt.reply(m, wire.KindFetchReply, nil, err.Error())
+		return
+	}
+	out := wire.ItemsPayload{Items: items}
+	rt.reply(m, wire.KindFetchReply, out.Encode(), "")
+}
+
+// buildClosureItems encodes the wanted objects unconditionally, then keeps
+// traversing the pointer graph (breadth-first by default, §3.3) until the
+// byte budget for additional data is exhausted. Only locally owned data
+// can be served; pointers to third spaces are passed through as long
+// pointers for the requester to resolve on its own faults.
+func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, budget int) ([]wire.DataItem, error) {
+	type job struct {
+		lp   wire.LongPtr
+		want bool
+	}
+	seen := make(map[wire.LongPtr]bool, len(wants))
+	queue := make([]job, 0, len(wants))
+	for _, lp := range wants {
+		queue = append(queue, job{lp: lp, want: true})
+	}
+	var items []wire.DataItem
+	budgetLeft := budget
+	for len(queue) > 0 {
+		var j job
+		if rt.traversal == TraverseDFS {
+			j = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		} else {
+			j = queue[0]
+			queue = queue[1:]
+		}
+		if j.lp.IsNull() || seen[j.lp] {
+			continue
+		}
+		if j.lp.Space != rt.id {
+			if j.want {
+				return nil, fmt.Errorf("core: fetch for datum %v not owned by space %d", j.lp, rt.id)
+			}
+			continue
+		}
+		desc, err := rt.reg.Lookup(j.lp.Type)
+		if err != nil {
+			return nil, err
+		}
+		size := desc.CanonicalSize()
+		if !j.want {
+			if budgetLeft < size {
+				continue // budget exhausted for optional data; keep draining queue for cheaper finds
+			}
+			budgetLeft -= size
+		}
+		seen[j.lp] = true
+		b, err := encodeObject(rt.space, rt.table, rt.reg, desc, j.lp.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("encode %v: %w", j.lp, err)
+		}
+		items = append(items, wire.DataItem{LP: j.lp, Bytes: b})
+		// Enqueue the pointed-to data, honoring any programmer-supplied
+		// closure shape hint for this type (§6: "use suggestions provided
+		// by the programmer" to optimize the closure's shape).
+		layout, err := rt.reg.Layout(desc.ID, rt.space.Profile())
+		if err != nil {
+			return nil, err
+		}
+		hint := rt.closureHint(desc.ID)
+		for i, f := range desc.Fields {
+			if f.Kind != types.Ptr {
+				continue
+			}
+			if hint != nil && !hint[f.Name] {
+				continue
+			}
+			count := f.Count
+			if count <= 1 {
+				count = 1
+			}
+			fl := layout.Fields[i]
+			for e := 0; e < count; e++ {
+				pv, err := rt.space.ReadPtrRaw(j.lp.Addr + vmem.VAddr(fl.Offset+e*fl.ElemSize))
+				if err != nil {
+					return nil, err
+				}
+				if pv == vmem.Null {
+					continue
+				}
+				target, err := rt.table.Unswizzle(pv, f.Elem)
+				if err != nil {
+					return nil, err
+				}
+				queue = append(queue, job{lp: target})
+			}
+		}
+	}
+	return items, nil
+}
+
+// eagerClosureFor builds the full transitive closure of every locally
+// owned pointer argument: the fully eager baseline's call-time transfer.
+func (rt *Runtime) eagerClosureFor(args []Value) ([]wire.DataItem, error) {
+	var roots []wire.LongPtr
+	for _, v := range args {
+		if v.Kind != types.Ptr || v.Addr == vmem.Null {
+			continue
+		}
+		lp, err := rt.table.Unswizzle(v.Addr, v.Elem)
+		if err != nil {
+			return nil, err
+		}
+		if lp.Space == rt.id {
+			roots = append(roots, lp)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+	return rt.buildClosureItems(roots, math.MaxInt32)
+}
+
+// fetchOne retrieves a single object's canonical bytes without caching:
+// the fully lazy baseline's per-dereference callback.
+func (rt *Runtime) fetchOne(lp wire.LongPtr) ([]byte, error) {
+	if lp.Space == rt.id {
+		// Locally owned data is read directly; no session needed.
+		desc, err := rt.reg.Lookup(lp.Type)
+		if err != nil {
+			return nil, err
+		}
+		return encodeObject(rt.space, rt.table, rt.reg, desc, lp.Addr)
+	}
+	rt.sessMu.Lock()
+	sess := rt.sess
+	rt.sessMu.Unlock()
+	if sess == 0 {
+		return nil, ErrNoSession
+	}
+	p := wire.FetchPayload{Wants: []wire.LongPtr{lp}, Budget: 0}
+	rt.stats.fetchesSent.Add(1)
+	reply, err := rt.sendAndWait(wire.Message{
+		Kind:    wire.KindFetch,
+		Session: sess,
+		To:      lp.Space,
+		Payload: p.Encode(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("fetch %v: %s", lp, reply.Err)
+	}
+	rp, err := wire.DecodeItemsPayload(reply.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rp.Items) != 1 || rp.Items[0].LP != lp {
+		return nil, fmt.Errorf("fetch %v: unexpected reply shape (%d items)", lp, len(rp.Items))
+	}
+	return rp.Items[0].Bytes, nil
+}
+
+// writeOne sends a single object's canonical bytes home: the lazy
+// baseline's write path (read-modify-write-back).
+func (rt *Runtime) writeOne(lp wire.LongPtr, data []byte) error {
+	if lp.Space == rt.id {
+		// Locally owned data is written directly; no session needed.
+		desc, err := rt.reg.Lookup(lp.Type)
+		if err != nil {
+			return err
+		}
+		return decodeObject(rt.space, rt.table, rt.reg, desc, lp.Addr, data)
+	}
+	rt.sessMu.Lock()
+	sess := rt.sess
+	rt.sessMu.Unlock()
+	if sess == 0 {
+		return ErrNoSession
+	}
+	p := wire.ItemsPayload{Items: []wire.DataItem{{LP: lp, Bytes: data}}}
+	rt.stats.writeBackMsgs.Add(1)
+	reply, err := rt.sendAndWait(wire.Message{
+		Kind:    wire.KindWriteBack,
+		Session: sess,
+		To:      lp.Space,
+		Payload: p.Encode(),
+	})
+	if err != nil {
+		return err
+	}
+	if reply.Err != "" {
+		return fmt.Errorf("write back %v: %s", lp, reply.Err)
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/vmem"
+)
+
+// Dynamic-allocation equivalence property: scripts that also create nodes
+// in the owner's space via extended_malloc and release them via
+// extended_free must leave the owner's reachable structure equal to the
+// model's, and the owner's heap must end with exactly the live
+// allocations (no leaks of freed nodes, no lost allocations).
+
+// dynModel tracks k pool nodes plus dynamically created leaves hanging
+// off pool nodes' left pointers.
+type dynModel struct {
+	data []int64 // pool node data
+	// left[i]: -1 = null, >=0 = pool index, or ^dynIdx for a dynamic leaf
+	left    []int
+	dynData map[int]int64 // dynamic leaf id → data
+	nextDyn int
+}
+
+func newDynModel(k int) *dynModel {
+	m := &dynModel{
+		data:    make([]int64, k),
+		left:    make([]int, k),
+		dynData: make(map[int]int64),
+	}
+	for i := range m.left {
+		m.data[i] = int64(i + 1)
+		m.left[i] = -1
+	}
+	return m
+}
+
+func (m *dynModel) dynRef(id int) int { return ^id }
+func (m *dynModel) isDyn(v int) bool  { return v < -1 }
+func (m *dynModel) dynID(v int) int   { return ^v }
+
+func TestPropertyDynamicAllocation(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDynamicAllocProperty(t, seed)
+		})
+	}
+}
+
+func runDynamicAllocProperty(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const k = 8
+	const nOps = 50
+
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	reg := newTestRegistry(t)
+	mk := func(id uint32) *Runtime {
+		node, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := New(Options{ID: id, Node: node, Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = rt.Close() })
+		return rt
+	}
+	owner := mk(1)
+	worker := mk(2)
+
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// allocLeft creates a node in the OWNER's space, initializes it, and
+	// hangs it off target.left.
+	must(worker.Register("allocLeft", func(ctx *Ctx, args []Value) ([]Value, error) {
+		rt := ctx.Runtime()
+		fresh, err := rt.ExtendedMalloc(ctx.Caller(), nodeType)
+		if err != nil {
+			return nil, err
+		}
+		fref, err := rt.Deref(fresh)
+		if err != nil {
+			return nil, err
+		}
+		if err := fref.SetInt("data", 0, args[1].Int64()); err != nil {
+			return nil, err
+		}
+		tref, err := rt.Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, tref.SetPtr("left", 0, fresh)
+	}))
+	// unlinkLeft detaches target.left; when free is true it also releases
+	// the detached node's storage in its origin space.
+	must(worker.Register("unlinkLeft", func(ctx *Ctx, args []Value) ([]Value, error) {
+		rt := ctx.Runtime()
+		tref, err := rt.Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		victim, err := tref.Ptr("left", 0)
+		if err != nil {
+			return nil, err
+		}
+		if victim.IsNullPtr() {
+			return nil, nil
+		}
+		if err := tref.SetPtr("left", 0, NullPtr(nodeType)); err != nil {
+			return nil, err
+		}
+		if args[1].Bool() {
+			return nil, rt.ExtendedFree(victim)
+		}
+		return nil, nil
+	}))
+	// linkLeft points target.left at another pool node (or null).
+	must(worker.Register("linkLeft", func(ctx *Ctx, args []Value) ([]Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, ref.SetPtr("left", 0, args[1])
+	}))
+	must(worker.Register("setData", func(ctx *Ctx, args []Value) ([]Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, ref.SetInt("data", 0, args[1].Int64())
+	}))
+
+	nodes := make([]Value, k)
+	for i := range nodes {
+		v, err := owner.NewObject(nodeType)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := owner.Deref(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SetInt("data", 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = v
+	}
+	m := newDynModel(k)
+	heapBase := owner.Space().HeapInUse()
+
+	if err := owner.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < nOps; op++ {
+		target := rng.Intn(k)
+		switch rng.Intn(4) {
+		case 0: // allocLeft
+			val := rng.Int63n(1 << 30)
+			_, err := owner.Call(2, "allocLeft", []Value{nodes[target], Int64Value(val)})
+			if err != nil {
+				t.Fatalf("op %d allocLeft: %v", op, err)
+			}
+			// The old left (if a dynamic leaf) becomes unreachable but is
+			// NOT freed — exactly like C, that is a leak the model tracks.
+			id := m.nextDyn
+			m.nextDyn++
+			m.dynData[id] = val
+			m.left[target] = m.dynRef(id)
+		case 1: // unlinkLeft, freeing dynamic leaves
+			cur := m.left[target]
+			freeIt := m.isDyn(cur) // only dynamic leaves are ever freed
+			_, err := owner.Call(2, "unlinkLeft", []Value{nodes[target], BoolValue(freeIt)})
+			if err != nil {
+				t.Fatalf("op %d unlinkLeft: %v", op, err)
+			}
+			if freeIt {
+				delete(m.dynData, m.dynID(cur))
+			}
+			m.left[target] = -1
+		case 2: // linkLeft to a pool node or null
+			other := rng.Intn(k+1) - 1
+			arg := NullPtr(nodeType)
+			if other >= 0 {
+				arg = nodes[other]
+			}
+			_, err := owner.Call(2, "linkLeft", []Value{nodes[target], arg})
+			if err != nil {
+				t.Fatalf("op %d linkLeft: %v", op, err)
+			}
+			if other >= 0 {
+				m.left[target] = other
+			} else {
+				m.left[target] = -1
+			}
+		case 3: // setData
+			val := rng.Int63n(1 << 30)
+			_, err := owner.Call(2, "setData", []Value{nodes[target], Int64Value(val)})
+			if err != nil {
+				t.Fatalf("op %d setData: %v", op, err)
+			}
+			m.data[target] = val
+		}
+	}
+	if err := owner.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Verify reachable structure against the model.
+	addrToIdx := make(map[vmem.VAddr]int, k)
+	for i, v := range nodes {
+		addrToIdx[v.Addr] = i
+	}
+	liveDynAddrs := make(map[vmem.VAddr]bool)
+	for i, v := range nodes {
+		ref, err := owner.Deref(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ref.Int("data", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != m.data[i] {
+			t.Errorf("pool node %d data = %d, model %d", i, d, m.data[i])
+		}
+		l, err := ref.Ptr("left", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.left[i]
+		switch {
+		case want == -1:
+			if !l.IsNullPtr() {
+				t.Errorf("pool node %d left = %#x, model null", i, uint32(l.Addr))
+			}
+		case m.isDyn(want):
+			if l.IsNullPtr() {
+				t.Fatalf("pool node %d left null, model dynamic leaf", i)
+			}
+			if !owner.Space().InHeap(l.Addr) {
+				t.Errorf("dynamic leaf at %#x not in owner's heap", uint32(l.Addr))
+			}
+			liveDynAddrs[l.Addr] = true
+			lref, err := owner.Deref(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ld, err := lref.Int("data", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantD := m.dynData[m.dynID(want)]; ld != wantD {
+				t.Errorf("dynamic leaf of pool %d data = %d, model %d", i, ld, wantD)
+			}
+		default:
+			if got, ok := addrToIdx[l.Addr]; !ok || got != want {
+				t.Errorf("pool node %d left -> %d (ok=%v), model %d", i, got, ok, want)
+			}
+		}
+	}
+
+	// Heap accounting: pool nodes plus every dynamic allocation that was
+	// never freed (still linked, or leaked by overwriting the left
+	// pointer — exactly C's semantics) remain live; freed ones are gone.
+	perNode := heapBase / k
+	wantHeap := heapBase + len(m.dynData)*perNode
+	if got := owner.Space().HeapInUse(); got != wantHeap {
+		t.Errorf("owner heap = %d bytes, want %d (base %d, unfreed dynamic %d, per-node %d)",
+			got, wantHeap, heapBase, len(m.dynData), perNode)
+	}
+}

@@ -1,0 +1,491 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smartrpc/internal/arch"
+	"smartrpc/internal/swizzle"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/types"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+// Policy selects the pointer-transfer strategy. The paper evaluates its
+// proposed method (PolicySmart) against two baselines built on the same
+// substrate.
+type Policy int
+
+// Policies.
+const (
+	// PolicySmart is the paper's method: protected page areas, page-fault
+	// driven fetch with a bounded eager closure, caching, and the session
+	// coherency protocol.
+	PolicySmart Policy = iota + 1
+	// PolicyEager marshals the full transitive closure of every pointer
+	// argument with the call (rpcgen-style), so the callee never faults.
+	PolicyEager
+	// PolicyLazy performs a callback for every pointer dereference, with
+	// no caching — even repeated dereferences of the same pointer.
+	PolicyLazy
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicySmart:
+		return "smart"
+	case PolicyEager:
+		return "eager"
+	case PolicyLazy:
+		return "lazy"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Traversal selects the closure traversal order (§3.3; breadth-first is
+// the paper's choice, depth-first is the ablation).
+type Traversal int
+
+// Traversal orders.
+const (
+	TraverseBFS Traversal = iota + 1
+	TraverseDFS
+)
+
+// Coherence selects how the modified data set moves (§3.4).
+type Coherence int
+
+// Coherence protocols.
+const (
+	// CoherencePiggyback ships dirty cached data with every control
+	// transfer (the paper's protocol).
+	CoherencePiggyback Coherence = iota + 1
+	// CoherenceWriteBack sends dirty data home to its origin space on
+	// every control transfer instead (naive ablation). Correct only when
+	// no third space re-reads data it cached before the modification; the
+	// benchmarks use it on two-party workloads.
+	CoherenceWriteBack
+)
+
+// Sentinel errors.
+var (
+	// ErrNoSession is returned by Call outside an RPC session.
+	ErrNoSession = errors.New("core: no RPC session in progress")
+	// ErrSessionBusy is returned when a message for a different session
+	// arrives while one is active.
+	ErrSessionBusy = errors.New("core: another RPC session is in progress")
+	// ErrUnknownProc is returned for calls to unregistered procedures.
+	ErrUnknownProc = errors.New("core: unknown remote procedure")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: runtime closed")
+)
+
+// Handler is a remote procedure body. Arguments and results are Values;
+// pointer Values dereference transparently through the Ref API.
+type Handler func(ctx *Ctx, args []Value) ([]Value, error)
+
+// Options configures a Runtime.
+type Options struct {
+	// ID is the address-space identifier (must be nonzero and unique on
+	// the network, and must not have the top bit set — that range is
+	// reserved for provisional allocation bookkeeping).
+	ID uint32
+	// Node attaches the runtime to the network.
+	Node transport.Node
+	// Registry is the shared type database.
+	Registry *types.Registry
+	// PageSize overrides the simulated page size (default 4096).
+	PageSize int
+	// Profile sets the simulated architecture (default SPARC32).
+	Profile arch.Profile
+	// Policy selects smart/eager/lazy (default smart).
+	Policy Policy
+	// ClosureSize is the eager transfer budget in bytes (default 8192,
+	// the paper's setting).
+	ClosureSize int
+	// AllocPolicy selects cache page grouping (default per-origin).
+	AllocPolicy swizzle.AllocPolicy
+	// Traversal selects closure order (default breadth-first).
+	Traversal Traversal
+	// Coherence selects the coherency protocol (default piggyback).
+	Coherence Coherence
+	// ClosureHints restricts which pointer fields the eager closure
+	// follows per type (§6's programmer-supplied shape suggestions).
+	// Types absent from the map follow every pointer field.
+	ClosureHints map[types.ID][]string
+}
+
+func (o *Options) fill() error {
+	if o.ID == 0 {
+		return errors.New("core: runtime ID must be nonzero")
+	}
+	if o.ID&swizzle.ProvisionalAreaFlag != 0 {
+		return fmt.Errorf("core: runtime ID %#x uses the reserved top bit", o.ID)
+	}
+	if o.Node == nil {
+		return errors.New("core: transport node required")
+	}
+	if o.Registry == nil {
+		return errors.New("core: type registry required")
+	}
+	if o.Policy == 0 {
+		o.Policy = PolicySmart
+	}
+	if o.ClosureSize == 0 {
+		o.ClosureSize = 8192
+	}
+	if o.ClosureSize < 0 {
+		o.ClosureSize = 0
+	}
+	if o.AllocPolicy == 0 {
+		o.AllocPolicy = swizzle.PolicyPerOrigin
+	}
+	if o.Traversal == 0 {
+		o.Traversal = TraverseBFS
+	}
+	if o.Coherence == 0 {
+		o.Coherence = CoherencePiggyback
+	}
+	return nil
+}
+
+// Stats is a snapshot of one runtime's counters.
+type Stats struct {
+	// CallsSent and CallsServed count RPC requests issued and handled.
+	CallsSent, CallsServed uint64
+	// FetchesSent counts data-request messages issued: the paper's
+	// "number of callbacks" (Figure 5).
+	FetchesSent uint64
+	// FetchesServed counts data requests answered.
+	FetchesServed uint64
+	// Faults counts access violations delivered by the simulated MMU.
+	Faults uint64
+	// ItemsInstalled and BytesInstalled count objects cached locally.
+	ItemsInstalled, BytesInstalled uint64
+	// DirtyItemsSent counts modified objects shipped on control transfer.
+	DirtyItemsSent uint64
+	// WriteBackMsgs counts write-back messages sent.
+	WriteBackMsgs uint64
+	// AllocBatches counts batched remote allocation flushes.
+	AllocBatches uint64
+}
+
+// Runtime is one address space's Smart RPC runtime system.
+type Runtime struct {
+	id        uint32
+	node      transport.Node
+	reg       *types.Registry
+	space     *vmem.Space
+	table     *swizzle.Table
+	policy    Policy
+	closure   int
+	traversal Traversal
+	coherence Coherence
+
+	hintMu sync.RWMutex
+	hints  map[types.ID]map[string]bool
+
+	procsMu sync.RWMutex
+	procs   map[string]Handler
+
+	seq       atomic.Uint64
+	pendingMu sync.Mutex
+	pending   map[uint64]chan wire.Message
+
+	sessMu sync.Mutex
+	sess   uint64
+	ground bool
+	parts  map[uint32]bool
+
+	allocMu   sync.Mutex
+	batch     map[uint32]*originBatch // origin → pending allocs/frees
+	provCount uint32
+
+	// sessionModified tracks locally owned data modified during the
+	// current session by other spaces. The paper's protocol keeps the
+	// modified data set circulating with the thread of control until the
+	// session ends ("the modified data set is passed among the address
+	// spaces with the transition of thread activation"), so the origin
+	// must keep re-sending these with every outgoing transfer even after
+	// applying them — otherwise a space that cached the datum before the
+	// modification would read a stale copy.
+	modMu           sync.Mutex
+	sessionModified map[wire.LongPtr]bool
+
+	tracer atomic.Pointer[tracerBox]
+
+	stats struct {
+		callsSent, callsServed         atomic.Uint64
+		fetchesSent, fetchesServed     atomic.Uint64
+		itemsInstalled, bytesInstalled atomic.Uint64
+		dirtyItemsSent, writeBackMsgs  atomic.Uint64
+		allocBatches                   atomic.Uint64
+	}
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// originBatch accumulates deferred allocation work for one origin space.
+type originBatch struct {
+	allocs []provAlloc
+	frees  []wire.LongPtr
+}
+
+type provAlloc struct {
+	lp wire.LongPtr // provisional long pointer
+}
+
+// New creates and starts a runtime. Callers must Close it.
+func New(opts Options) (*Runtime, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	space, err := vmem.NewSpace(vmem.Config{PageSize: opts.PageSize, Profile: opts.Profile})
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		id:              opts.ID,
+		node:            opts.Node,
+		reg:             opts.Registry,
+		space:           space,
+		table:           swizzle.New(space, opts.Registry, opts.ID, opts.AllocPolicy),
+		policy:          opts.Policy,
+		closure:         opts.ClosureSize,
+		traversal:       opts.Traversal,
+		coherence:       opts.Coherence,
+		procs:           make(map[string]Handler),
+		pending:         make(map[uint64]chan wire.Message),
+		parts:           make(map[uint32]bool),
+		batch:           make(map[uint32]*originBatch),
+		sessionModified: make(map[wire.LongPtr]bool),
+		stop:            make(chan struct{}),
+		done:            make(chan struct{}),
+	}
+	for ty, fields := range opts.ClosureHints {
+		if err := rt.SetClosureHint(ty, fields); err != nil {
+			return nil, err
+		}
+	}
+	space.SetHandler(rt.onFault)
+	go rt.loop()
+	return rt, nil
+}
+
+// SetClosureHint restricts the eager closure to follow only the named
+// pointer fields of type ty when this runtime serves fetches. Passing an
+// empty list stops traversal at that type entirely; unknown field names
+// are rejected.
+func (rt *Runtime) SetClosureHint(ty types.ID, fields []string) error {
+	desc, err := rt.reg.Lookup(ty)
+	if err != nil {
+		return err
+	}
+	set := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		i := desc.FieldIndex(f)
+		if i < 0 || desc.Fields[i].Kind != types.Ptr {
+			return fmt.Errorf("core: closure hint for %s: %q is not a pointer field", desc.Name, f)
+		}
+		set[f] = true
+	}
+	rt.hintMu.Lock()
+	defer rt.hintMu.Unlock()
+	if rt.hints == nil {
+		rt.hints = make(map[types.ID]map[string]bool)
+	}
+	rt.hints[ty] = set
+	return nil
+}
+
+// closureHint returns the allowed pointer fields for ty, or nil when
+// traversal is unrestricted.
+func (rt *Runtime) closureHint(ty types.ID) map[string]bool {
+	rt.hintMu.RLock()
+	defer rt.hintMu.RUnlock()
+	return rt.hints[ty]
+}
+
+// ID returns the runtime's address-space identifier.
+func (rt *Runtime) ID() uint32 { return rt.id }
+
+// Space exposes the simulated address space (examples and tests build
+// data structures directly in it).
+func (rt *Runtime) Space() *vmem.Space { return rt.space }
+
+// Table exposes the data allocation table for inspection.
+func (rt *Runtime) Table() *swizzle.Table { return rt.table }
+
+// Registry returns the type database.
+func (rt *Runtime) Registry() *types.Registry { return rt.reg }
+
+// Policy returns the configured transfer policy.
+func (rt *Runtime) Policy() Policy { return rt.policy }
+
+// ClosureSize returns the eager transfer budget in bytes.
+func (rt *Runtime) ClosureSize() int { return rt.closure }
+
+// Register installs a remote procedure under name.
+func (rt *Runtime) Register(name string, h Handler) error {
+	if name == "" || h == nil {
+		return errors.New("core: procedure needs a name and a handler")
+	}
+	rt.procsMu.Lock()
+	defer rt.procsMu.Unlock()
+	if _, ok := rt.procs[name]; ok {
+		return fmt.Errorf("core: procedure %q already registered", name)
+	}
+	rt.procs[name] = h
+	return nil
+}
+
+// Stats returns a snapshot of the runtime's counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		CallsSent:      rt.stats.callsSent.Load(),
+		CallsServed:    rt.stats.callsServed.Load(),
+		FetchesSent:    rt.stats.fetchesSent.Load(),
+		FetchesServed:  rt.stats.fetchesServed.Load(),
+		Faults:         rt.space.Faults(),
+		ItemsInstalled: rt.stats.itemsInstalled.Load(),
+		BytesInstalled: rt.stats.bytesInstalled.Load(),
+		DirtyItemsSent: rt.stats.dirtyItemsSent.Load(),
+		WriteBackMsgs:  rt.stats.writeBackMsgs.Load(),
+		AllocBatches:   rt.stats.allocBatches.Load(),
+	}
+}
+
+// Close shuts the runtime down and waits for its dispatcher to exit.
+func (rt *Runtime) Close() error {
+	rt.closeOnce.Do(func() {
+		close(rt.stop)
+		_ = rt.node.Close()
+		<-rt.done
+		// Fail any callers still waiting for replies.
+		rt.pendingMu.Lock()
+		for seq, ch := range rt.pending {
+			close(ch)
+			delete(rt.pending, seq)
+		}
+		rt.pendingMu.Unlock()
+	})
+	return nil
+}
+
+// loop is the dispatcher: it routes replies to waiting requesters and
+// dispatches requests to their servers. Call servers run in their own
+// goroutine (their handlers may block in nested calls or callbacks); the
+// bookkeeping servers are non-blocking and run inline.
+func (rt *Runtime) loop() {
+	defer close(rt.done)
+	for {
+		m, err := rt.node.Recv()
+		if err != nil {
+			return
+		}
+		if m.Kind.IsReply() {
+			rt.pendingMu.Lock()
+			ch, ok := rt.pending[m.Seq]
+			if ok {
+				delete(rt.pending, m.Seq)
+			}
+			rt.pendingMu.Unlock()
+			if ok {
+				ch <- m
+			}
+			continue
+		}
+		switch m.Kind {
+		case wire.KindCall:
+			go rt.serveCall(m)
+		case wire.KindFetch:
+			rt.serveFetch(m)
+		case wire.KindWriteBack:
+			rt.serveWriteBack(m)
+		case wire.KindInvalidate:
+			rt.serveInvalidate(m)
+		case wire.KindAllocBatch:
+			rt.serveAllocBatch(m)
+		}
+	}
+}
+
+// sendAndWait sends a request and blocks for its reply.
+func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
+	seq := rt.seq.Add(1)
+	m.Seq = seq
+	ch := make(chan wire.Message, 1)
+	rt.pendingMu.Lock()
+	rt.pending[seq] = ch
+	rt.pendingMu.Unlock()
+	cleanup := func() {
+		rt.pendingMu.Lock()
+		delete(rt.pending, seq)
+		rt.pendingMu.Unlock()
+	}
+	if err := rt.node.Send(m); err != nil {
+		cleanup()
+		return wire.Message{}, fmt.Errorf("send %v to space %d: %w", m.Kind, m.To, err)
+	}
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			return wire.Message{}, ErrClosed
+		}
+		return r, nil
+	case <-rt.stop:
+		cleanup()
+		return wire.Message{}, ErrClosed
+	}
+}
+
+// reply sends a response correlated to request m.
+func (rt *Runtime) reply(m wire.Message, kind wire.Kind, payload []byte, errStr string) {
+	if payload == nil {
+		payload = []byte{}
+	}
+	resp := wire.Message{
+		Kind:    kind,
+		Session: m.Session,
+		Seq:     m.Seq,
+		To:      m.From,
+		Err:     errStr,
+		Payload: payload,
+	}
+	_ = rt.node.Send(resp)
+}
+
+// CacheStats is a snapshot of the cache region's working set (§3.4
+// discusses the "working set in distributed computation" that the RPC
+// session delimits).
+type CacheStats struct {
+	// Entries is the number of data allocation table rows.
+	Entries int
+	// ResidentEntries counts rows whose data has been installed.
+	ResidentEntries int
+	// ResidentBytes sums the local sizes of resident rows.
+	ResidentBytes int
+	// DirtyPages counts cache pages holding unshipped modifications.
+	DirtyPages int
+}
+
+// CacheStats snapshots the current working set of cached remote data.
+func (rt *Runtime) CacheStats() CacheStats {
+	var cs CacheStats
+	for _, e := range rt.table.Entries() {
+		cs.Entries++
+		if e.Resident {
+			cs.ResidentEntries++
+			cs.ResidentBytes += e.Size
+		}
+	}
+	cs.DirtyPages = len(rt.space.DirtyPages())
+	return cs
+}

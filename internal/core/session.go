@@ -1,0 +1,640 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+// sessionCounter disambiguates sessions started by the same runtime.
+var sessionCounter atomic.Uint64
+
+// Ctx carries the session context into a Handler, allowing nested RPCs
+// and callbacks (a callee remotely calling its caller, §3.1).
+type Ctx struct {
+	rt   *Runtime
+	from uint32
+}
+
+// Runtime returns the runtime executing the handler.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Caller returns the address-space ID of the calling space, the target
+// for callbacks.
+func (c *Ctx) Caller() uint32 { return c.from }
+
+// Call issues a nested RPC (or a callback when target == Caller()).
+func (c *Ctx) Call(target uint32, proc string, args []Value) ([]Value, error) {
+	return c.rt.Call(target, proc, args)
+}
+
+// BeginSession starts an RPC session with this runtime's thread as the
+// ground thread (§3.1). Remote pointers received during the session stay
+// valid until EndSession.
+func (rt *Runtime) BeginSession() error {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	if rt.sess != 0 {
+		return fmt.Errorf("%w (session %#x)", ErrSessionBusy, rt.sess)
+	}
+	rt.sess = uint64(rt.id)<<32 | (sessionCounter.Add(1) & 0xffffffff)
+	rt.ground = true
+	rt.parts = make(map[uint32]bool)
+	rt.trace(Event{Kind: EvSessionBegin})
+	return nil
+}
+
+// Session returns the current session identifier (0 when idle).
+func (rt *Runtime) Session() uint64 {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	return rt.sess
+}
+
+// EndSession performs the ground runtime's two end-of-session tasks
+// (§3.4): write every modified page back to its original address space,
+// and multicast an invalidation to every participating space. It then
+// invalidates the local cache.
+func (rt *Runtime) EndSession() error {
+	rt.sessMu.Lock()
+	if rt.sess == 0 {
+		rt.sessMu.Unlock()
+		return ErrNoSession
+	}
+	if !rt.ground {
+		rt.sessMu.Unlock()
+		return errors.New("core: EndSession on a non-ground runtime")
+	}
+	sess := rt.sess
+	parts := make([]uint32, 0, len(rt.parts))
+	for p := range rt.parts {
+		if p != rt.id {
+			parts = append(parts, p)
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	rt.sessMu.Unlock()
+
+	// Any allocations still batched must reach their origins first, so
+	// that dirty data mentions only real addresses.
+	if err := rt.flushAllocBatches(sess); err != nil {
+		return fmt.Errorf("end session: %w", err)
+	}
+
+	// 1. Examine the modified data set and write each modified page back
+	// to the original address space.
+	dirty, err := rt.collectDirtyItems()
+	if err != nil {
+		return fmt.Errorf("end session: %w", err)
+	}
+	byOrigin := make(map[uint32][]wire.DataItem)
+	for _, it := range dirty {
+		byOrigin[it.LP.Space] = append(byOrigin[it.LP.Space], it)
+	}
+	origins := make([]uint32, 0, len(byOrigin))
+	for o := range byOrigin {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, origin := range origins {
+		items := byOrigin[origin]
+		if origin == rt.id {
+			// Locally owned objects cached locally cannot occur (local
+			// long pointers are identity-swizzled), but stay safe.
+			if err := rt.applyWriteBack(items); err != nil {
+				return fmt.Errorf("end session: local write-back: %w", err)
+			}
+			continue
+		}
+		p := wire.ItemsPayload{Items: items}
+		reply, err := rt.sendAndWait(wire.Message{
+			Kind:    wire.KindWriteBack,
+			Session: sess,
+			To:      origin,
+			Payload: p.Encode(),
+		})
+		if err != nil {
+			return fmt.Errorf("end session: write back to space %d: %w", origin, err)
+		}
+		rt.stats.writeBackMsgs.Add(1)
+		rt.trace(Event{Kind: EvWriteBackSent, Target: origin, Count: len(items)})
+		if reply.Err != "" {
+			return fmt.Errorf("end session: space %d rejected write-back: %s", origin, reply.Err)
+		}
+	}
+
+	// 2. Multicast the invalidation to the participating spaces.
+	for _, p := range parts {
+		rt.trace(Event{Kind: EvInvalidateSent, Target: p})
+		reply, err := rt.sendAndWait(wire.Message{
+			Kind:    wire.KindInvalidate,
+			Session: sess,
+			To:      p,
+			Payload: []byte{},
+		})
+		if err != nil {
+			return fmt.Errorf("end session: invalidate space %d: %w", p, err)
+		}
+		if reply.Err != "" {
+			return fmt.Errorf("end session: space %d rejected invalidate: %s", p, reply.Err)
+		}
+	}
+
+	// Local invalidation and session teardown.
+	rt.space.InvalidateCache()
+	rt.table.Invalidate()
+	rt.clearModified()
+	rt.trace(Event{Kind: EvSessionEnd})
+	rt.sessMu.Lock()
+	rt.sess = 0
+	rt.ground = false
+	rt.parts = make(map[uint32]bool)
+	rt.sessMu.Unlock()
+	return nil
+}
+
+// adoptSession joins an incoming message's session, enforcing the
+// single-session-at-a-time rule.
+func (rt *Runtime) adoptSession(sid uint64, from uint32) error {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	switch rt.sess {
+	case 0:
+		rt.sess = sid
+		rt.ground = false
+		rt.parts = map[uint32]bool{from: true}
+		return nil
+	case sid:
+		rt.parts[from] = true
+		return nil
+	default:
+		return fmt.Errorf("%w: active %#x, got %#x", ErrSessionBusy, rt.sess, sid)
+	}
+}
+
+// mergeParts folds a received participant set into the session state.
+func (rt *Runtime) mergeParts(parts []uint32) {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	for _, p := range parts {
+		if p != rt.id {
+			rt.parts[p] = true
+		}
+	}
+}
+
+// partsList snapshots the participant set (including self) for
+// piggybacking on Call/Return.
+func (rt *Runtime) partsList() []uint32 {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	out := make([]uint32, 0, len(rt.parts)+1)
+	out = append(out, rt.id)
+	for p := range rt.parts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Call invokes proc on the target space, blocking until the results come
+// back (§3.1: the calling thread is blocked; a thread on the callee
+// executes the procedure). Must run inside a session.
+func (rt *Runtime) Call(target uint32, proc string, args []Value) ([]Value, error) {
+	rt.sessMu.Lock()
+	sess := rt.sess
+	if sess == 0 {
+		rt.sessMu.Unlock()
+		return nil, ErrNoSession
+	}
+	rt.parts[target] = true
+	rt.sessMu.Unlock()
+
+	payload, err := rt.buildTransferPayload(sess, args)
+	if err != nil {
+		return nil, fmt.Errorf("call %s@%d: %w", proc, target, err)
+	}
+	rt.stats.callsSent.Add(1)
+	rt.trace(Event{Kind: EvCallSent, Target: target, Proc: proc})
+	reply, err := rt.sendAndWait(wire.Message{
+		Kind:    wire.KindCall,
+		Session: sess,
+		To:      target,
+		Proc:    proc,
+		Payload: payload.Encode(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("call %s@%d: %w", proc, target, err)
+	}
+	if reply.Err != "" {
+		// Error returns may still carry the callee's modified data set
+		// (writes made before the failure are not transactional).
+		if len(reply.Payload) > 0 {
+			if rp, derr := wire.DecodeCallPayload(reply.Payload); derr == nil {
+				rt.mergeParts(rp.Parts)
+				_ = rt.installItems(rp.Items)
+			}
+		}
+		return nil, fmt.Errorf("call %s@%d: remote: %s", proc, target, reply.Err)
+	}
+	rp, err := wire.DecodeCallPayload(reply.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("call %s@%d: decode return: %w", proc, target, err)
+	}
+	rt.mergeParts(rp.Parts)
+	if err := rt.installItems(rp.Items); err != nil {
+		return nil, fmt.Errorf("call %s@%d: install returned data: %w", proc, target, err)
+	}
+	return rt.argsToValues(rp.Args)
+}
+
+// buildTransferPayload assembles the outbound payload for a control
+// transfer: converted arguments, the piggybacked modified data set, the
+// eager closure (policy dependent), and the participant set. It first
+// flushes batched remote allocations (§3.5: "the batch operations are
+// performed when the activity of the thread moves to another address
+// space").
+func (rt *Runtime) buildTransferPayload(sess uint64, args []Value) (*wire.CallPayload, error) {
+	if err := rt.flushAllocBatches(sess); err != nil {
+		return nil, err
+	}
+	wireArgs := make([]wire.Arg, 0, len(args))
+	for _, v := range args {
+		a, err := rt.valueToArg(v)
+		if err != nil {
+			return nil, err
+		}
+		wireArgs = append(wireArgs, a)
+	}
+	var items []wire.DataItem
+	if rt.policy != PolicyLazy {
+		dirty, err := rt.collectDirtyItems()
+		if err != nil {
+			return nil, err
+		}
+		if rt.coherence == CoherenceWriteBack && len(dirty) > 0 {
+			// Ablation: send modifications home instead of along with the
+			// thread of control.
+			if err := rt.sendDirtyHome(sess, dirty); err != nil {
+				return nil, err
+			}
+		} else {
+			items = dirty
+		}
+		circulating, err := rt.modifiedSetItems()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, circulating...)
+	}
+	if rt.policy == PolicyEager {
+		closure, err := rt.eagerClosureFor(args)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, closure...)
+	}
+	return &wire.CallPayload{Args: wireArgs, Items: items, Parts: rt.partsList()}, nil
+}
+
+// modifiedSetItems encodes the current values of locally owned data that
+// was modified during this session, so the modified data set keeps
+// traveling with the thread of control (§3.4).
+func (rt *Runtime) modifiedSetItems() ([]wire.DataItem, error) {
+	rt.modMu.Lock()
+	lps := make([]wire.LongPtr, 0, len(rt.sessionModified))
+	for lp := range rt.sessionModified {
+		lps = append(lps, lp)
+	}
+	rt.modMu.Unlock()
+	if len(lps) == 0 {
+		return nil, nil
+	}
+	sort.Slice(lps, func(i, j int) bool {
+		if lps[i].Space != lps[j].Space {
+			return lps[i].Space < lps[j].Space
+		}
+		return lps[i].Addr < lps[j].Addr
+	})
+	items := make([]wire.DataItem, 0, len(lps))
+	for _, lp := range lps {
+		desc, err := rt.reg.Lookup(lp.Type)
+		if err != nil {
+			return nil, err
+		}
+		b, err := encodeObject(rt.space, rt.table, rt.reg, desc, lp.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("encode modified %v: %w", lp, err)
+		}
+		items = append(items, wire.DataItem{LP: lp, Dirty: true, Bytes: b})
+	}
+	return items, nil
+}
+
+// dropModified forgets session-modified tracking for lp (used when the
+// datum is freed mid-session).
+func (rt *Runtime) dropModified(lp wire.LongPtr) {
+	rt.modMu.Lock()
+	delete(rt.sessionModified, lp)
+	rt.modMu.Unlock()
+}
+
+// clearModified resets the session-modified set at session teardown.
+func (rt *Runtime) clearModified() {
+	rt.modMu.Lock()
+	rt.sessionModified = make(map[wire.LongPtr]bool)
+	rt.modMu.Unlock()
+}
+
+// sendDirtyHome implements the CoherenceWriteBack ablation.
+func (rt *Runtime) sendDirtyHome(sess uint64, dirty []wire.DataItem) error {
+	byOrigin := make(map[uint32][]wire.DataItem)
+	for _, it := range dirty {
+		it.Dirty = false // arriving home; no onward obligation
+		byOrigin[it.LP.Space] = append(byOrigin[it.LP.Space], it)
+	}
+	for origin, items := range byOrigin {
+		if origin == rt.id {
+			if err := rt.applyWriteBack(items); err != nil {
+				return err
+			}
+			continue
+		}
+		p := wire.ItemsPayload{Items: items}
+		reply, err := rt.sendAndWait(wire.Message{
+			Kind:    wire.KindWriteBack,
+			Session: sess,
+			To:      origin,
+			Payload: p.Encode(),
+		})
+		if err != nil {
+			return err
+		}
+		rt.stats.writeBackMsgs.Add(1)
+		if reply.Err != "" {
+			return fmt.Errorf("space %d rejected write-back: %s", origin, reply.Err)
+		}
+	}
+	return nil
+}
+
+// serveCall executes one incoming RPC request end to end.
+func (rt *Runtime) serveCall(m wire.Message) {
+	if err := rt.adoptSession(m.Session, m.From); err != nil {
+		rt.reply(m, wire.KindReturn, nil, err.Error())
+		return
+	}
+	p, err := wire.DecodeCallPayload(m.Payload)
+	if err != nil {
+		rt.reply(m, wire.KindReturn, nil, fmt.Sprintf("decode call: %v", err))
+		return
+	}
+	rt.mergeParts(p.Parts)
+	if err := rt.installItems(p.Items); err != nil {
+		rt.reply(m, wire.KindReturn, nil, fmt.Sprintf("install: %v", err))
+		return
+	}
+	args, err := rt.argsToValues(p.Args)
+	if err != nil {
+		rt.reply(m, wire.KindReturn, nil, fmt.Sprintf("swizzle args: %v", err))
+		return
+	}
+	rt.procsMu.RLock()
+	h, ok := rt.procs[m.Proc]
+	rt.procsMu.RUnlock()
+	if !ok {
+		rt.reply(m, wire.KindReturn, nil, fmt.Sprintf("%v: %q", ErrUnknownProc, m.Proc))
+		return
+	}
+	rt.stats.callsServed.Add(1)
+	rt.trace(Event{Kind: EvCallServed, Target: m.From, Proc: m.Proc})
+	results, err := h(&Ctx{rt: rt, from: m.From}, args)
+	if err != nil {
+		// The paper's model has no transactions: writes the handler made
+		// before failing already happened, so the modified data set still
+		// travels back with the (error) return rather than being lost if
+		// the session ends next.
+		out, perr := rt.buildTransferPayload(m.Session, nil)
+		if perr != nil {
+			rt.reply(m, wire.KindReturn, nil, err.Error())
+			return
+		}
+		rt.reply(m, wire.KindReturn, out.Encode(), err.Error())
+		return
+	}
+	out, err := rt.buildTransferPayload(m.Session, results)
+	if err != nil {
+		rt.reply(m, wire.KindReturn, nil, fmt.Sprintf("build return: %v", err))
+		return
+	}
+	rt.reply(m, wire.KindReturn, out.Encode(), "")
+}
+
+// serveInvalidate implements the end-of-session invalidation on a
+// participant: drop every cached page and table entry (§3.4).
+func (rt *Runtime) serveInvalidate(m wire.Message) {
+	rt.space.InvalidateCache()
+	rt.table.Invalidate()
+	rt.sessMu.Lock()
+	if rt.sess == m.Session {
+		rt.sess = 0
+		rt.ground = false
+		rt.parts = make(map[uint32]bool)
+	}
+	rt.sessMu.Unlock()
+	rt.allocMu.Lock()
+	rt.batch = make(map[uint32]*originBatch)
+	rt.allocMu.Unlock()
+	rt.clearModified()
+	rt.reply(m, wire.KindInvalidateAck, nil, "")
+}
+
+// collectDirtyItems encodes every object on a dirty cache page, clears the
+// dirty bits, and drops the pages back to read-only so later writes fault
+// again. This is the "modified data set" that travels with the thread of
+// control.
+func (rt *Runtime) collectDirtyItems() ([]wire.DataItem, error) {
+	pages := rt.space.DirtyPages()
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	dirtySet := make(map[uint32]bool, len(pages))
+	for _, pn := range pages {
+		dirtySet[pn] = true
+	}
+	// Encode every resident object whose span touches a dirty page. An
+	// object spanning pages may have been modified on any of them.
+	var items []wire.DataItem
+	for _, e := range rt.table.Entries() {
+		if !e.Resident {
+			continue
+		}
+		first := rt.space.PageOf(e.Addr)
+		last := rt.space.PageOf(e.Addr + vmem.VAddr(e.Size-1))
+		hit := false
+		for pn := first; pn <= last; pn++ {
+			if dirtySet[pn] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		desc, err := rt.reg.Lookup(e.LP.Type)
+		if err != nil {
+			return nil, err
+		}
+		b, err := encodeObject(rt.space, rt.table, rt.reg, desc, e.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("encode dirty %v: %w", e.LP, err)
+		}
+		items = append(items, wire.DataItem{LP: e.LP, Dirty: true, Bytes: b})
+	}
+	// The dirtiness obligation travels with the thread of control: clean
+	// the pages and drop writable pages to read-only so later writes
+	// fault again. Pages still awaiting data (ProtNone, e.g. a partially
+	// resident page that received a circulating modified item) must stay
+	// fully protected — raising them would expose zeroed neighbors.
+	for _, pn := range pages {
+		if err := rt.space.MarkDirty(pn, false); err != nil {
+			return nil, err
+		}
+		prot, err := rt.space.ProtOf(pn)
+		if err != nil {
+			return nil, err
+		}
+		if prot == vmem.ProtReadWrite {
+			if err := rt.space.SetProt(pn, vmem.ProtRead); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rt.stats.dirtyItemsSent.Add(uint64(len(items)))
+	rt.trace(Event{Kind: EvDirtyCollected, Count: len(items)})
+	return items, nil
+}
+
+// applyWriteBack installs items into locally owned heap objects: the
+// receiving half of the write-back path.
+func (rt *Runtime) applyWriteBack(items []wire.DataItem) error {
+	for _, it := range items {
+		if it.LP.Space != rt.id {
+			return fmt.Errorf("write-back for foreign datum %v", it.LP)
+		}
+		desc, err := rt.reg.Lookup(it.LP.Type)
+		if err != nil {
+			return err
+		}
+		if err := decodeObject(rt.space, rt.table, rt.reg, desc, it.LP.Addr, it.Bytes); err != nil {
+			return fmt.Errorf("apply write-back %v: %w", it.LP, err)
+		}
+	}
+	return nil
+}
+
+// serveWriteBack handles a write-back message from the ground runtime (or
+// from the CoherenceWriteBack ablation).
+func (rt *Runtime) serveWriteBack(m wire.Message) {
+	p, err := wire.DecodeItemsPayload(m.Payload)
+	if err != nil {
+		rt.reply(m, wire.KindWriteBackAck, nil, fmt.Sprintf("decode: %v", err))
+		return
+	}
+	if err := rt.applyWriteBack(p.Items); err != nil {
+		rt.reply(m, wire.KindWriteBackAck, nil, err.Error())
+		return
+	}
+	rt.reply(m, wire.KindWriteBackAck, nil, "")
+}
+
+// installItems caches incoming data items: the receiving half of fetch
+// replies and of the piggybacked modified data set. Items whose origin is
+// this space are applied directly to the heap (the modification has come
+// home). For the rest, the object's bytes are installed in its protected
+// page area slot; a page's protection is released only once every entry
+// on it is resident, and released pages are sealed against further
+// allocation so first accesses stay detectable.
+func (rt *Runtime) installItems(items []wire.DataItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	touched := make(map[uint32]bool)
+	dirtyPages := make(map[uint32]bool)
+	for _, it := range items {
+		if it.LP.Space == rt.id {
+			if err := rt.applyWriteBack([]wire.DataItem{it}); err != nil {
+				return err
+			}
+			if it.Dirty && rt.coherence == CoherencePiggyback {
+				// Keep the modification circulating until session end so
+				// spaces holding older cached copies see it on the next
+				// control transfer.
+				rt.modMu.Lock()
+				rt.sessionModified[it.LP] = true
+				rt.modMu.Unlock()
+			}
+			continue
+		}
+		addr, _, err := rt.table.Swizzle(it.LP)
+		if err != nil {
+			return err
+		}
+		desc, err := rt.reg.Lookup(it.LP.Type)
+		if err != nil {
+			return err
+		}
+		if err := decodeObject(rt.space, rt.table, rt.reg, desc, addr, it.Bytes); err != nil {
+			return fmt.Errorf("install %v: %w", it.LP, err)
+		}
+		rt.table.MarkResident(addr)
+		rt.stats.itemsInstalled.Add(1)
+		rt.stats.bytesInstalled.Add(uint64(len(it.Bytes)))
+		rt.trace(Event{Kind: EvInstall, LP: it.LP, Count: len(it.Bytes)})
+		e, _ := rt.table.LookupAddr(addr)
+		first := rt.space.PageOf(addr)
+		last := rt.space.PageOf(addr + vmem.VAddr(e.Size-1))
+		for pn := first; pn <= last; pn++ {
+			touched[pn] = true
+			if it.Dirty {
+				dirtyPages[pn] = true
+			}
+		}
+	}
+	pages := make([]uint32, 0, len(touched))
+	for pn := range touched {
+		pages = append(pages, pn)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pn := range pages {
+		if dirtyPages[pn] {
+			if err := rt.space.MarkDirty(pn, true); err != nil {
+				return err
+			}
+		}
+		prot, err := rt.space.ProtOf(pn)
+		if err != nil {
+			return err
+		}
+		if prot != vmem.ProtNone {
+			continue // already released earlier
+		}
+		if !rt.table.AllResident(pn) {
+			continue // neighbors still missing; keep the page protected
+		}
+		newProt := vmem.ProtRead
+		if dirtyPages[pn] {
+			newProt = vmem.ProtReadWrite
+		}
+		if err := rt.space.SetProt(pn, newProt); err != nil {
+			return err
+		}
+		rt.table.Seal(pn)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceEventSequence(t *testing.T) {
+	caller, callee := pair(t, nil)
+	callerTr := &RecordingTracer{}
+	calleeTr := &RecordingTracer{}
+	caller.SetTracer(callerTr)
+	callee.SetTracer(calleeTr)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 5)
+	sessionCall(t, caller, 2, "sumTree", root)
+
+	// Caller side: session bracketed, one call, fetches served.
+	if callerTr.Count(EvSessionBegin) != 1 || callerTr.Count(EvSessionEnd) != 1 {
+		t.Errorf("caller session events: begin=%d end=%d",
+			callerTr.Count(EvSessionBegin), callerTr.Count(EvSessionEnd))
+	}
+	if callerTr.Count(EvCallSent) != 1 {
+		t.Errorf("caller call-sent = %d", callerTr.Count(EvCallSent))
+	}
+	if callerTr.Count(EvFetchServed) == 0 {
+		t.Error("caller served no fetches in trace")
+	}
+	if callerTr.Count(EvInvalidateSent) != 1 {
+		t.Errorf("caller invalidate-sent = %d", callerTr.Count(EvInvalidateSent))
+	}
+	// Callee side: one call served, faults and fetches and installs.
+	if calleeTr.Count(EvCallServed) != 1 {
+		t.Errorf("callee call-served = %d", calleeTr.Count(EvCallServed))
+	}
+	for _, k := range []EventKind{EvFault, EvFetchSent, EvInstall} {
+		if calleeTr.Count(k) == 0 {
+			t.Errorf("callee trace missing %v events", k)
+		}
+	}
+	// Event ordering sanity: first event is the served call, faults come
+	// before their fetches.
+	evs := calleeTr.Events()
+	if evs[0].Kind != EvCallServed {
+		t.Errorf("callee first event = %v", evs[0].Kind)
+	}
+	firstFault, firstFetch := -1, -1
+	for i, e := range evs {
+		if e.Kind == EvFault && firstFault < 0 {
+			firstFault = i
+		}
+		if e.Kind == EvFetchSent && firstFetch < 0 {
+			firstFetch = i
+		}
+	}
+	if firstFault < 0 || firstFetch < 0 || firstFault > firstFetch {
+		t.Errorf("fault (%d) must precede fetch (%d)", firstFault, firstFetch)
+	}
+}
+
+func TestTraceUpdateEmitsDirtyAndWriteBack(t *testing.T) {
+	caller, callee := pair(t, nil)
+	calleeTr := &RecordingTracer{}
+	callerTr := &RecordingTracer{}
+	callee.SetTracer(calleeTr)
+	caller.SetTracer(callerTr)
+	err := callee.Register("set", func(ctx *Ctx, args []Value) ([]Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, ref.SetInt("data", 0, 9)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := buildTree(t, caller, 1)
+	sessionCall(t, caller, 2, "set", root)
+	if calleeTr.Count(EvDirtyCollected) == 0 {
+		t.Error("no dirty-collected event on callee")
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var sb strings.Builder
+	tr := NewWriterTracer(&sb)
+	tr.Trace(Event{Kind: EvFault, Space: 2, Page: 7})
+	tr.Trace(Event{Kind: EvCallSent, Space: 1, Target: 2, Proc: "x"})
+	out := sb.String()
+	if !strings.Contains(out, "fault page=7") || !strings.Contains(out, "call-sent x peer=2") {
+		t.Errorf("writer output:\n%s", out)
+	}
+}
+
+func TestRecordingTracerReset(t *testing.T) {
+	tr := &RecordingTracer{}
+	tr.Trace(Event{Kind: EvFault})
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("events survive reset")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvSessionBegin.String() != "session-begin" || EvAllocFlush.String() != "alloc-flush" {
+		t.Error("EventKind.String mismatch")
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Error("unknown kind rendering")
+	}
+}
+
+func TestTraceAllocFlush(t *testing.T) {
+	caller, callee := pair(t, nil)
+	calleeTr := &RecordingTracer{}
+	callee.SetTracer(calleeTr)
+	err := callee.Register("mk", func(ctx *Ctx, args []Value) ([]Value, error) {
+		v, err := ctx.Runtime().ExtendedMalloc(ctx.Caller(), nodeType)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{v}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessionCall(t, caller, 2, "mk")
+	if calleeTr.Count(EvAllocFlush) != 1 {
+		t.Errorf("alloc-flush events = %d, want 1", calleeTr.Count(EvAllocFlush))
+	}
+}

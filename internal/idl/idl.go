@@ -1,0 +1,525 @@
+// Package idl implements the interface definition language of the stub
+// generator (cmd/srpcgen).
+//
+// The paper's system, like every RPC system of its generation, relies on
+// generated stubs: the programmer declares data types and remote
+// interfaces, and the generator emits the code that unswizzles pointers
+// on the caller side, swizzles them on the callee side, and converts
+// representations. The IDL here is deliberately small:
+//
+//	// a comment
+//	type TreeNode struct {
+//	    left  *TreeNode
+//	    right *TreeNode
+//	    data  int64
+//	    pad   [4]uint8
+//	}
+//
+//	interface TreeService {
+//	    search(root *TreeNode, budget int64) (visited int64, sum int64)
+//	    touch(root *TreeNode) ()
+//	}
+//
+// Struct fields may be scalars, fixed-size arrays of scalars, or pointers
+// to declared types. Method parameters and results are scalars (int64,
+// uint64, float64, bool) or pointers. Type IDs are assigned in
+// declaration order starting at 1.
+package idl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"smartrpc/internal/types"
+)
+
+// File is a parsed IDL file.
+type File struct {
+	// Types lists struct declarations in order.
+	Types []*TypeDecl
+	// Interfaces lists interface declarations in order.
+	Interfaces []*InterfaceDecl
+}
+
+// TypeDecl is one struct declaration.
+type TypeDecl struct {
+	Name   string
+	ID     types.ID
+	Doc    string // comment block directly above the declaration
+	Fields []FieldDecl
+}
+
+// FieldDecl is one struct member.
+type FieldDecl struct {
+	Name  string
+	Kind  types.Kind
+	Elem  string // pointee type name for pointers
+	Count int    // fixed array length; 0 = scalar
+}
+
+// InterfaceDecl is one remote interface.
+type InterfaceDecl struct {
+	Name    string
+	Doc     string // comment block directly above the declaration
+	Methods []MethodDecl
+}
+
+// MethodDecl is one remote procedure.
+type MethodDecl struct {
+	Name    string
+	Doc     string // comment block directly above the declaration
+	Params  []ParamDecl
+	Results []ParamDecl
+}
+
+// ParamDecl is one parameter or result.
+type ParamDecl struct {
+	Name string
+	Kind types.Kind
+	Elem string // pointee type name for pointers
+}
+
+var scalarKinds = map[string]types.Kind{
+	"int8": types.Int8, "uint8": types.Uint8,
+	"int16": types.Int16, "uint16": types.Uint16,
+	"int32": types.Int32, "uint32": types.Uint32,
+	"int64": types.Int64, "uint64": types.Uint64,
+	"float32": types.Float32, "float64": types.Float64,
+	"bool": types.Bool,
+}
+
+var methodScalarKinds = map[types.Kind]bool{
+	types.Int64: true, types.Uint64: true, types.Float64: true, types.Bool: true,
+}
+
+// SyntaxError reports a parse failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error renders the failure.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("idl: line %d: %s", e.Line, e.Msg)
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNumber
+	tokPunct // one of * ( ) { } [ ] ,
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	// pendingDoc accumulates // comment lines immediately preceding the
+	// next token; a blank line clears it (Go doc-comment convention).
+	pendingDoc []string
+	lastLine   int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+// takeDoc consumes the doc-comment block accumulated before the current
+// token, if it ended on the line directly above.
+func (l *lexer) takeDoc(declLine int) string {
+	if len(l.pendingDoc) == 0 {
+		return ""
+	}
+	if l.lastLine+len(l.pendingDoc) != declLine {
+		l.pendingDoc = nil
+		return ""
+	}
+	doc := strings.Join(l.pendingDoc, "\n")
+	l.pendingDoc = nil
+	return doc
+}
+
+func (l *lexer) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			// A blank line between a comment block and the next token
+			// detaches the block (it is not a doc comment). The block
+			// occupies lines [lastLine, lastLine+len); a newline seen on
+			// any later line is a blank separator.
+			if len(l.pendingDoc) > 0 && l.line >= l.lastLine+len(l.pendingDoc) {
+				l.pendingDoc = nil
+			}
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			start := l.pos + 2
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			if len(l.pendingDoc) == 0 {
+				l.lastLine = l.line
+			}
+			l.pendingDoc = append(l.pendingDoc, strings.TrimSpace(l.src[start:l.pos]))
+		case strings.ContainsRune("*(){}[],", rune(c)):
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) {
+				r := rune(l.src[l.pos])
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+					break
+				}
+				l.pos++
+			}
+			return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+		default:
+			return token{}, l.errf("unexpected character %q", c)
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+// --- parser ---
+
+type parser struct {
+	lex  *lexer
+	tok  token
+	file *File
+}
+
+// Parse parses IDL source.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src), file: &File{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.tok.kind == tokIdent && p.tok.text == "type":
+			if err := p.parseType(); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "interface":
+			if err := p.parseInterface(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected 'type' or 'interface', got %q", p.tok.text)
+		}
+	}
+	if err := p.file.validate(); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+func (p *parser) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, got %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseType() error {
+	doc := p.lex.takeDoc(p.tok.line)
+	if err := p.advance(); err != nil { // consume 'type'
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	kw, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if kw != "struct" {
+		return p.errf("expected 'struct' after type name, got %q", kw)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	decl := &TypeDecl{Name: name, ID: types.ID(len(p.file.Types) + 1), Doc: doc}
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		f, err := p.parseField()
+		if err != nil {
+			return err
+		}
+		decl.Fields = append(decl.Fields, f)
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return err
+	}
+	p.file.Types = append(p.file.Types, decl)
+	return nil
+}
+
+func (p *parser) parseField() (FieldDecl, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return FieldDecl{}, err
+	}
+	f := FieldDecl{Name: name}
+	// Optional fixed array prefix: [N]
+	if p.tok.kind == tokPunct && p.tok.text == "[" {
+		if err := p.advance(); err != nil {
+			return FieldDecl{}, err
+		}
+		if p.tok.kind != tokNumber {
+			return FieldDecl{}, p.errf("expected array length, got %q", p.tok.text)
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n <= 0 {
+			return FieldDecl{}, p.errf("bad array length %q", p.tok.text)
+		}
+		f.Count = n
+		if err := p.advance(); err != nil {
+			return FieldDecl{}, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return FieldDecl{}, err
+		}
+	}
+	kind, elem, err := p.parseValueType()
+	if err != nil {
+		return FieldDecl{}, err
+	}
+	f.Kind = kind
+	f.Elem = elem
+	return f, nil
+}
+
+// parseValueType parses a scalar name or "*Type".
+func (p *parser) parseValueType() (types.Kind, string, error) {
+	if p.tok.kind == tokPunct && p.tok.text == "*" {
+		if err := p.advance(); err != nil {
+			return 0, "", err
+		}
+		elem, err := p.expectIdent()
+		if err != nil {
+			return 0, "", err
+		}
+		return types.Ptr, elem, nil
+	}
+	if p.tok.kind != tokIdent {
+		return 0, "", p.errf("expected type, got %q", p.tok.text)
+	}
+	k, ok := scalarKinds[p.tok.text]
+	if !ok {
+		return 0, "", p.errf("unknown scalar type %q (pointers are written *Name)", p.tok.text)
+	}
+	return k, "", p.advance()
+}
+
+func (p *parser) parseInterface() error {
+	doc := p.lex.takeDoc(p.tok.line)
+	if err := p.advance(); err != nil { // consume 'interface'
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	decl := &InterfaceDecl{Name: name, Doc: doc}
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		m, err := p.parseMethod()
+		if err != nil {
+			return err
+		}
+		decl.Methods = append(decl.Methods, m)
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return err
+	}
+	p.file.Interfaces = append(p.file.Interfaces, decl)
+	return nil
+}
+
+func (p *parser) parseMethod() (MethodDecl, error) {
+	doc := p.lex.takeDoc(p.tok.line)
+	name, err := p.expectIdent()
+	if err != nil {
+		return MethodDecl{}, err
+	}
+	m := MethodDecl{Name: name, Doc: doc}
+	if m.Params, err = p.parseParamList(); err != nil {
+		return MethodDecl{}, err
+	}
+	if p.tok.kind == tokPunct && p.tok.text == "(" {
+		if m.Results, err = p.parseParamList(); err != nil {
+			return MethodDecl{}, err
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseParamList() ([]ParamDecl, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []ParamDecl
+	for !(p.tok.kind == tokPunct && p.tok.text == ")") {
+		if len(out) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		kind, elem, err := p.parseValueType()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParamDecl{Name: name, Kind: kind, Elem: elem})
+	}
+	return out, p.expectPunct(")")
+}
+
+// --- semantic checks and conversion ---
+
+func (f *File) validate() error {
+	typeByName := make(map[string]*TypeDecl, len(f.Types))
+	for _, t := range f.Types {
+		if _, dup := typeByName[t.Name]; dup {
+			return fmt.Errorf("idl: duplicate type %q", t.Name)
+		}
+		typeByName[t.Name] = t
+		if len(t.Fields) == 0 {
+			return fmt.Errorf("idl: type %q has no fields", t.Name)
+		}
+		seen := make(map[string]bool, len(t.Fields))
+		for _, fd := range t.Fields {
+			if seen[fd.Name] {
+				return fmt.Errorf("idl: type %q: duplicate field %q", t.Name, fd.Name)
+			}
+			seen[fd.Name] = true
+		}
+	}
+	for _, t := range f.Types {
+		for _, fd := range t.Fields {
+			if fd.Kind == types.Ptr {
+				if _, ok := typeByName[fd.Elem]; !ok {
+					return fmt.Errorf("idl: type %q field %q points to unknown type %q", t.Name, fd.Name, fd.Elem)
+				}
+				if fd.Count > 0 {
+					// Pointer arrays are legal in the descriptor model;
+					// allow them.
+					continue
+				}
+			}
+		}
+	}
+	ifaceByName := make(map[string]bool, len(f.Interfaces))
+	for _, i := range f.Interfaces {
+		if ifaceByName[i.Name] {
+			return fmt.Errorf("idl: duplicate interface %q", i.Name)
+		}
+		ifaceByName[i.Name] = true
+		if len(i.Methods) == 0 {
+			return fmt.Errorf("idl: interface %q has no methods", i.Name)
+		}
+		mseen := make(map[string]bool, len(i.Methods))
+		for _, m := range i.Methods {
+			if mseen[m.Name] {
+				return fmt.Errorf("idl: interface %q: duplicate method %q", i.Name, m.Name)
+			}
+			mseen[m.Name] = true
+			for _, p := range append(append([]ParamDecl(nil), m.Params...), m.Results...) {
+				if p.Kind == types.Ptr {
+					if _, ok := typeByName[p.Elem]; !ok {
+						return fmt.Errorf("idl: %s.%s: unknown pointee %q", i.Name, m.Name, p.Elem)
+					}
+					continue
+				}
+				if !methodScalarKinds[p.Kind] {
+					return fmt.Errorf("idl: %s.%s: parameter %q: method scalars are int64, uint64, float64, bool",
+						i.Name, m.Name, p.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TypeID returns the declared ID of a named type (0 if absent).
+func (f *File) TypeID(name string) types.ID {
+	for _, t := range f.Types {
+		if t.Name == name {
+			return t.ID
+		}
+	}
+	return 0
+}
+
+// Descriptors converts the parsed types into registry descriptors.
+func (f *File) Descriptors() ([]*types.Desc, error) {
+	out := make([]*types.Desc, 0, len(f.Types))
+	for _, t := range f.Types {
+		d := &types.Desc{ID: t.ID, Name: t.Name}
+		for _, fd := range t.Fields {
+			fld := types.Field{Name: fd.Name, Kind: fd.Kind, Count: fd.Count}
+			if fd.Kind == types.Ptr {
+				fld.Elem = f.TypeID(fd.Elem)
+			}
+			d.Fields = append(d.Fields, fld)
+		}
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

@@ -1,0 +1,347 @@
+package idl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	goparser "go/parser"
+	gotoken "go/token"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"smartrpc/internal/types"
+)
+
+const sampleIDL = `
+// The paper's tree workload.
+type TreeNode struct {
+    left  *TreeNode
+    right *TreeNode
+    data  int64
+}
+
+type Blob struct {
+    tag  uint32
+    pay  [8]uint8
+    next *Blob
+    refs [2]*TreeNode
+    w    float64
+    flag bool
+}
+
+interface TreeService {
+    search(root *TreeNode, budget int64) (visited int64, sum int64)
+    touch(root *TreeNode) ()
+    describe(x float64, ok bool, n uint64) (out float64)
+}
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Types) != 2 || len(f.Interfaces) != 1 {
+		t.Fatalf("parsed %d types, %d interfaces", len(f.Types), len(f.Interfaces))
+	}
+	tree := f.Types[0]
+	if tree.Name != "TreeNode" || tree.ID != 1 {
+		t.Errorf("first type = %q id %d", tree.Name, tree.ID)
+	}
+	if tree.Fields[0].Kind != types.Ptr || tree.Fields[0].Elem != "TreeNode" {
+		t.Errorf("left field = %+v", tree.Fields[0])
+	}
+	blob := f.Types[1]
+	if blob.Fields[1].Count != 8 || blob.Fields[1].Kind != types.Uint8 {
+		t.Errorf("pay field = %+v", blob.Fields[1])
+	}
+	if blob.Fields[3].Count != 2 || blob.Fields[3].Kind != types.Ptr {
+		t.Errorf("refs field = %+v", blob.Fields[3])
+	}
+	svc := f.Interfaces[0]
+	if len(svc.Methods) != 3 {
+		t.Fatalf("methods = %d", len(svc.Methods))
+	}
+	search := svc.Methods[0]
+	if len(search.Params) != 2 || len(search.Results) != 2 {
+		t.Errorf("search signature = %+v", search)
+	}
+	if svc.Methods[1].Results != nil && len(svc.Methods[1].Results) != 0 {
+		t.Errorf("touch should have no results: %+v", svc.Methods[1].Results)
+	}
+}
+
+func TestDescriptors(t *testing.T) {
+	f, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	descs, err := f.Descriptors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := types.NewRegistry()
+	for _, d := range descs {
+		if err := reg.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := reg.LookupName("TreeNode")
+	if err != nil || d.ID != 1 {
+		t.Errorf("TreeNode = %+v, %v", d, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"garbage", "what is this", "expected 'type' or 'interface'"},
+		{"unknown scalar", "type T struct { x int27 }", "unknown scalar"},
+		{"dangling pointer", "type T struct { p *Missing }", "unknown type"},
+		{"empty struct", "type T struct { }", "no fields"},
+		{"dup type", "type T struct { x int64 }\ntype T struct { x int64 }", "duplicate type"},
+		{"dup field", "type T struct { x int64 x int32 }", "duplicate field"},
+		{"empty iface", "interface I { }", "no methods"},
+		{"dup method", "type T struct { x int64 }\ninterface I { m(p *T) () m(p *T) () }", "duplicate method"},
+		{"bad method scalar", "interface I { m(x int8) () }", "method scalars"},
+		{"unknown pointee", "interface I { m(x *Nope) () }", "unknown pointee"},
+		{"bad array len", "type T struct { x [0]int64 }", "bad array length"},
+		{"bad char", "type T struct { x int64 } $", "unexpected character"},
+		{"missing brace", "type T struct { x int64", "expected"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: parse succeeded", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSyntaxErrorHasLine(t *testing.T) {
+	_, err := Parse("type T struct {\n  x int64\n  y nosuch\n}")
+	var serr *SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if serr.Line != 3 {
+		t.Errorf("line = %d, want 3", serr.Line)
+	}
+}
+
+func TestGenerateParsesAsGo(t *testing.T) {
+	f, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(f, "stubs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := gotoken.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, code)
+	}
+	for _, want := range []string{
+		"func RegisterTypes(reg *srpc.Registry) error",
+		"type TreeNodeRef struct",
+		"func DerefTreeNode(rt *srpc.Runtime, v srpc.Value) (TreeNodeRef, error)",
+		"func (r TreeNodeRef) Left() (srpc.Value, error)",
+		"func (r TreeNodeRef) SetData(v int64) error",
+		"func (r BlobRef) Pay(i int) (uint8, error)",
+		"func (r BlobRef) Refs(i int) (srpc.Value, error)",
+		"type TreeServiceClient struct",
+		"func (c TreeServiceClient) Search(root srpc.Value, budget int64) (visited int64, sum int64, err error)",
+		"type TreeServiceServer interface",
+		"func RegisterTreeServiceServer(rt *srpc.Runtime, impl TreeServiceServer) error",
+		`"TreeService.search"`,
+	} {
+		if !strings.Contains(string(code), want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateComments(t *testing.T) {
+	f, err := Parse("type N struct { v int64 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(f, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(code), "// Code generated by srpcgen. DO NOT EDIT.") {
+		t.Error("missing generated-code header")
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	src := "// leading\n\ntype   A\tstruct {\n// inner comment\n x int64 // trailing\n}\n"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Types) != 1 || f.Types[0].Name != "A" {
+		t.Errorf("parsed %+v", f.Types)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `
+type A struct { b *B }
+type B struct { a *A }
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	descs, err := f.Descriptors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if descs[0].Fields[0].Elem != 2 || descs[1].Fields[0].Elem != 1 {
+		t.Errorf("mutual recursion IDs wrong: %+v %+v", descs[0], descs[1])
+	}
+}
+
+// TestGentreeStubsInSync regenerates the stubs for the committed example
+// IDL and verifies the checked-in file matches (golden test): if the
+// generator changes, `go run ./cmd/srpcgen -in examples/gentree/tree.idl
+// -pkg treegen -out examples/gentree/treegen/gen.go` must be re-run.
+func TestGentreeStubsInSync(t *testing.T) {
+	src, err := os.ReadFile("../../examples/gentree/tree.idl")
+	if err != nil {
+		t.Skipf("example IDL not found: %v", err)
+	}
+	f, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Generate(f, "treegen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("../../examples/gentree/treegen/gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("examples/gentree/treegen/gen.go is stale; re-run srpcgen")
+	}
+}
+
+// Property: arbitrary schemas drawn from a small grammar parse, convert
+// to descriptors, and generate syntactically valid Go.
+func TestQuickGenerateValidGo(t *testing.T) {
+	kinds := []string{"int8", "uint8", "int16", "uint16", "int32", "uint32",
+		"int64", "uint64", "float32", "float64", "bool"}
+	f := func(shape []uint8) bool {
+		if len(shape) == 0 {
+			return true
+		}
+		var sb strings.Builder
+		nTypes := int(shape[0])%3 + 1
+		for ti := 0; ti < nTypes; ti++ {
+			fmt.Fprintf(&sb, "type T%d struct {\n", ti)
+			nFields := 1
+			if len(shape) > ti+1 {
+				nFields = int(shape[ti+1])%4 + 1
+			}
+			for fi := 0; fi < nFields; fi++ {
+				sel := 0
+				if len(shape) > ti+fi+2 {
+					sel = int(shape[ti+fi+2])
+				}
+				if sel%5 == 0 {
+					fmt.Fprintf(&sb, "  p%d *T%d\n", fi, sel%nTypes)
+				} else if sel%7 == 1 {
+					fmt.Fprintf(&sb, "  a%d [%d]%s\n", fi, sel%6+1, kinds[sel%len(kinds)])
+				} else {
+					fmt.Fprintf(&sb, "  f%d %s\n", fi, kinds[sel%len(kinds)])
+				}
+			}
+			fmt.Fprintf(&sb, "}\n")
+		}
+		sb.WriteString("interface Svc { run(x int64, p *T0) (y int64) }\n")
+		file, err := Parse(sb.String())
+		if err != nil {
+			return false
+		}
+		if _, err := file.Descriptors(); err != nil {
+			return false
+		}
+		code, err := Generate(file, "p")
+		if err != nil {
+			return false
+		}
+		fset := gotoken.NewFileSet()
+		_, err = goparser.ParseFile(fset, "g.go", code, 0)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDocCommentsFlowIntoGeneratedCode(t *testing.T) {
+	src := `
+// A TreeNode is one element of the search tree.
+// Sixteen bytes on the paper's SPARC.
+type TreeNode struct { data int64 }
+
+// TreeService searches trees.
+interface TreeService {
+    // search walks the tree depth-first.
+    search(budget int64) (visited int64)
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Types[0].Doc != "A TreeNode is one element of the search tree.\nSixteen bytes on the paper's SPARC." {
+		t.Errorf("type doc = %q", f.Types[0].Doc)
+	}
+	if f.Interfaces[0].Doc != "TreeService searches trees." {
+		t.Errorf("interface doc = %q", f.Interfaces[0].Doc)
+	}
+	if f.Interfaces[0].Methods[0].Doc != "search walks the tree depth-first." {
+		t.Errorf("method doc = %q", f.Interfaces[0].Methods[0].Doc)
+	}
+	code, err := Generate(f, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"// A TreeNode is one element of the search tree.\n// Sixteen bytes on the paper's SPARC.\ntype TreeNodeRef struct",
+		"// TreeService searches trees.\ntype TreeServiceClient struct",
+		"// search walks the tree depth-first.\nfunc (c TreeServiceClient) Search",
+	} {
+		if !strings.Contains(string(code), want) {
+			t.Errorf("generated code missing doc block %q", want)
+		}
+	}
+}
+
+func TestDetachedCommentNotADoc(t *testing.T) {
+	src := "// floating remark\n\ntype T struct { x int64 }"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Types[0].Doc != "" {
+		t.Errorf("detached comment attached as doc: %q", f.Types[0].Doc)
+	}
+}

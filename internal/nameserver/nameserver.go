@@ -1,0 +1,442 @@
+// Package nameserver implements the type database service the paper
+// assumes: "the system can obtain an actual data structure from a data
+// type specifier by querying a database that serves as a network name
+// server" (§3.2).
+//
+// A Server is attached to a transport node and answers type-lookup
+// requests from its authoritative registry. A Client wraps a local
+// registry; lookups that miss locally are resolved over the network and
+// cached, so independently started processes (e.g. the TCP deployment)
+// need only agree on the name server's address, not on a shared schema
+// object.
+//
+// The lookup protocol deliberately reuses the runtime's message framing
+// but lives outside RPC sessions: type resolution can happen while a
+// session is in progress (a fetch may reference a type the space has
+// never seen).
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smartrpc/internal/transport"
+	"smartrpc/internal/types"
+	"smartrpc/internal/wire"
+	"smartrpc/internal/xdr"
+)
+
+// Procedure names served by the type database.
+const (
+	lookupByIDProc   = "_typedb.lookupID"
+	lookupByNameProc = "_typedb.lookupName"
+	registerProc     = "_typedb.register"
+	listProc         = "_typedb.list"
+)
+
+// ErrClosed is returned by operations on a closed client or server.
+var ErrClosed = errors.New("nameserver: closed")
+
+// encodeDesc serializes a descriptor canonically.
+func encodeDesc(e *xdr.Encoder, d *types.Desc) {
+	e.PutUint32(uint32(d.ID))
+	e.PutString(d.Name)
+	e.PutUint32(uint32(len(d.Fields)))
+	for _, f := range d.Fields {
+		e.PutString(f.Name)
+		e.PutUint32(uint32(f.Kind))
+		e.PutUint32(uint32(f.Elem))
+		e.PutUint32(uint32(f.Count))
+	}
+}
+
+// decodeDesc parses a descriptor.
+func decodeDesc(dec *xdr.Decoder) (*types.Desc, error) {
+	id, err := dec.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	name, err := dec.String()
+	if err != nil {
+		return nil, err
+	}
+	n, err := dec.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<12 {
+		return nil, fmt.Errorf("nameserver: field count %d out of range", n)
+	}
+	d := &types.Desc{ID: types.ID(id), Name: name, Fields: make([]types.Field, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		var f types.Field
+		if f.Name, err = dec.String(); err != nil {
+			return nil, err
+		}
+		k, err := dec.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		f.Kind = types.Kind(k)
+		e, err := dec.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		f.Elem = types.ID(e)
+		c, err := dec.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		f.Count = int(c)
+		d.Fields = append(d.Fields, f)
+	}
+	return d, d.Validate()
+}
+
+// Server is the authoritative type database attached to a network node.
+type Server struct {
+	node transport.Node
+	reg  *types.Registry
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewServer starts a type database service on node, serving from reg.
+// Additional types may be registered on reg while the server runs.
+func NewServer(node transport.Node, reg *types.Registry) *Server {
+	s := &Server{
+		node: node,
+		reg:  reg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// Registry returns the authoritative registry.
+func (s *Server) Registry() *types.Registry { return s.reg }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		_ = s.node.Close()
+		<-s.done
+	})
+	return nil
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		m, err := s.node.Recv()
+		if err != nil {
+			return
+		}
+		if m.Kind != wire.KindCall {
+			continue // the type database only serves lookups
+		}
+		s.serve(m)
+	}
+}
+
+func (s *Server) serve(m wire.Message) {
+	reply := func(payload []byte, errStr string) {
+		if payload == nil {
+			payload = []byte{}
+		}
+		_ = s.node.Send(wire.Message{
+			Kind:    wire.KindReturn,
+			Session: m.Session,
+			Seq:     m.Seq,
+			To:      m.From,
+			Err:     errStr,
+			Payload: payload,
+		})
+	}
+	dec := xdr.NewDecoder(m.Payload)
+	switch m.Proc {
+	case lookupByIDProc:
+		id, err := dec.Uint32()
+		if err != nil {
+			reply(nil, err.Error())
+			return
+		}
+		d, err := s.reg.Lookup(types.ID(id))
+		if err != nil {
+			reply(nil, err.Error())
+			return
+		}
+		enc := xdr.NewEncoder(64)
+		encodeDesc(enc, d)
+		reply(enc.Bytes(), "")
+	case lookupByNameProc:
+		name, err := dec.String()
+		if err != nil {
+			reply(nil, err.Error())
+			return
+		}
+		d, err := s.reg.LookupName(name)
+		if err != nil {
+			reply(nil, err.Error())
+			return
+		}
+		enc := xdr.NewEncoder(64)
+		encodeDesc(enc, d)
+		reply(enc.Bytes(), "")
+	case registerProc:
+		d, err := decodeDesc(dec)
+		if err != nil {
+			reply(nil, err.Error())
+			return
+		}
+		if err := s.reg.Register(d); err != nil {
+			// Idempotent registration of an identical schema is fine.
+			if existing, lerr := s.reg.Lookup(d.ID); lerr == nil && sameDesc(existing, d) {
+				reply(nil, "")
+				return
+			}
+			reply(nil, err.Error())
+			return
+		}
+		reply(nil, "")
+	case listProc:
+		names := s.reg.Names()
+		enc := xdr.NewEncoder(16 * len(names))
+		enc.PutUint32(uint32(len(names)))
+		for _, n := range names {
+			enc.PutString(n)
+		}
+		reply(enc.Bytes(), "")
+	default:
+		reply(nil, fmt.Sprintf("nameserver: unknown procedure %q", m.Proc))
+	}
+}
+
+// sameDesc reports structural equality of two descriptors.
+func sameDesc(a, b *types.Desc) bool {
+	if a.ID != b.ID || a.Name != b.Name || len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Fields {
+		if a.Fields[i] != b.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Client resolves types against a remote Server, caching them in a local
+// registry that the Smart RPC runtime shares. It owns its transport node.
+type Client struct {
+	node   transport.Node
+	server uint32
+	local  *types.Registry
+	seq    atomic.Uint64
+
+	mu        sync.Mutex
+	pending   map[uint64]chan wire.Message
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewClient creates a resolver talking to the server space over node.
+// local is the registry the runtime uses; resolved types are registered
+// into it.
+func NewClient(node transport.Node, server uint32, local *types.Registry) *Client {
+	c := &Client{
+		node:    node,
+		server:  server,
+		local:   local,
+		pending: make(map[uint64]chan wire.Message),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.stop)
+		_ = c.node.Close()
+		<-c.done
+		c.mu.Lock()
+		for seq, ch := range c.pending {
+			close(ch)
+			delete(c.pending, seq)
+		}
+		c.mu.Unlock()
+	})
+	return nil
+}
+
+func (c *Client) loop() {
+	defer close(c.done)
+	for {
+		m, err := c.node.Recv()
+		if err != nil {
+			return
+		}
+		if m.Kind != wire.KindReturn {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.Seq]
+		if ok {
+			delete(c.pending, m.Seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+func (c *Client) call(proc string, payload []byte) (wire.Message, error) {
+	seq := c.seq.Add(1)
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	c.pending[seq] = ch
+	c.mu.Unlock()
+	err := c.node.Send(wire.Message{
+		Kind:    wire.KindCall,
+		Seq:     seq,
+		To:      c.server,
+		Proc:    proc,
+		Payload: payload,
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return wire.Message{}, err
+	}
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return wire.Message{}, ErrClosed
+		}
+		if m.Err != "" {
+			return wire.Message{}, fmt.Errorf("nameserver: %s", m.Err)
+		}
+		return m, nil
+	case <-c.stop:
+		return wire.Message{}, ErrClosed
+	}
+}
+
+// Resolve fetches type id (with its transitive pointer element types) from
+// the server and registers everything missing into the local registry.
+func (c *Client) Resolve(id types.ID) (*types.Desc, error) {
+	if d, err := c.local.Lookup(id); err == nil {
+		return d, nil
+	}
+	queue := []types.ID{id}
+	seen := map[types.ID]bool{}
+	for len(queue) > 0 {
+		next := queue[0]
+		queue = queue[1:]
+		if seen[next] {
+			continue
+		}
+		seen[next] = true
+		if _, err := c.local.Lookup(next); err == nil {
+			continue
+		}
+		enc := xdr.NewEncoder(8)
+		enc.PutUint32(uint32(next))
+		m, err := c.call(lookupByIDProc, enc.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		d, err := decodeDesc(xdr.NewDecoder(m.Payload))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.local.Register(d); err != nil {
+			return nil, err
+		}
+		for _, f := range d.Fields {
+			if f.Kind == types.Ptr {
+				queue = append(queue, f.Elem)
+			}
+		}
+	}
+	return c.local.Lookup(id)
+}
+
+// ResolveName fetches a type by name, with its transitive closure.
+func (c *Client) ResolveName(name string) (*types.Desc, error) {
+	if d, err := c.local.LookupName(name); err == nil {
+		return d, nil
+	}
+	enc := xdr.NewEncoder(16 + len(name))
+	enc.PutString(name)
+	m, err := c.call(lookupByNameProc, enc.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d, err := decodeDesc(xdr.NewDecoder(m.Payload))
+	if err != nil {
+		return nil, err
+	}
+	// Register through Resolve to pull in pointer element types too.
+	if _, lerr := c.local.Lookup(d.ID); lerr != nil {
+		if err := c.local.Register(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range d.Fields {
+		if f.Kind == types.Ptr {
+			if _, err := c.Resolve(f.Elem); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// Publish registers a descriptor with the remote server (idempotent for
+// identical schemas).
+func (c *Client) Publish(d *types.Desc) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	enc := xdr.NewEncoder(128)
+	encodeDesc(enc, d)
+	_, err := c.call(registerProc, enc.Bytes())
+	return err
+}
+
+// List returns the names of every type the server knows.
+func (c *Client) List() ([]string, error) {
+	m, err := c.call(listProc, []byte{})
+	if err != nil {
+		return nil, err
+	}
+	dec := xdr.NewDecoder(m.Payload)
+	n, err := dec.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("nameserver: name count %d out of range", n)
+	}
+	names := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := dec.String()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, s)
+	}
+	return names, nil
+}

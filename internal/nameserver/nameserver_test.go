@@ -1,0 +1,343 @@
+package nameserver
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/types"
+	"smartrpc/internal/wire"
+	"smartrpc/internal/xdr"
+)
+
+const serverID = 100
+
+func authoritative(t *testing.T) *types.Registry {
+	t.Helper()
+	reg := types.NewRegistry()
+	reg.MustRegister(&types.Desc{
+		ID: 1, Name: "TreeNode",
+		Fields: []types.Field{
+			{Name: "left", Kind: types.Ptr, Elem: 1},
+			{Name: "right", Kind: types.Ptr, Elem: 1},
+			{Name: "data", Kind: types.Int64},
+		},
+	})
+	reg.MustRegister(&types.Desc{
+		ID: 2, Name: "Pair",
+		Fields: []types.Field{
+			{Name: "a", Kind: types.Ptr, Elem: 1},
+			{Name: "b", Kind: types.Ptr, Elem: 3},
+		},
+	})
+	reg.MustRegister(&types.Desc{
+		ID: 3, Name: "Leaf",
+		Fields: []types.Field{
+			{Name: "v", Kind: types.Float64},
+		},
+	})
+	return reg
+}
+
+func setup(t *testing.T) (*Server, *Client, *types.Registry) {
+	t.Helper()
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	sn, err := net.Attach(serverID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sn, authoritative(t))
+	t.Cleanup(func() { _ = srv.Close() })
+	cn, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := types.NewRegistry()
+	cli := NewClient(cn, serverID, local)
+	t.Cleanup(func() { _ = cli.Close() })
+	return srv, cli, local
+}
+
+func TestResolveByID(t *testing.T) {
+	_, cli, local := setup(t)
+	d, err := cli.Resolve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "TreeNode" || len(d.Fields) != 3 {
+		t.Errorf("resolved %+v", d)
+	}
+	// The local registry now has it.
+	if _, err := local.Lookup(1); err != nil {
+		t.Errorf("local registry missing resolved type: %v", err)
+	}
+	// Second resolve is a local hit (server closed to prove it).
+	d2, err := cli.Resolve(1)
+	if err != nil || d2.ID != 1 {
+		t.Errorf("cached resolve = %v, %v", d2, err)
+	}
+}
+
+func TestResolveTransitiveClosure(t *testing.T) {
+	_, cli, local := setup(t)
+	// Pair points at TreeNode and Leaf; resolving Pair must pull both.
+	if _, err := cli.Resolve(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []types.ID{1, 2, 3} {
+		if _, err := local.Lookup(id); err != nil {
+			t.Errorf("type %d not resolved transitively: %v", id, err)
+		}
+	}
+	if err := local.Validate(); err != nil {
+		t.Errorf("local registry invalid after resolution: %v", err)
+	}
+}
+
+func TestResolveName(t *testing.T) {
+	_, cli, local := setup(t)
+	d, err := cli.ResolveName("Pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != 2 {
+		t.Errorf("ResolveName = %+v", d)
+	}
+	if err := local.Validate(); err != nil {
+		t.Errorf("local registry invalid: %v", err)
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	_, cli, _ := setup(t)
+	if _, err := cli.Resolve(99); err == nil {
+		t.Error("unknown type resolved")
+	}
+	if _, err := cli.ResolveName("Nope"); err == nil {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestPublishAndList(t *testing.T) {
+	srv, cli, _ := setup(t)
+	d := &types.Desc{
+		ID: 10, Name: "Fresh",
+		Fields: []types.Field{{Name: "x", Kind: types.Int32}},
+	}
+	if err := cli.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Registry().Lookup(10); err != nil {
+		t.Errorf("server missing published type: %v", err)
+	}
+	// Idempotent republish of the identical schema.
+	if err := cli.Publish(d); err != nil {
+		t.Errorf("identical republish rejected: %v", err)
+	}
+	// Conflicting republish rejected.
+	bad := &types.Desc{ID: 10, Name: "Fresh", Fields: []types.Field{{Name: "y", Kind: types.Int64}}}
+	if err := cli.Publish(bad); err == nil {
+		t.Error("conflicting republish accepted")
+	}
+	names, err := cli.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Fresh", "Leaf", "Pair", "TreeNode"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("List = %v, want %v", names, want)
+	}
+}
+
+func TestPublishInvalidDescriptor(t *testing.T) {
+	_, cli, _ := setup(t)
+	if err := cli.Publish(&types.Desc{}); err == nil {
+		t.Error("invalid descriptor published")
+	}
+}
+
+func TestClientClosedErrors(t *testing.T) {
+	_, cli, _ := setup(t)
+	_ = cli.Close()
+	if _, err := cli.Resolve(1); err == nil {
+		t.Error("resolve after close succeeded")
+	}
+}
+
+func TestServerIgnoresNonCalls(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	sn, _ := net.Attach(serverID)
+	srv := NewServer(sn, authoritative(t))
+	t.Cleanup(func() { _ = srv.Close() })
+	raw, _ := net.Attach(5)
+	// A stray fetch should be silently ignored, then a real lookup works.
+	if err := raw.Send(wire.Message{Kind: wire.KindFetch, To: serverID, Payload: []byte{}}); err != nil {
+		t.Fatal(err)
+	}
+	enc := xdr.NewEncoder(8)
+	enc.PutUint32(1)
+	if err := raw.Send(wire.Message{Kind: wire.KindCall, Seq: 1, To: serverID, Proc: "_typedb.lookupID", Payload: enc.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Err != "" || m.Kind != wire.KindReturn {
+		t.Errorf("lookup reply = %+v", m)
+	}
+}
+
+func TestServerUnknownProcedure(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	sn, _ := net.Attach(serverID)
+	srv := NewServer(sn, authoritative(t))
+	t.Cleanup(func() { _ = srv.Close() })
+	raw, _ := net.Attach(5)
+	if err := raw.Send(wire.Message{Kind: wire.KindCall, Seq: 2, To: serverID, Proc: "bogus", Payload: []byte{}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Err == "" || !strings.Contains(m.Err, "unknown procedure") {
+		t.Errorf("reply = %+v", m)
+	}
+}
+
+func TestDescRoundTrip(t *testing.T) {
+	reg := authoritative(t)
+	for _, id := range []types.ID{1, 2, 3} {
+		d, err := reg.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := xdr.NewEncoder(128)
+		encodeDesc(enc, d)
+		got, err := decodeDesc(xdr.NewDecoder(enc.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != d.ID || got.Name != d.Name || !reflect.DeepEqual(got.Fields, d.Fields) {
+			t.Errorf("descriptor round trip:\n got %+v\nwant %+v", got, d)
+		}
+	}
+}
+
+func TestDecodeDescTruncated(t *testing.T) {
+	reg := authoritative(t)
+	d, _ := reg.Lookup(1)
+	enc := xdr.NewEncoder(128)
+	encodeDesc(enc, d)
+	full := enc.Bytes()
+	for n := 0; n < len(full); n += 8 {
+		if _, err := decodeDesc(xdr.NewDecoder(full[:n])); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+}
+
+func TestClosedSentinel(t *testing.T) {
+	if !errors.Is(ErrClosed, ErrClosed) {
+		t.Error("sentinel identity")
+	}
+}
+
+// TestEndToEndWithRuntime exercises the intended deployment: two spaces
+// that share no registry object bootstrap their schemas from the name
+// server, then run a Smart RPC session.
+func TestEndToEndWithRuntime(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	sn, _ := net.Attach(serverID)
+	srv := NewServer(sn, authoritative(t))
+	t.Cleanup(func() { _ = srv.Close() })
+
+	resolve := func(clientNodeID uint32) *types.Registry {
+		cn, err := net.Attach(clientNodeID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := types.NewRegistry()
+		cli := NewClient(cn, serverID, local)
+		t.Cleanup(func() { _ = cli.Close() })
+		if _, err := cli.ResolveName("TreeNode"); err != nil {
+			t.Fatal(err)
+		}
+		return local
+	}
+	regA := resolve(201)
+	regB := resolve(202)
+	if regA == regB {
+		t.Fatal("registries must be independent")
+	}
+	// The registries were resolved independently but describe the same
+	// schema.
+	da, _ := regA.Lookup(1)
+	db, _ := regB.Lookup(1)
+	if !reflect.DeepEqual(da, db) {
+		t.Errorf("independently resolved schemas differ: %+v vs %+v", da, db)
+	}
+}
+
+func TestConcurrentResolvers(t *testing.T) {
+	// Many clients resolve the same schema concurrently from one server.
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	sn, _ := net.Attach(serverID)
+	srv := NewServer(sn, authoritative(t))
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		id := uint32(200 + i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cn, err := net.Attach(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			local := types.NewRegistry()
+			cli := NewClient(cn, serverID, local)
+			defer cli.Close()
+			if _, err := cli.Resolve(2); err != nil {
+				errs <- err
+				return
+			}
+			if err := local.Validate(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

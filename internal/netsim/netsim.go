@@ -1,0 +1,119 @@
+// Package netsim provides the deterministic network cost model and the
+// message statistics used to reproduce the paper's measurements.
+//
+// The paper's numbers come from Sun SPARCstations (28.5 MIPS) on 10 Mbps
+// Ethernet with TCP_NODELAY. The *shape* of every figure is determined by
+// how many messages each method sends (per-message latency), how many bytes
+// it moves (bandwidth), and how much conversion work it does (per-byte CPU
+// for XDR encode/decode). Model makes those three terms explicit; Clock
+// accumulates them into a virtual elapsed time, so benchmark results are
+// reproducible on any host and directly comparable to the paper's curves.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Model is a linear network + conversion cost model.
+type Model struct {
+	// PerMessage is the fixed cost of one message: protocol processing,
+	// interrupt handling, and propagation (one way).
+	PerMessage time.Duration
+	// BytesPerSecond is the link bandwidth.
+	BytesPerSecond float64
+	// PerByteCPU is the data-conversion (XDR encode+decode) cost per
+	// payload byte, modeling the heterogeneity overhead the paper's
+	// system pays on every transfer.
+	PerByteCPU time.Duration
+}
+
+// Ethernet10SPARC approximates the paper's testbed: 10 Mbps Ethernet
+// between 28.5 MIPS SPARCstations over TCP with TCP_NODELAY.
+//
+// The constants are calibrated so the reproduced curves land in the same
+// regime as the paper's Figures 4-7 (fully eager ≈ 2.5 s for a 512 KiB
+// tree; fully lazy ≈ 12 s at access ratio 1.0 with ~33 k callbacks).
+func Ethernet10SPARC() Model {
+	return Model{
+		PerMessage:     150 * time.Microsecond,
+		BytesPerSecond: 10e6 / 8, // 10 Mbps
+		PerByteCPU:     1500 * time.Nanosecond,
+	}
+}
+
+// Cost returns the modeled time to move one message with the given payload
+// size one way, including conversion work.
+func (m Model) Cost(payloadBytes int) time.Duration {
+	d := m.PerMessage
+	if m.BytesPerSecond > 0 {
+		d += time.Duration(float64(payloadBytes) / m.BytesPerSecond * float64(time.Second))
+	}
+	d += time.Duration(payloadBytes) * m.PerByteCPU
+	return d
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.PerMessage < 0 || m.BytesPerSecond < 0 || m.PerByteCPU < 0 {
+		return fmt.Errorf("netsim: negative cost parameter %+v", m)
+	}
+	return nil
+}
+
+// Clock accumulates virtual time. It is safe for concurrent use, though
+// the paper's RPC sessions are single-threaded by construction.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Advance adds d to the virtual time.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Reset zeroes the virtual time.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}
+
+// Stats counts network traffic. All methods are safe for concurrent use.
+type Stats struct {
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// Record notes one message with the given payload size.
+func (s *Stats) Record(payloadBytes int) {
+	s.messages.Add(1)
+	s.bytes.Add(uint64(payloadBytes))
+}
+
+// Messages returns the number of messages recorded.
+func (s *Stats) Messages() uint64 { return s.messages.Load() }
+
+// Bytes returns the total payload bytes recorded.
+func (s *Stats) Bytes() uint64 { return s.bytes.Load() }
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	s.messages.Store(0)
+	s.bytes.Store(0)
+}

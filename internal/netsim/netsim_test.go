@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestModelCostComponents(t *testing.T) {
+	m := Model{
+		PerMessage:     100 * time.Microsecond,
+		BytesPerSecond: 1e6,
+		PerByteCPU:     time.Microsecond,
+	}
+	// 1000 bytes: 100µs fixed + 1ms wire + 1ms cpu.
+	got := m.Cost(1000)
+	want := 100*time.Microsecond + time.Millisecond + time.Millisecond
+	if got != want {
+		t.Errorf("Cost(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestModelCostZeroPayload(t *testing.T) {
+	m := Ethernet10SPARC()
+	if got := m.Cost(0); got != m.PerMessage {
+		t.Errorf("Cost(0) = %v, want %v", got, m.PerMessage)
+	}
+}
+
+func TestModelZeroBandwidthSkipsWireTerm(t *testing.T) {
+	m := Model{PerMessage: time.Millisecond}
+	if got := m.Cost(1 << 20); got != time.Millisecond {
+		t.Errorf("Cost with zero bandwidth = %v", got)
+	}
+}
+
+func TestModelMonotonicInSize(t *testing.T) {
+	m := Ethernet10SPARC()
+	prev := time.Duration(-1)
+	for _, n := range []int{0, 1, 16, 4096, 1 << 20} {
+		c := m.Cost(n)
+		if c <= prev {
+			t.Fatalf("Cost not monotonic: Cost(%d)=%v <= %v", n, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := Ethernet10SPARC().Validate(); err != nil {
+		t.Errorf("calibrated model invalid: %v", err)
+	}
+	bad := Model{PerMessage: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative model accepted")
+	}
+}
+
+func TestClockAccumulates(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(500 * time.Millisecond)
+	c.Advance(0)  // no-ops
+	c.Advance(-1) // ignored
+	if got := c.Now(); got != 1500*time.Millisecond {
+		t.Errorf("Now() = %v, want 1.5s", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("Now() after reset = %v", c.Now())
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != 5000*time.Microsecond {
+		t.Errorf("concurrent Now() = %v, want 5ms", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	var s Stats
+	s.Record(100)
+	s.Record(50)
+	if s.Messages() != 2 || s.Bytes() != 150 {
+		t.Errorf("stats = %d msgs %d bytes", s.Messages(), s.Bytes())
+	}
+	s.Reset()
+	if s.Messages() != 0 || s.Bytes() != 0 {
+		t.Error("Reset did not zero stats")
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	var s Stats
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Record(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Messages() != 2000 || s.Bytes() != 6000 {
+		t.Errorf("stats = %d msgs %d bytes", s.Messages(), s.Bytes())
+	}
+}

@@ -1,0 +1,403 @@
+// Package swizzle implements pointer swizzling and the data allocation
+// table of §3.2 of the paper.
+//
+// A long pointer arriving from another address space must be translated
+// into an ordinary pointer ("swizzled") before the hardware — here, the
+// simulated memory of package vmem — can use it. The first time a long
+// pointer is seen, the table reserves room for the referenced datum inside
+// a protected page area of the cache region and records the triple
+// (page number, offset within the page, long pointer): exactly the data
+// allocation table in the paper's Table 1. Subsequent swizzles of the same
+// long pointer return the same ordinary pointer, and unswizzling reverses
+// the mapping when data is marshaled back out.
+//
+// Placement follows the paper's heuristic (§6): all data allocated to one
+// page originates from a single address space, so a page fault can be
+// served with one Fetch message. PolicyMixed disables the heuristic to
+// reproduce the worst case the paper warns about (an ablation).
+package swizzle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"smartrpc/internal/types"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+// AllocPolicy selects how cache room is grouped onto pages.
+type AllocPolicy int
+
+// Policies.
+const (
+	// PolicyPerOrigin gives each origin address space its own open page
+	// (the paper's heuristic).
+	PolicyPerOrigin AllocPolicy = iota + 1
+	// PolicyMixed packs objects from all origins onto shared pages
+	// (worst-case ablation: one fault can require fetches from many
+	// spaces).
+	PolicyMixed
+)
+
+// Sentinel errors.
+var (
+	// ErrNotSwizzled is returned when unswizzling an address with no table
+	// entry.
+	ErrNotSwizzled = errors.New("swizzle: address has no table entry")
+	// ErrRebindUnknown is returned when rebinding a long pointer that is
+	// not in the table.
+	ErrRebindUnknown = errors.New("swizzle: rebind of unknown long pointer")
+)
+
+// Entry is one row of the data allocation table.
+type Entry struct {
+	// Page is the cache page number holding the datum.
+	Page uint32
+	// Offset is the datum's offset within the page.
+	Offset uint32
+	// LP is the long pointer identifying the original datum.
+	LP wire.LongPtr
+	// Addr is the swizzled ordinary pointer (page base + offset).
+	Addr vmem.VAddr
+	// Size is the datum's size under the local architecture.
+	Size int
+	// Resident reports whether the datum's bytes have been installed.
+	// A page's protection may only be released once every entry on it is
+	// resident — otherwise the first access to a neighbor could no longer
+	// be detected (§3.2).
+	Resident bool
+}
+
+// area is an open protected page area accepting new data from one origin.
+type area struct {
+	base vmem.VAddr // current page run base
+	off  int        // bump offset within the run
+	size int        // run size in bytes (0 = no open run)
+}
+
+// Table is the data allocation table plus the swizzle/unswizzle maps for
+// one address space. It is safe for concurrent use.
+type Table struct {
+	space  *vmem.Space
+	reg    *types.Registry
+	selfID uint32
+	policy AllocPolicy
+
+	mu     sync.Mutex
+	byLP   map[wire.LongPtr]vmem.VAddr
+	byAddr map[vmem.VAddr]Entry
+	byPage map[uint32][]Entry
+	areas  map[uint32]*area
+}
+
+// New creates a table for space, which has identifier selfID in the
+// distributed system. Types are resolved through reg.
+func New(space *vmem.Space, reg *types.Registry, selfID uint32, policy AllocPolicy) *Table {
+	if policy == 0 {
+		policy = PolicyPerOrigin
+	}
+	return &Table{
+		space:  space,
+		reg:    reg,
+		selfID: selfID,
+		policy: policy,
+		byLP:   make(map[wire.LongPtr]vmem.VAddr),
+		byAddr: make(map[vmem.VAddr]Entry),
+		byPage: make(map[uint32][]Entry),
+		areas:  make(map[uint32]*area),
+	}
+}
+
+// SelfID returns the owning space's identifier.
+func (t *Table) SelfID() uint32 { return t.selfID }
+
+// Swizzle translates a long pointer into an ordinary pointer, reserving a
+// protected page area slot on first sight. The returned bool is true when
+// the entry is new (no data present yet). Long pointers into the local
+// space translate to their plain address.
+func (t *Table) Swizzle(lp wire.LongPtr) (vmem.VAddr, bool, error) {
+	return t.SwizzleIn(lp, lp.Space)
+}
+
+// SwizzleIn is Swizzle with an explicit area key: new entries are placed
+// in the page area identified by areaKey instead of the origin's default
+// area. The runtime uses a distinct key for objects created locally by
+// extended_malloc, whose pages are born resident and writable and must
+// therefore never share a page with not-yet-fetched remote data.
+func (t *Table) SwizzleIn(lp wire.LongPtr, areaKey uint32) (vmem.VAddr, bool, error) {
+	if lp.IsNull() {
+		return vmem.Null, false, nil
+	}
+	if lp.Space == t.selfID {
+		return lp.Addr, false, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr, ok := t.byLP[lp]; ok {
+		return addr, false, nil
+	}
+	layout, err := t.reg.Layout(lp.Type, t.space.Profile())
+	if err != nil {
+		return vmem.Null, false, fmt.Errorf("swizzle %v: %w", lp, err)
+	}
+	addr, err := t.reserveLocked(areaKey, layout.Size, layout.Align)
+	if err != nil {
+		return vmem.Null, false, fmt.Errorf("swizzle %v: %w", lp, err)
+	}
+	pn := t.space.PageOf(addr)
+	e := Entry{
+		Page:   pn,
+		Offset: uint32(addr) - uint32(t.space.PageBase(pn)),
+		LP:     lp,
+		Addr:   addr,
+		Size:   layout.Size,
+	}
+	t.byLP[lp] = addr
+	t.byAddr[addr] = e
+	t.byPage[pn] = append(t.byPage[pn], e)
+	return addr, true, nil
+}
+
+// reserveLocked carves size bytes out of the keyed open page area,
+// opening a fresh protected area when the current one is exhausted.
+func (t *Table) reserveLocked(areaKey uint32, size, align int) (vmem.VAddr, error) {
+	key := areaKey
+	if t.policy == PolicyMixed {
+		// Collapse all origins into one shared area, but keep areas with
+		// the provisional flag apart: locally created objects must never
+		// share pages with not-yet-fetched data.
+		key = areaKey & ProvisionalAreaFlag
+	}
+	a, ok := t.areas[key]
+	if !ok {
+		a = &area{}
+		t.areas[key] = a
+	}
+	ps := t.space.PageSize()
+	for {
+		if a.size > 0 {
+			off := alignUp(a.off, align)
+			if off+size <= a.size {
+				a.off = off + size
+				return a.base + vmem.VAddr(off), nil
+			}
+		}
+		pages := (size + ps - 1) / ps
+		if pages < 1 {
+			pages = 1
+		}
+		base, err := t.space.AllocCachePages(pages)
+		if err != nil {
+			return vmem.Null, err
+		}
+		a.base = base
+		a.off = 0
+		a.size = pages * ps
+	}
+}
+
+// ProvisionalAreaFlag, or'ed into a SwizzleIn area key, marks areas for
+// locally created (extended_malloc) objects; such areas are never merged
+// with fetch-destined areas, even under PolicyMixed.
+const ProvisionalAreaFlag uint32 = 0x8000_0000
+
+// MarkResident records that the datum at addr has its bytes installed.
+func (t *Table) MarkResident(addr vmem.VAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.byAddr[addr]
+	if !ok {
+		return
+	}
+	e.Resident = true
+	t.byAddr[addr] = e
+	rows := t.byPage[e.Page]
+	for i := range rows {
+		if rows[i].Addr == addr {
+			rows[i].Resident = true
+		}
+	}
+}
+
+// Remove deletes the table entry for a swizzled address (used when the
+// referenced datum is freed: a freed object must not be fetched or written
+// back). The cache slot itself is not reused; stale ordinary pointers to
+// it keep faulting or reading zeroes rather than aliasing new data.
+func (t *Table) Remove(addr vmem.VAddr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.byAddr[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNotSwizzled, uint32(addr))
+	}
+	delete(t.byAddr, addr)
+	delete(t.byLP, e.LP)
+	rows := t.byPage[e.Page]
+	for i := range rows {
+		if rows[i].Addr == addr {
+			t.byPage[e.Page] = append(rows[:i], rows[i+1:]...)
+			break
+		}
+	}
+	if len(t.byPage[e.Page]) == 0 {
+		delete(t.byPage, e.Page)
+	}
+	return nil
+}
+
+// AllResident reports whether every entry on page pn has been installed.
+// A page with no entries is trivially resident.
+func (t *Table) AllResident(pn uint32) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.byPage[pn] {
+		if !e.Resident {
+			return false
+		}
+	}
+	return true
+}
+
+// Seal closes any open area whose current run covers page pn, so that no
+// future entry can be placed on a page whose protection has already been
+// released (the first access to such an entry could not be detected).
+func (t *Table) Seal(pn uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range t.areas {
+		if a.size == 0 {
+			continue
+		}
+		first := t.space.PageOf(a.base)
+		last := t.space.PageOf(a.base + vmem.VAddr(a.size-1))
+		if pn >= first && pn <= last {
+			a.size = 0
+			a.off = 0
+		}
+	}
+}
+
+// Unswizzle translates an ordinary pointer back into a long pointer.
+// declared is the pointer field's element type, needed to build long
+// pointers for locally owned data (the heap has no per-object table).
+func (t *Table) Unswizzle(addr vmem.VAddr, declared types.ID) (wire.LongPtr, error) {
+	if addr == vmem.Null {
+		return wire.LongPtr{}, nil
+	}
+	if t.space.InCache(addr) {
+		t.mu.Lock()
+		e, ok := t.byAddr[addr]
+		t.mu.Unlock()
+		if !ok {
+			return wire.LongPtr{}, fmt.Errorf("%w: %#x", ErrNotSwizzled, uint32(addr))
+		}
+		return e.LP, nil
+	}
+	return wire.LongPtr{Space: t.selfID, Addr: addr, Type: declared}, nil
+}
+
+// LookupAddr returns the table entry for a swizzled address.
+func (t *Table) LookupAddr(addr vmem.VAddr) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.byAddr[addr]
+	return e, ok
+}
+
+// LookupLP returns the swizzled address for a long pointer, if present.
+func (t *Table) LookupLP(lp wire.LongPtr) (vmem.VAddr, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.byLP[lp]
+	return a, ok
+}
+
+// PageEntries returns the table rows for one page, ordered by offset:
+// everything that must be fetched when the page faults (§3.2: "all of the
+// other data allocated to the page must be transferred at this time").
+func (t *Table) PageEntries(pn uint32) []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	src := t.byPage[pn]
+	out := make([]Entry, len(src))
+	copy(out, src)
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}
+
+// Entries returns every table row, ordered by page then offset. Used by
+// diagnostics and the Table 1 reproduction.
+func (t *Table) Entries() []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Entry, 0, len(t.byAddr))
+	for _, e := range t.byAddr {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Page != out[j].Page {
+			return out[i].Page < out[j].Page
+		}
+		return out[i].Offset < out[j].Offset
+	})
+	return out
+}
+
+// Len returns the number of table rows.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byAddr)
+}
+
+// Rebind rewrites the long-pointer identity of an existing entry. The
+// batched remote-allocation protocol (§3.5) uses it: a provisional long
+// pointer issued by extended_malloc is bound to the real address assigned
+// by the origin space when the batch is flushed. The swizzled ordinary
+// pointer — and therefore every pointer word already stored in local
+// memory — is unchanged; only the identity maps update.
+func (t *Table) Rebind(old, new wire.LongPtr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.byLP[old]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrRebindUnknown, old)
+	}
+	if _, exists := t.byLP[new]; exists {
+		return fmt.Errorf("swizzle: rebind target %v already mapped", new)
+	}
+	delete(t.byLP, old)
+	t.byLP[new] = addr
+	e := t.byAddr[addr]
+	e.LP = new
+	t.byAddr[addr] = e
+	rows := t.byPage[e.Page]
+	for i := range rows {
+		if rows[i].Addr == addr {
+			rows[i].LP = new
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every table entry and closes all open areas, matching
+// the end-of-session invalidation (§3.4). The underlying cache pages are
+// invalidated by the caller through vmem.
+func (t *Table) Invalidate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byLP = make(map[wire.LongPtr]vmem.VAddr)
+	t.byAddr = make(map[vmem.VAddr]Entry)
+	t.byPage = make(map[uint32][]Entry)
+	t.areas = make(map[uint32]*area)
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}

@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"smartrpc/internal/wire"
+)
+
+// TCPNode is a Node implementation over real TCP connections, one listener
+// per address space plus on-demand dials to peers, mirroring the paper's
+// deployment (TCP with TCP_NODELAY between workstations).
+//
+// Peers are located through a static address book: space ID → host:port.
+// Connections carry a one-frame handshake identifying the dialer so each
+// side can route replies.
+type TCPNode struct {
+	id       uint32
+	listener net.Listener
+	book     map[uint32]string
+
+	mu     sync.Mutex
+	conns  map[uint32]net.Conn
+	closed bool
+
+	inbox chan wire.Message
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+var _ Node = (*TCPNode)(nil)
+
+// ListenTCP starts a node for space id on addr ("host:port", ":0" for an
+// ephemeral port). book maps peer space IDs to their listen addresses; it
+// may omit this node's own entry.
+func ListenTCP(id uint32, addr string, book map[uint32]string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:       id,
+		listener: ln,
+		book:     make(map[uint32]string, len(book)),
+		conns:    make(map[uint32]net.Conn),
+		inbox:    make(chan wire.Message, inboxSize),
+		done:     make(chan struct{}),
+	}
+	for k, v := range book {
+		n.book[k] = v
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address (useful with ":0").
+func (n *TCPNode) Addr() string { return n.listener.Addr().String() }
+
+// ID returns the attached space's identifier.
+func (n *TCPNode) ID() uint32 { return n.id }
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		// Handshake: peer announces its space ID in frame zero.
+		hello, err := wire.ReadFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		peer := hello.From
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if old, ok := n.conns[peer]; ok {
+			_ = old.Close()
+		}
+		n.conns[peer] = conn
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(peer, conn)
+	}
+}
+
+func (n *TCPNode) readLoop(peer uint32, conn net.Conn) {
+	defer n.wg.Done()
+	for {
+		m, err := wire.ReadFrame(conn)
+		if err != nil {
+			n.mu.Lock()
+			if n.conns[peer] == conn {
+				delete(n.conns, peer)
+			}
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		select {
+		case n.inbox <- m:
+		case <-n.done:
+			_ = conn.Close()
+			return
+		}
+	}
+}
+
+// connTo returns (dialing if necessary) the connection to peer.
+func (n *TCPNode) connTo(peer uint32) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := n.conns[peer]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.book[peer]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for space %d", peer)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial space %d at %s: %w", peer, addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// The paper sets TCP_NODELAY so small packets go out immediately.
+		_ = tc.SetNoDelay(true)
+	}
+	hello := wire.Message{Kind: wire.KindInvalidateAck, From: n.id, To: peer, Payload: []byte{}}
+	if err := wire.WriteFrame(conn, &hello); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: handshake with space %d: %w", peer, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := n.conns[peer]; ok {
+		// Lost a dial race; use the established connection.
+		n.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	n.conns[peer] = conn
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.readLoop(peer, conn)
+	return conn, nil
+}
+
+// Send routes m to the space identified by m.To.
+func (n *TCPNode) Send(m wire.Message) error {
+	m.From = n.id
+	conn, err := n.connTo(m.To)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return wire.WriteFrame(conn, &m)
+}
+
+// Recv blocks until a message arrives or the node closes.
+func (n *TCPNode) Recv() (wire.Message, error) {
+	select {
+	case m := <-n.inbox:
+		return m, nil
+	case <-n.done:
+		select {
+		case m := <-n.inbox:
+			return m, nil
+		default:
+			return wire.Message{}, ErrClosed
+		}
+	}
+}
+
+// Close shuts the node down and waits for its goroutines to exit.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]net.Conn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.conns = make(map[uint32]net.Conn)
+	n.mu.Unlock()
+	close(n.done)
+	_ = n.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}

@@ -1,0 +1,320 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/wire"
+)
+
+func newTestNetwork(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+func TestNetworkSendRecv(t *testing.T) {
+	net := newTestNetwork(t)
+	a, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := wire.Message{Kind: wire.KindCall, To: 2, Proc: "p", Payload: []byte{1}}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 1 || got.Proc != "p" {
+		t.Errorf("received %+v", got)
+	}
+}
+
+func TestNetworkSendStampsFrom(t *testing.T) {
+	net := newTestNetwork(t)
+	a, _ := net.Attach(7)
+	b, _ := net.Attach(8)
+	_ = a.Send(wire.Message{Kind: wire.KindFetch, To: 8, From: 999})
+	got, _ := b.Recv()
+	if got.From != 7 {
+		t.Errorf("From = %d, want sender id 7", got.From)
+	}
+}
+
+func TestNetworkNoRoute(t *testing.T) {
+	net := newTestNetwork(t)
+	a, _ := net.Attach(1)
+	if err := a.Send(wire.Message{Kind: wire.KindCall, To: 99}); err == nil {
+		t.Error("send to unattached space succeeded")
+	}
+}
+
+func TestNetworkDuplicateAttach(t *testing.T) {
+	net := newTestNetwork(t)
+	if _, err := net.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Attach(1); err == nil {
+		t.Error("duplicate attach succeeded")
+	}
+}
+
+func TestNetworkCostAccounting(t *testing.T) {
+	model := netsim.Model{PerMessage: time.Millisecond, BytesPerSecond: 1e6}
+	clock := &netsim.Clock{}
+	stats := &netsim.Stats{}
+	net, err := NewNetwork(model, clock, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	a, _ := net.Attach(1)
+	b, _ := net.Attach(2)
+	msg := wire.Message{Kind: wire.KindCall, To: 2, Payload: make([]byte, 1000)}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages() != 1 {
+		t.Errorf("messages = %d", stats.Messages())
+	}
+	wantBytes := uint64(msg.WireSize())
+	if stats.Bytes() != wantBytes {
+		t.Errorf("bytes = %d, want %d", stats.Bytes(), wantBytes)
+	}
+	if clock.Now() < time.Millisecond {
+		t.Errorf("clock = %v, want >= 1ms", clock.Now())
+	}
+}
+
+func TestNetworkRejectsInvalidModel(t *testing.T) {
+	if _, err := NewNetwork(netsim.Model{PerMessage: -1}, nil, nil); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestNodeCloseUnblocksRecv(t *testing.T) {
+	net := newTestNetwork(t)
+	a, _ := net.Attach(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	net := newTestNetwork(t)
+	a, _ := net.Attach(1)
+	_, _ = net.Attach(2)
+	_ = a.Close()
+	if err := a.Send(wire.Message{To: 2}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestNetworkCloseAll(t *testing.T) {
+	net := newTestNetwork(t)
+	a, _ := net.Attach(1)
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Attach(3); !errors.Is(err, ErrClosed) {
+		t.Errorf("attach after close = %v", err)
+	}
+	if _, err := a.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after network close = %v", err)
+	}
+}
+
+func TestNetworkConcurrentTraffic(t *testing.T) {
+	net := newTestNetwork(t)
+	const peers = 8
+	nodes := make([]Node, peers)
+	for i := range nodes {
+		var err error
+		nodes[i], err = net.Attach(uint32(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const msgsPerPeer = 50
+	var wg sync.WaitGroup
+	// Every node sends to its right neighbor; every node receives its quota.
+	for i := 0; i < peers; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			dst := uint32((i+1)%peers + 1)
+			for j := 0; j < msgsPerPeer; j++ {
+				if err := nodes[i].Send(wire.Message{Kind: wire.KindFetch, To: dst}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < msgsPerPeer; j++ {
+				if _, err := nodes[i].Recv(); err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := net.Stats().Messages(); got != peers*msgsPerPeer {
+		t.Errorf("messages = %d, want %d", got, peers*msgsPerPeer)
+	}
+}
+
+// --- TCP transport ---
+
+func TestTCPSendRecv(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	book := map[uint32]string{1: a.Addr()}
+	b, err := ListenTCP(2, "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	msg := wire.Message{Kind: wire.KindCall, To: 1, Proc: "hello", Payload: []byte{1, 2, 3}}
+	if err := b.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 2 || got.Proc != "hello" || len(got.Payload) != 3 {
+		t.Errorf("received %+v", got)
+	}
+}
+
+func TestTCPBidirectionalReuse(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", map[uint32]string{1: a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// b dials a; a replies over the same connection (a has no book entry
+	// for b, so reuse is the only way the reply can arrive).
+	if err := b.Send(wire.Message{Kind: wire.KindFetch, To: 1, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(wire.Message{Kind: wire.KindFetchReply, To: 2, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != wire.KindFetchReply || got.From != 1 {
+		t.Errorf("reply = %+v", got)
+	}
+}
+
+func TestTCPManyMessages(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", map[uint32]string{1: a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = b.Send(wire.Message{Kind: wire.KindCall, To: 1, Seq: uint64(i)})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := a.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != uint64(i) {
+			t.Fatalf("out of order: got seq %d at %d", got.Seq, i)
+		}
+	}
+}
+
+func TestTCPNoAddress(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(wire.Message{To: 42}); err == nil {
+		t.Error("send without address book entry succeeded")
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	// Close is idempotent.
+	if err := a.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

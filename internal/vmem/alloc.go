@@ -1,0 +1,130 @@
+package vmem
+
+import "fmt"
+
+// allocator is a simple first-fit free-list allocator over a region of the
+// virtual address space. Block metadata is kept outside the simulated
+// memory (a side table), which keeps the simulation honest: the paper's
+// malloc metadata is likewise invisible to the swizzled heap contents.
+//
+// allocator methods require the owning Space lock to be held.
+type allocator struct {
+	base, limit VAddr
+	next        VAddr         // bump pointer; space above is virgin
+	freeList    []span        // sorted, coalesced free spans below next
+	live        map[VAddr]int // live allocation sizes (rounded)
+	inUse       int           // live bytes
+}
+
+type span struct {
+	addr VAddr
+	size int
+}
+
+func (a *allocator) init(base, limit VAddr) {
+	a.base = base
+	a.limit = limit
+	a.next = base
+	a.live = make(map[VAddr]int)
+}
+
+// roundSize rounds allocation sizes to 8 bytes so freed blocks are easy to
+// reuse across slightly different request sizes.
+func roundSize(n int) int {
+	return (n + 7) &^ 7
+}
+
+func (a *allocator) alloc(size, align int) (VAddr, error) {
+	size = roundSize(size)
+	if align < 1 {
+		align = 1
+	}
+	// First fit in the free list.
+	for i, sp := range a.freeList {
+		start := VAddr(alignUpU(uint32(sp.addr), uint32(align)))
+		pre := int(start - sp.addr)
+		if pre+size > sp.size {
+			continue
+		}
+		post := sp.size - pre - size
+		// Replace the span with the (possibly empty) pre and post remnants.
+		// rest must be copied: appending below would clobber the shared
+		// backing array before it is re-appended.
+		rest := append([]span(nil), a.freeList[i+1:]...)
+		a.freeList = a.freeList[:i]
+		if pre > 0 {
+			a.freeList = append(a.freeList, span{addr: sp.addr, size: pre})
+		}
+		if post > 0 {
+			a.freeList = append(a.freeList, span{addr: start + VAddr(size), size: post})
+		}
+		a.freeList = append(a.freeList, rest...)
+		a.live[start] = size
+		a.inUse += size
+		return start, nil
+	}
+	// Bump allocation.
+	start := VAddr(alignUpU(uint32(a.next), uint32(align)))
+	if pre := int(start - a.next); pre > 0 {
+		a.freeList = append(a.freeList, span{addr: a.next, size: pre})
+	}
+	end := start + VAddr(size)
+	if end < start || end > a.limit {
+		return Null, fmt.Errorf("%w: heap region exhausted", ErrOutOfMemory)
+	}
+	a.next = end
+	a.live[start] = size
+	a.inUse += size
+	return start, nil
+}
+
+func (a *allocator) free(addr VAddr) error {
+	size, ok := a.live[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, uint32(addr))
+	}
+	delete(a.live, addr)
+	a.inUse -= size
+	a.insertSpan(span{addr: addr, size: size})
+	return nil
+}
+
+// insertSpan adds a span to the free list, keeping it sorted by address and
+// coalescing adjacent spans.
+func (a *allocator) insertSpan(s span) {
+	// Binary search for insertion point.
+	lo, hi := 0, len(a.freeList)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.freeList[mid].addr < s.addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	a.freeList = append(a.freeList, span{})
+	copy(a.freeList[lo+1:], a.freeList[lo:])
+	a.freeList[lo] = s
+	// Coalesce with successor.
+	if lo+1 < len(a.freeList) && s.addr+VAddr(s.size) == a.freeList[lo+1].addr {
+		a.freeList[lo].size += a.freeList[lo+1].size
+		a.freeList = append(a.freeList[:lo+1], a.freeList[lo+2:]...)
+	}
+	// Coalesce with predecessor.
+	if lo > 0 && a.freeList[lo-1].addr+VAddr(a.freeList[lo-1].size) == a.freeList[lo].addr {
+		a.freeList[lo-1].size += a.freeList[lo].size
+		a.freeList = append(a.freeList[:lo], a.freeList[lo+1:]...)
+	}
+}
+
+func (a *allocator) sizeOf(addr VAddr) (int, error) {
+	size, ok := a.live[addr]
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x not a live allocation", ErrBadFree, uint32(addr))
+	}
+	return size, nil
+}
+
+func alignUpU(n, a uint32) uint32 {
+	return (n + a - 1) / a * a
+}

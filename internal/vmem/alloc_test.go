@@ -1,0 +1,132 @@
+package vmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorCoalescing(t *testing.T) {
+	s := newSpace(t, Config{})
+	a, _ := s.Alloc(64, 8)
+	b, _ := s.Alloc(64, 8)
+	c, _ := s.Alloc(64, 8)
+	// Free middle, then neighbors; the three blocks must coalesce so a
+	// larger allocation fits in their footprint.
+	if err := s.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(c); err != nil {
+		t.Fatal(err)
+	}
+	big, err := s.Alloc(192, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != a {
+		t.Errorf("coalesced alloc at %#x, want %#x", uint32(big), uint32(a))
+	}
+}
+
+func TestAllocatorSplitsSpans(t *testing.T) {
+	s := newSpace(t, Config{})
+	a, _ := s.Alloc(256, 8)
+	marker, _ := s.Alloc(8, 8)
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	small1, _ := s.Alloc(64, 8)
+	small2, _ := s.Alloc(64, 8)
+	if small1 != a || small2 != a+64 {
+		t.Errorf("span splitting: got %#x, %#x; want %#x, %#x",
+			uint32(small1), uint32(small2), uint32(a), uint32(a+64))
+	}
+	_ = marker
+}
+
+// Property: after arbitrary interleavings of alloc and free, no two live
+// allocations overlap, all stay in the heap region, and inUse equals the
+// sum of live sizes.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		s, err := NewSpace(Config{})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var live []VAddr
+		sizes := make(map[VAddr]int)
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := rng.Intn(len(live))
+				addr := live[i]
+				if err := s.Free(addr); err != nil {
+					return false
+				}
+				delete(sizes, addr)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := int(op%500) + 1
+			addr, err := s.Alloc(size, 8)
+			if err != nil {
+				return false
+			}
+			sizes[addr] = roundSize(size)
+			live = append(live, addr)
+		}
+		// Overlap check.
+		total := 0
+		for a, sa := range sizes {
+			total += sa
+			if !s.InHeap(a) {
+				return false
+			}
+			for b, sb := range sizes {
+				if a == b {
+					continue
+				}
+				if a < b+VAddr(sb) && b < a+VAddr(sa) {
+					return false
+				}
+			}
+		}
+		return s.HeapInUse() == total
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: typed loads read back typed stores for every width at random
+// (aligned) offsets.
+func TestQuickTypedRoundTrip(t *testing.T) {
+	s, err := NewSpace(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Alloc(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, v uint64, w uint8) bool {
+		width := []int{1, 2, 4, 8}[w%4]
+		addr := base + VAddr(int(off)%(4096-8))
+		mask := ^uint64(0)
+		if width < 8 {
+			mask = 1<<(8*width) - 1
+		}
+		if err := s.WriteUint(addr, width, v); err != nil {
+			return false
+		}
+		got, err := s.ReadUint(addr, width)
+		return err == nil && got == v&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

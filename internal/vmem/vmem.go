@@ -1,0 +1,612 @@
+// Package vmem simulates the virtual-memory hardware the paper's runtime
+// relies on.
+//
+// The original system used the SPARC MMU through SunOS primitives: it
+// allocated *protected page areas* for remotely referenced data, caught the
+// access-violation exception raised by the first touch, fetched the data,
+// and then released the protection. Dirty detection for the coherency
+// protocol likewise used read-only page protection.
+//
+// Go programs cannot take over SIGSEGV (the runtime owns signal handling)
+// and cannot fabricate pointers past the garbage collector, so this package
+// provides the same machinery in software: a 32-bit virtual address space
+// made of fixed-size pages with per-page protection, where every load and
+// store checks protection and delivers a Fault to a registered handler —
+// exactly the control flow of the paper's exception path, with the MMU's
+// hardware check replaced by a bounds-and-protection check per access.
+//
+// The address space is split into two regions: a heap for locally owned
+// data and a cache region where protected page areas for remote data are
+// carved out. Addresses are plain uint32 values (VAddr); address 0 is the
+// null pointer.
+package vmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"smartrpc/internal/arch"
+)
+
+// VAddr is an ordinary pointer: an address valid only within one simulated
+// address space. Long pointers (package swizzle) extend these across the
+// distributed system.
+type VAddr uint32
+
+// Null is the null ordinary pointer.
+const Null VAddr = 0
+
+// Prot is a page protection level.
+type Prot int
+
+// Protection levels. ProtNone pages fault on any access (the paper's
+// protected page area before its data arrives); ProtRead pages fault on
+// write (dirty detection); ProtReadWrite pages never fault.
+const (
+	ProtNone Prot = iota + 1
+	ProtRead
+	ProtReadWrite
+)
+
+// String returns a mprotect-style rendering of the protection.
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtReadWrite:
+		return "rw-"
+	default:
+		return fmt.Sprintf("Prot(%d)", int(p))
+	}
+}
+
+// FaultKind distinguishes read from write access violations.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultRead FaultKind = iota + 1
+	FaultWrite
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultRead:
+		return "read"
+	case FaultWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault describes one access violation, as delivered to the handler.
+type Fault struct {
+	// Addr is the faulting address.
+	Addr VAddr
+	// Page is the faulting page number (Addr / PageSize).
+	Page uint32
+	// Kind says whether the access was a read or a write.
+	Kind FaultKind
+}
+
+// Handler resolves a fault, typically by fetching remote data and raising
+// the page protection. If it returns an error the faulting access fails
+// with that error. A handler that leaves the protection unchanged causes
+// the access to fail with ErrFaultUnresolved.
+type Handler func(Fault) error
+
+// Region boundaries. The heap starts above page 0 so that small integers
+// never alias valid pointers; the cache region occupies the upper half.
+const (
+	heapBase  VAddr = 0x0001_0000
+	cacheBase VAddr = 0x4000_0000
+	spaceTop  VAddr = 0xF000_0000
+)
+
+// Sentinel errors.
+var (
+	// ErrNull is returned for any access through the null pointer.
+	ErrNull = errors.New("vmem: null pointer access")
+	// ErrUnmapped is returned for access to a page that was never allocated.
+	ErrUnmapped = errors.New("vmem: unmapped address")
+	// ErrNoHandler is returned when a fault occurs and no handler is set.
+	ErrNoHandler = errors.New("vmem: access violation with no fault handler")
+	// ErrFaultUnresolved is returned when the handler ran but the page is
+	// still inaccessible.
+	ErrFaultUnresolved = errors.New("vmem: fault handler did not resolve protection")
+	// ErrOutOfMemory is returned when a region is exhausted.
+	ErrOutOfMemory = errors.New("vmem: out of memory")
+	// ErrBadFree is returned for Free of an address that was not returned
+	// by Alloc (or was already freed).
+	ErrBadFree = errors.New("vmem: bad free")
+)
+
+// page is one unit of protection and transfer.
+type page struct {
+	data  []byte
+	prot  Prot
+	cache bool // page lives in the cache region
+	dirty bool // cache page modified since install (coherency protocol)
+}
+
+// Config parameterizes a Space.
+type Config struct {
+	// PageSize is the protection grain in bytes; must be a power of two
+	// ≥ 64. Defaults to 4096.
+	PageSize int
+	// Profile is the simulated architecture. Defaults to arch.SPARC32.
+	Profile arch.Profile
+}
+
+func (c *Config) fill() error {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.PageSize < 64 || c.PageSize&(c.PageSize-1) != 0 {
+		return fmt.Errorf("vmem: page size %d must be a power of two >= 64", c.PageSize)
+	}
+	if c.Profile.Name == "" {
+		c.Profile = arch.SPARC32()
+	}
+	return c.Profile.Validate()
+}
+
+// Space is one simulated address space: a page table, a heap for local
+// data, a cache region for remote data, and a fault handler.
+//
+// All methods are safe for concurrent use; the fault handler is invoked
+// without the space lock held, so it may call back into the Space.
+type Space struct {
+	pageSize  int
+	pageShift uint
+	profile   arch.Profile
+
+	mu        sync.Mutex
+	pages     map[uint32]*page
+	handler   Handler
+	heap      allocator
+	cacheNext VAddr // bump pointer for cache page allocation
+	faults    uint64
+}
+
+// NewSpace creates an empty address space.
+func NewSpace(cfg Config) (*Space, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.PageSize {
+		shift++
+	}
+	s := &Space{
+		pageSize:  cfg.PageSize,
+		pageShift: shift,
+		profile:   cfg.Profile,
+		pages:     make(map[uint32]*page),
+		cacheNext: cacheBase,
+	}
+	s.heap.init(heapBase, cacheBase)
+	return s, nil
+}
+
+// PageSize returns the protection grain.
+func (s *Space) PageSize() int { return s.pageSize }
+
+// Profile returns the simulated architecture.
+func (s *Space) Profile() arch.Profile { return s.profile }
+
+// PointerSize returns the in-memory size of an ordinary pointer.
+func (s *Space) PointerSize() int { return s.profile.PointerSize }
+
+// SetHandler installs the fault handler.
+func (s *Space) SetHandler(h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// Faults returns the number of access violations delivered so far.
+func (s *Space) Faults() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// PageOf returns the page number containing addr.
+func (s *Space) PageOf(addr VAddr) uint32 {
+	return uint32(addr) >> s.pageShift
+}
+
+// PageBase returns the first address of page pn.
+func (s *Space) PageBase(pn uint32) VAddr {
+	return VAddr(pn << s.pageShift)
+}
+
+// InCache reports whether addr lies in the cache region (i.e. the data is
+// a cached copy of remote data rather than locally owned).
+func (s *Space) InCache(addr VAddr) bool {
+	return addr >= cacheBase && addr < spaceTop
+}
+
+// InHeap reports whether addr lies in the local heap region.
+func (s *Space) InHeap(addr VAddr) bool {
+	return addr >= heapBase && addr < cacheBase
+}
+
+// --- allocation ---
+
+// Alloc reserves size bytes (aligned to align, a power of two) in the local
+// heap. Heap pages are mapped read-write; locally owned data never faults.
+func (s *Space) Alloc(size, align int) (VAddr, error) {
+	if size <= 0 {
+		return Null, fmt.Errorf("vmem: alloc size %d", size)
+	}
+	if align <= 0 {
+		align = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr, err := s.heap.alloc(size, align)
+	if err != nil {
+		return Null, err
+	}
+	s.mapRangeLocked(addr, size, ProtReadWrite, false)
+	return addr, nil
+}
+
+// Free releases a heap allocation made by Alloc.
+func (s *Space) Free(addr VAddr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.free(addr)
+}
+
+// AllocSize reports the size recorded for a live heap allocation.
+func (s *Space) AllocSize(addr VAddr) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.sizeOf(addr)
+}
+
+// HeapInUse returns the number of live heap bytes.
+func (s *Space) HeapInUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.inUse
+}
+
+// AllocCachePages reserves n fresh, contiguous cache pages with ProtNone:
+// a protected page area in the paper's terms. It returns the base address.
+// The pages contain no data yet; the first access faults.
+func (s *Space) AllocCachePages(n int) (VAddr, error) {
+	if n <= 0 {
+		return Null, fmt.Errorf("vmem: cache page count %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	need := VAddr(n * s.pageSize)
+	if s.cacheNext+need < s.cacheNext || s.cacheNext+need > spaceTop {
+		return Null, fmt.Errorf("%w: cache region exhausted", ErrOutOfMemory)
+	}
+	base := s.cacheNext
+	s.cacheNext += need
+	s.mapRangeLocked(base, int(need), ProtNone, true)
+	return base, nil
+}
+
+// mapRangeLocked ensures pages covering [addr, addr+size) exist with the
+// given protection. Existing pages keep their data and protection.
+func (s *Space) mapRangeLocked(addr VAddr, size int, prot Prot, cache bool) {
+	first := uint32(addr) >> s.pageShift
+	last := (uint32(addr) + uint32(size) - 1) >> s.pageShift
+	for pn := first; pn <= last; pn++ {
+		if _, ok := s.pages[pn]; !ok {
+			s.pages[pn] = &page{
+				data:  make([]byte, s.pageSize),
+				prot:  prot,
+				cache: cache,
+			}
+		}
+	}
+}
+
+// --- protection and dirty bookkeeping ---
+
+// SetProt changes the protection of page pn. It is the runtime's analogue
+// of mprotect(2).
+func (s *Space) SetProt(pn uint32, prot Prot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[pn]
+	if !ok {
+		return fmt.Errorf("%w: page %d", ErrUnmapped, pn)
+	}
+	p.prot = prot
+	return nil
+}
+
+// ProtOf returns the protection of page pn.
+func (s *Space) ProtOf(pn uint32) (Prot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[pn]
+	if !ok {
+		return 0, fmt.Errorf("%w: page %d", ErrUnmapped, pn)
+	}
+	return p.prot, nil
+}
+
+// MarkDirty sets or clears the dirty bit of a cache page.
+func (s *Space) MarkDirty(pn uint32, dirty bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[pn]
+	if !ok {
+		return fmt.Errorf("%w: page %d", ErrUnmapped, pn)
+	}
+	p.dirty = dirty
+	return nil
+}
+
+// IsDirty reports the dirty bit of page pn (false for unmapped pages).
+func (s *Space) IsDirty(pn uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[pn]
+	return ok && p.dirty
+}
+
+// DirtyPages returns the page numbers of all dirty cache pages: the
+// "modified data set" the coherency protocol ships on control transfer.
+func (s *Space) DirtyPages() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []uint32
+	for pn, p := range s.pages {
+		if p.cache && p.dirty {
+			out = append(out, pn)
+		}
+	}
+	return out
+}
+
+// InvalidateCache discards every cache page: data is zeroed, protection
+// returns to ProtNone, and dirty bits clear. This implements the
+// end-of-session invalidation multicast's effect on one space. The cache
+// address range stays reserved so stale ordinary pointers fault rather
+// than alias new data.
+func (s *Space) InvalidateCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.pages {
+		if !p.cache {
+			continue
+		}
+		for i := range p.data {
+			p.data[i] = 0
+		}
+		p.prot = ProtNone
+		p.dirty = false
+	}
+}
+
+// --- raw (kernel-mode) access: no protection checks, no faults ---
+
+// ReadRaw copies len(buf) bytes from addr without protection checks. The
+// runtime uses it to marshal data out of pages regardless of protection.
+func (s *Space) ReadRaw(addr VAddr, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.copyLocked(addr, buf, true)
+}
+
+// WriteRaw copies data to addr without protection checks or dirty
+// bookkeeping. The runtime uses it to install fetched data.
+func (s *Space) WriteRaw(addr VAddr, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.copyLocked(addr, data, false)
+}
+
+func (s *Space) copyLocked(addr VAddr, buf []byte, read bool) error {
+	if addr == Null {
+		return ErrNull
+	}
+	off := 0
+	for off < len(buf) {
+		a := addr + VAddr(off)
+		pn := uint32(a) >> s.pageShift
+		p, ok := s.pages[pn]
+		if !ok {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(a))
+		}
+		po := int(uint32(a) & uint32(s.pageSize-1))
+		n := s.pageSize - po
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		if read {
+			copy(buf[off:off+n], p.data[po:po+n])
+		} else {
+			copy(p.data[po:po+n], buf[off:off+n])
+		}
+		off += n
+	}
+	return nil
+}
+
+// --- checked (user-mode) access: protection checks with fault delivery ---
+
+// Read copies len(buf) bytes from addr, delivering faults for pages below
+// ProtRead. This is what application-level loads go through.
+func (s *Space) Read(addr VAddr, buf []byte) error {
+	return s.access(addr, buf, FaultRead)
+}
+
+// Write copies data to addr, delivering faults for pages below
+// ProtReadWrite. This is what application-level stores go through.
+func (s *Space) Write(addr VAddr, data []byte) error {
+	return s.access(addr, data, FaultWrite)
+}
+
+// access performs a checked copy, faulting page by page as needed.
+func (s *Space) access(addr VAddr, buf []byte, kind FaultKind) error {
+	if addr == Null {
+		return ErrNull
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	off := 0
+	for off < len(buf) {
+		a := addr + VAddr(off)
+		pn := uint32(a) >> s.pageShift
+		if err := s.ensureAccess(a, pn, kind); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		p, ok := s.pages[pn]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(a))
+		}
+		po := int(uint32(a) & uint32(s.pageSize-1))
+		n := s.pageSize - po
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		if kind == FaultRead {
+			copy(buf[off:off+n], p.data[po:po+n])
+		} else {
+			copy(p.data[po:po+n], buf[off:off+n])
+		}
+		s.mu.Unlock()
+		off += n
+	}
+	return nil
+}
+
+// ensureAccess checks protection for one access and runs the fault handler
+// until the page is accessible. Bounded retries defend against handlers
+// that flap protection.
+func (s *Space) ensureAccess(addr VAddr, pn uint32, kind FaultKind) error {
+	const maxRetries = 3
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		p, ok := s.pages[pn]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(addr))
+		}
+		ok = p.prot == ProtReadWrite || (kind == FaultRead && p.prot == ProtRead)
+		if ok {
+			s.mu.Unlock()
+			return nil
+		}
+		if attempt >= maxRetries {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %s of %#x", ErrFaultUnresolved, kind, uint32(addr))
+		}
+		h := s.handler
+		s.faults++
+		s.mu.Unlock()
+		if h == nil {
+			return fmt.Errorf("%w: %s of %#x", ErrNoHandler, kind, uint32(addr))
+		}
+		if err := h(Fault{Addr: addr, Page: pn, Kind: kind}); err != nil {
+			return fmt.Errorf("vmem: %s fault at %#x: %w", kind, uint32(addr), err)
+		}
+	}
+}
+
+// --- typed access (profile byte order) ---
+
+// ReadUint reads an unsigned integer of the given byte width (1, 2, 4, 8)
+// through the checked path.
+func (s *Space) ReadUint(addr VAddr, width int) (uint64, error) {
+	var buf [8]byte
+	if err := s.Read(addr, buf[:width]); err != nil {
+		return 0, err
+	}
+	return decodeUint(buf[:width], s.profile.Order), nil
+}
+
+// WriteUint writes an unsigned integer of the given byte width through the
+// checked path.
+func (s *Space) WriteUint(addr VAddr, width int, v uint64) error {
+	var buf [8]byte
+	encodeUint(buf[:width], s.profile.Order, v)
+	return s.Write(addr, buf[:width])
+}
+
+// ReadPtr reads an ordinary pointer (profile pointer size) through the
+// checked path.
+func (s *Space) ReadPtr(addr VAddr) (VAddr, error) {
+	v, err := s.ReadUint(addr, s.profile.PointerSize)
+	return VAddr(v), err
+}
+
+// WritePtr writes an ordinary pointer through the checked path.
+func (s *Space) WritePtr(addr VAddr, v VAddr) error {
+	return s.WriteUint(addr, s.profile.PointerSize, uint64(v))
+}
+
+// ReadUintRaw reads an unsigned integer without protection checks.
+func (s *Space) ReadUintRaw(addr VAddr, width int) (uint64, error) {
+	var buf [8]byte
+	if err := s.ReadRaw(addr, buf[:width]); err != nil {
+		return 0, err
+	}
+	return decodeUint(buf[:width], s.profile.Order), nil
+}
+
+// WriteUintRaw writes an unsigned integer without protection checks.
+func (s *Space) WriteUintRaw(addr VAddr, width int, v uint64) error {
+	var buf [8]byte
+	encodeUint(buf[:width], s.profile.Order, v)
+	return s.WriteRaw(addr, buf[:width])
+}
+
+// ReadPtrRaw reads an ordinary pointer without protection checks.
+func (s *Space) ReadPtrRaw(addr VAddr) (VAddr, error) {
+	v, err := s.ReadUintRaw(addr, s.profile.PointerSize)
+	return VAddr(v), err
+}
+
+// WritePtrRaw writes an ordinary pointer without protection checks.
+func (s *Space) WritePtrRaw(addr VAddr, v VAddr) error {
+	return s.WriteUintRaw(addr, s.profile.PointerSize, uint64(v))
+}
+
+func decodeUint(b []byte, order arch.ByteOrder) uint64 {
+	var v uint64
+	if order == arch.BigEndian {
+		for _, x := range b {
+			v = v<<8 | uint64(x)
+		}
+	} else {
+		for i := len(b) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+	}
+	return v
+}
+
+func encodeUint(b []byte, order arch.ByteOrder, v uint64) {
+	if order == arch.BigEndian {
+		for i := len(b) - 1; i >= 0; i-- {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	} else {
+		for i := range b {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}

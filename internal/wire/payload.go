@@ -1,0 +1,408 @@
+package wire
+
+import (
+	"fmt"
+
+	"smartrpc/internal/types"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/xdr"
+)
+
+// LongPtr is the paper's long-format pointer: it designates a datum
+// anywhere in the distributed system. It is the wire identity of every
+// transferred object.
+type LongPtr struct {
+	// Space is the address-space identifier of the datum's original
+	// location.
+	Space uint32
+	// Addr is the datum's address, valid within Space.
+	Addr vmem.VAddr
+	// Type is the data-type specifier resolved through the type database.
+	Type types.ID
+}
+
+// IsNull reports whether the long pointer is the distinguished null value.
+func (lp LongPtr) IsNull() bool { return lp == LongPtr{} }
+
+// String renders the long pointer for diagnostics.
+func (lp LongPtr) String() string {
+	return fmt.Sprintf("<%d:%#x:t%d>", lp.Space, uint32(lp.Addr), uint32(lp.Type))
+}
+
+// EncodedLongPtrSize is the canonical size of a long pointer (three words).
+const EncodedLongPtrSize = 12
+
+func putLongPtr(e *xdr.Encoder, lp LongPtr) {
+	e.PutUint32(lp.Space)
+	e.PutUint32(uint32(lp.Addr))
+	e.PutUint32(uint32(lp.Type))
+}
+
+func getLongPtr(d *xdr.Decoder) (LongPtr, error) {
+	sp, err := d.Uint32()
+	if err != nil {
+		return LongPtr{}, err
+	}
+	ad, err := d.Uint32()
+	if err != nil {
+		return LongPtr{}, err
+	}
+	ty, err := d.Uint32()
+	if err != nil {
+		return LongPtr{}, err
+	}
+	return LongPtr{Space: sp, Addr: vmem.VAddr(ad), Type: types.ID(ty)}, nil
+}
+
+// Arg is one RPC argument or result: a scalar (canonical 64-bit
+// representation plus its kind), a long pointer, or a remote function
+// pointer (a capability naming a procedure in some address space).
+type Arg struct {
+	// Kind is the scalar kind, types.Ptr, or types.Func.
+	Kind types.Kind
+	// Word holds the scalar value's canonical bits.
+	Word uint64
+	// Ptr holds the long pointer for Kind == types.Ptr.
+	Ptr LongPtr
+	// FnSpace and FnName identify a remote function for Kind == types.Func.
+	FnSpace uint32
+	FnName  string
+}
+
+// ScalarArg builds a scalar argument.
+func ScalarArg(kind types.Kind, word uint64) Arg {
+	return Arg{Kind: kind, Word: word}
+}
+
+// PtrArg builds a pointer argument.
+func PtrArg(lp LongPtr) Arg {
+	return Arg{Kind: types.Ptr, Ptr: lp}
+}
+
+// FuncArg builds a remote function pointer argument.
+func FuncArg(space uint32, name string) Arg {
+	return Arg{Kind: types.Func, FnSpace: space, FnName: name}
+}
+
+func putArg(e *xdr.Encoder, a Arg) {
+	e.PutUint32(uint32(a.Kind))
+	switch a.Kind {
+	case types.Ptr:
+		putLongPtr(e, a.Ptr)
+	case types.Func:
+		e.PutUint32(a.FnSpace)
+		e.PutString(a.FnName)
+	default:
+		e.PutUint64(a.Word)
+	}
+}
+
+func getArg(d *xdr.Decoder) (Arg, error) {
+	k, err := d.Uint32()
+	if err != nil {
+		return Arg{}, err
+	}
+	a := Arg{Kind: types.Kind(k)}
+	if !a.Kind.Valid() {
+		return Arg{}, fmt.Errorf("wire: invalid arg kind %d", k)
+	}
+	switch a.Kind {
+	case types.Ptr:
+		a.Ptr, err = getLongPtr(d)
+		return a, err
+	case types.Func:
+		if a.FnSpace, err = d.Uint32(); err != nil {
+			return a, err
+		}
+		a.FnName, err = d.String()
+		return a, err
+	default:
+		a.Word, err = d.Uint64()
+		return a, err
+	}
+}
+
+// DataItem is one transferred object: its system-wide identity (a long
+// pointer to the original location) and its canonically encoded value.
+// Dirty propagates the modified bit with the data so that whichever space
+// holds the object knows it must eventually be written back (§3.4).
+type DataItem struct {
+	LP    LongPtr
+	Dirty bool
+	Bytes []byte
+}
+
+func putItems(e *xdr.Encoder, items []DataItem) {
+	e.PutUint32(uint32(len(items)))
+	for _, it := range items {
+		putLongPtr(e, it.LP)
+		e.PutBool(it.Dirty)
+		e.PutOpaque(it.Bytes)
+	}
+}
+
+func getItems(d *xdr.Decoder) ([]DataItem, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<22 {
+		return nil, fmt.Errorf("wire: item count %d out of range", n)
+	}
+	items := make([]DataItem, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var it DataItem
+		if it.LP, err = getLongPtr(d); err != nil {
+			return nil, err
+		}
+		if it.Dirty, err = d.Bool(); err != nil {
+			return nil, err
+		}
+		b, err := d.Opaque()
+		if err != nil {
+			return nil, err
+		}
+		it.Bytes = make([]byte, len(b))
+		copy(it.Bytes, b)
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// CallPayload is the body of Call and Return messages: the argument (or
+// result) vector, the piggybacked data items (the modified data set plus,
+// for eager transfers, the closure of the pointer arguments), and the set
+// of address spaces that have participated in the session so far (the
+// ground runtime multicasts the end-of-session invalidation to them).
+type CallPayload struct {
+	Args  []Arg
+	Items []DataItem
+	Parts []uint32
+}
+
+// Encode returns the canonical encoding of p.
+func (p *CallPayload) Encode() []byte {
+	e := xdr.NewEncoder(64 + 32*len(p.Args))
+	e.PutUint32(uint32(len(p.Args)))
+	for _, a := range p.Args {
+		putArg(e, a)
+	}
+	putItems(e, p.Items)
+	e.PutUint32(uint32(len(p.Parts)))
+	for _, part := range p.Parts {
+		e.PutUint32(part)
+	}
+	return e.Bytes()
+}
+
+// DecodeCallPayload parses a Call/Return body.
+func DecodeCallPayload(b []byte) (CallPayload, error) {
+	d := xdr.NewDecoder(b)
+	var p CallPayload
+	n, err := d.Uint32()
+	if err != nil {
+		return p, err
+	}
+	if n > 1<<16 {
+		return p, fmt.Errorf("wire: arg count %d out of range", n)
+	}
+	p.Args = make([]Arg, 0, n)
+	for i := uint32(0); i < n; i++ {
+		a, err := getArg(d)
+		if err != nil {
+			return p, err
+		}
+		p.Args = append(p.Args, a)
+	}
+	if p.Items, err = getItems(d); err != nil {
+		return p, err
+	}
+	np, err := d.Uint32()
+	if err != nil {
+		return p, err
+	}
+	if np > 1<<16 {
+		return p, fmt.Errorf("wire: participant count %d out of range", np)
+	}
+	p.Parts = make([]uint32, 0, np)
+	for i := uint32(0); i < np; i++ {
+		v, err := d.Uint32()
+		if err != nil {
+			return p, err
+		}
+		p.Parts = append(p.Parts, v)
+	}
+	return p, nil
+}
+
+// FetchPayload requests the data for a set of long pointers — all the
+// entries of the faulted page's data allocation table — plus an eager
+// closure budget in bytes (§3.3).
+type FetchPayload struct {
+	Wants  []LongPtr
+	Budget uint32
+}
+
+// Encode returns the canonical encoding of p.
+func (p *FetchPayload) Encode() []byte {
+	e := xdr.NewEncoder(8 + EncodedLongPtrSize*len(p.Wants))
+	e.PutUint32(uint32(len(p.Wants)))
+	for _, lp := range p.Wants {
+		putLongPtr(e, lp)
+	}
+	e.PutUint32(p.Budget)
+	return e.Bytes()
+}
+
+// DecodeFetchPayload parses a Fetch body.
+func DecodeFetchPayload(b []byte) (FetchPayload, error) {
+	d := xdr.NewDecoder(b)
+	var p FetchPayload
+	n, err := d.Uint32()
+	if err != nil {
+		return p, err
+	}
+	if n > 1<<22 {
+		return p, fmt.Errorf("wire: want count %d out of range", n)
+	}
+	p.Wants = make([]LongPtr, 0, n)
+	for i := uint32(0); i < n; i++ {
+		lp, err := getLongPtr(d)
+		if err != nil {
+			return p, err
+		}
+		p.Wants = append(p.Wants, lp)
+	}
+	if p.Budget, err = d.Uint32(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// ItemsPayload is the body of FetchReply and WriteBack messages.
+type ItemsPayload struct {
+	Items []DataItem
+}
+
+// Encode returns the canonical encoding of p.
+func (p *ItemsPayload) Encode() []byte {
+	e := xdr.NewEncoder(64)
+	putItems(e, p.Items)
+	return e.Bytes()
+}
+
+// DecodeItemsPayload parses a FetchReply/WriteBack body.
+func DecodeItemsPayload(b []byte) (ItemsPayload, error) {
+	items, err := getItems(xdr.NewDecoder(b))
+	return ItemsPayload{Items: items}, err
+}
+
+// AllocReq is one batched extended_malloc request. Token is the caller's
+// provisional identifier for the new object; the reply maps it to the real
+// address assigned by the origin space.
+type AllocReq struct {
+	Token uint64
+	Type  types.ID
+}
+
+// AllocBatchPayload carries the batched remote allocation and release
+// requests flushed when the thread of control leaves the space (§3.5).
+type AllocBatchPayload struct {
+	Allocs []AllocReq
+	Frees  []LongPtr
+}
+
+// Encode returns the canonical encoding of p.
+func (p *AllocBatchPayload) Encode() []byte {
+	e := xdr.NewEncoder(16 + 12*len(p.Allocs) + EncodedLongPtrSize*len(p.Frees))
+	e.PutUint32(uint32(len(p.Allocs)))
+	for _, a := range p.Allocs {
+		e.PutUint64(a.Token)
+		e.PutUint32(uint32(a.Type))
+	}
+	e.PutUint32(uint32(len(p.Frees)))
+	for _, lp := range p.Frees {
+		putLongPtr(e, lp)
+	}
+	return e.Bytes()
+}
+
+// DecodeAllocBatchPayload parses an AllocBatch body.
+func DecodeAllocBatchPayload(b []byte) (AllocBatchPayload, error) {
+	d := xdr.NewDecoder(b)
+	var p AllocBatchPayload
+	n, err := d.Uint32()
+	if err != nil {
+		return p, err
+	}
+	if n > 1<<22 {
+		return p, fmt.Errorf("wire: alloc count %d out of range", n)
+	}
+	p.Allocs = make([]AllocReq, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var a AllocReq
+		if a.Token, err = d.Uint64(); err != nil {
+			return p, err
+		}
+		t, err := d.Uint32()
+		if err != nil {
+			return p, err
+		}
+		a.Type = types.ID(t)
+		p.Allocs = append(p.Allocs, a)
+	}
+	m, err := d.Uint32()
+	if err != nil {
+		return p, err
+	}
+	if m > 1<<22 {
+		return p, fmt.Errorf("wire: free count %d out of range", m)
+	}
+	p.Frees = make([]LongPtr, 0, m)
+	for i := uint32(0); i < m; i++ {
+		lp, err := getLongPtr(d)
+		if err != nil {
+			return p, err
+		}
+		p.Frees = append(p.Frees, lp)
+	}
+	return p, nil
+}
+
+// AllocReplyPayload returns the real addresses for a batch of allocation
+// requests, parallel to AllocBatchPayload.Allocs.
+type AllocReplyPayload struct {
+	Addrs []vmem.VAddr
+}
+
+// Encode returns the canonical encoding of p.
+func (p *AllocReplyPayload) Encode() []byte {
+	e := xdr.NewEncoder(4 + 4*len(p.Addrs))
+	e.PutUint32(uint32(len(p.Addrs)))
+	for _, a := range p.Addrs {
+		e.PutUint32(uint32(a))
+	}
+	return e.Bytes()
+}
+
+// DecodeAllocReplyPayload parses an AllocReply body.
+func DecodeAllocReplyPayload(b []byte) (AllocReplyPayload, error) {
+	d := xdr.NewDecoder(b)
+	var p AllocReplyPayload
+	n, err := d.Uint32()
+	if err != nil {
+		return p, err
+	}
+	if n > 1<<22 {
+		return p, fmt.Errorf("wire: addr count %d out of range", n)
+	}
+	p.Addrs = make([]vmem.VAddr, 0, n)
+	for i := uint32(0); i < n; i++ {
+		a, err := d.Uint32()
+		if err != nil {
+			return p, err
+		}
+		p.Addrs = append(p.Addrs, vmem.VAddr(a))
+	}
+	return p, nil
+}

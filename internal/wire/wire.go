@@ -1,0 +1,190 @@
+// Package wire defines the messages the Smart RPC runtimes exchange and
+// their canonical (XDR) encoding, plus length-prefixed framing for stream
+// transports.
+//
+// The message set follows the protocol in §3 of the paper:
+//
+//   - Call / Return carry RPC arguments and results; both piggyback the
+//     modified data set (coherency protocol, §3.4) and flush the batched
+//     remote-allocation requests (§3.5) travel just before them.
+//   - Fetch / FetchReply move remotely referenced data on the first page
+//     fault (§3.2), with the eager transitive closure attached (§3.3).
+//   - WriteBack and Invalidate implement the end-of-session tasks of the
+//     ground runtime (§3.4).
+//   - AllocBatch / AllocReply carry the batched extended_malloc and
+//     extended_free requests (§3.5).
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"smartrpc/internal/xdr"
+)
+
+// Kind discriminates message types.
+type Kind uint32
+
+// Message kinds.
+const (
+	KindCall Kind = iota + 1
+	KindReturn
+	KindFetch
+	KindFetchReply
+	KindWriteBack
+	KindWriteBackAck
+	KindInvalidate
+	KindInvalidateAck
+	KindAllocBatch
+	KindAllocReply
+)
+
+var kindNames = map[Kind]string{
+	KindCall: "call", KindReturn: "return",
+	KindFetch: "fetch", KindFetchReply: "fetch-reply",
+	KindWriteBack: "write-back", KindWriteBackAck: "write-back-ack",
+	KindInvalidate: "invalidate", KindInvalidateAck: "invalidate-ack",
+	KindAllocBatch: "alloc-batch", KindAllocReply: "alloc-reply",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint32(k))
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
+// IsReply reports whether k is a response kind (routed to a waiting
+// requester rather than dispatched to a handler).
+func (k Kind) IsReply() bool {
+	switch k {
+	case KindReturn, KindFetchReply, KindWriteBackAck, KindInvalidateAck, KindAllocReply:
+		return true
+	default:
+		return false
+	}
+}
+
+// Message is one unit of communication between address spaces.
+type Message struct {
+	// Kind discriminates the payload.
+	Kind Kind
+	// Session identifies the RPC session the message belongs to.
+	Session uint64
+	// Seq correlates requests with replies within one (From, To) flow.
+	Seq uint64
+	// From and To are address-space identifiers.
+	From, To uint32
+	// Proc is the remote procedure name (Call only).
+	Proc string
+	// Err carries a remote error rendering (Return only; empty = ok).
+	Err string
+	// Payload is the kind-specific body, already XDR-encoded.
+	Payload []byte
+}
+
+// WireSize returns the encoded size of the message, used by the network
+// cost model.
+func (m *Message) WireSize() int {
+	return 7*4 +
+		4 + len(m.Proc) + pad4(len(m.Proc)) +
+		4 + len(m.Err) + pad4(len(m.Err)) +
+		4 + len(m.Payload) + pad4(len(m.Payload))
+}
+
+func pad4(n int) int { return (4 - n%4) % 4 }
+
+// Encode appends the XDR encoding of m to enc.
+func (m *Message) Encode(enc *xdr.Encoder) {
+	enc.PutUint32(uint32(m.Kind))
+	enc.PutUint64(m.Session)
+	enc.PutUint64(m.Seq)
+	enc.PutUint32(m.From)
+	enc.PutUint32(m.To)
+	enc.PutString(m.Proc)
+	enc.PutString(m.Err)
+	enc.PutOpaque(m.Payload)
+}
+
+// Decode parses one message from dec.
+func Decode(dec *xdr.Decoder) (Message, error) {
+	var m Message
+	k, err := dec.Uint32()
+	if err != nil {
+		return m, fmt.Errorf("wire: kind: %w", err)
+	}
+	m.Kind = Kind(k)
+	if !m.Kind.Valid() {
+		return m, fmt.Errorf("wire: invalid kind %d", k)
+	}
+	if m.Session, err = dec.Uint64(); err != nil {
+		return m, fmt.Errorf("wire: session: %w", err)
+	}
+	if m.Seq, err = dec.Uint64(); err != nil {
+		return m, fmt.Errorf("wire: seq: %w", err)
+	}
+	if m.From, err = dec.Uint32(); err != nil {
+		return m, fmt.Errorf("wire: from: %w", err)
+	}
+	if m.To, err = dec.Uint32(); err != nil {
+		return m, fmt.Errorf("wire: to: %w", err)
+	}
+	if m.Proc, err = dec.String(); err != nil {
+		return m, fmt.Errorf("wire: proc: %w", err)
+	}
+	if m.Err, err = dec.String(); err != nil {
+		return m, fmt.Errorf("wire: err: %w", err)
+	}
+	p, err := dec.Opaque()
+	if err != nil {
+		return m, fmt.Errorf("wire: payload: %w", err)
+	}
+	m.Payload = make([]byte, len(p))
+	copy(m.Payload, p)
+	return m, nil
+}
+
+// maxFrame bounds a single framed message (16 MiB), protecting stream
+// readers from corrupt length prefixes.
+const maxFrame = 16 << 20
+
+// WriteFrame writes m to w as a length-prefixed frame.
+func WriteFrame(w io.Writer, m *Message) error {
+	enc := xdr.NewEncoder(m.WireSize() + 8)
+	m.Encode(enc)
+	body := enc.Bytes()
+	var hdr [4]byte
+	n := len(body)
+	hdr[0], hdr[1], hdr[2], hdr[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r and decodes it.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n < 0 || n > maxFrame {
+		return Message{}, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return Decode(xdr.NewDecoder(body))
+}

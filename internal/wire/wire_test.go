@@ -1,0 +1,347 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"smartrpc/internal/types"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/xdr"
+)
+
+func sampleMessage() Message {
+	return Message{
+		Kind:    KindCall,
+		Session: 7,
+		Seq:     99,
+		From:    1,
+		To:      2,
+		Proc:    "searchTree",
+		Payload: []byte{1, 2, 3, 4, 5},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	enc := xdr.NewEncoder(64)
+	m.Encode(enc)
+	got, err := Decode(xdr.NewDecoder(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestMessageRoundTripWithError(t *testing.T) {
+	m := Message{Kind: KindReturn, Session: 1, Seq: 2, From: 3, To: 4, Err: "proc not found", Payload: []byte{}}
+	enc := xdr.NewEncoder(64)
+	m.Encode(enc)
+	got, err := Decode(xdr.NewDecoder(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != m.Err {
+		t.Errorf("Err = %q, want %q", got.Err, m.Err)
+	}
+}
+
+func TestDecodeRejectsInvalidKind(t *testing.T) {
+	enc := xdr.NewEncoder(8)
+	enc.PutUint32(999)
+	if _, err := Decode(xdr.NewDecoder(enc.Bytes())); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	m := sampleMessage()
+	enc := xdr.NewEncoder(64)
+	m.Encode(enc)
+	full := enc.Bytes()
+	for n := 0; n < len(full); n += 4 {
+		if _, err := Decode(xdr.NewDecoder(full[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestKindStringAndReplies(t *testing.T) {
+	if KindCall.String() != "call" || KindFetchReply.String() != "fetch-reply" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(0).Valid() || !KindInvalidate.Valid() {
+		t.Error("Kind.Valid mismatch")
+	}
+	replies := []Kind{KindReturn, KindFetchReply, KindWriteBackAck, KindInvalidateAck, KindAllocReply}
+	for _, k := range replies {
+		if !k.IsReply() {
+			t.Errorf("%v not classified as reply", k)
+		}
+	}
+	requests := []Kind{KindCall, KindFetch, KindWriteBack, KindInvalidate, KindAllocBatch}
+	for _, k := range requests {
+		if k.IsReply() {
+			t.Errorf("%v classified as reply", k)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("frame round trip mismatch")
+	}
+}
+
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{sampleMessage(), {Kind: KindFetch, Seq: 1, Payload: []byte{9}}, {Kind: KindInvalidate, Payload: []byte{}}}
+	for i := range msgs {
+		if err := WriteFrame(&buf, &msgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != msgs[i].Kind {
+			t.Errorf("frame %d kind %v, want %v", i, got.Kind, msgs[i].Kind)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("after last frame: %v, want EOF", err)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	r := bytes.NewReader([]byte{0x7f, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(r); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("huge frame err = %v", err)
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	msgs := []Message{
+		sampleMessage(),
+		{Kind: KindReturn, Err: "x"},
+		{Kind: KindFetch, Proc: "abc", Payload: make([]byte, 33)},
+	}
+	for _, m := range msgs {
+		enc := xdr.NewEncoder(64)
+		m.Encode(enc)
+		if got := m.WireSize(); got != enc.Len() {
+			t.Errorf("WireSize() = %d, encoded = %d for %+v", got, enc.Len(), m)
+		}
+	}
+}
+
+func TestLongPtr(t *testing.T) {
+	lp := LongPtr{Space: 3, Addr: 0x1000, Type: 9}
+	if lp.IsNull() {
+		t.Error("non-null long pointer reported null")
+	}
+	if !(LongPtr{}).IsNull() {
+		t.Error("zero long pointer not null")
+	}
+	if got := lp.String(); got != "<3:0x1000:t9>" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCallPayloadRoundTrip(t *testing.T) {
+	p := CallPayload{
+		Args: []Arg{
+			ScalarArg(types.Int64, 0xdeadbeef),
+			PtrArg(LongPtr{Space: 1, Addr: 0x2000, Type: 5}),
+			ScalarArg(types.Float64, 123),
+		},
+		Items: []DataItem{
+			{LP: LongPtr{Space: 2, Addr: 0x40, Type: 5}, Dirty: true, Bytes: []byte{1, 2, 3}},
+		},
+		Parts: []uint32{1, 2, 7},
+	}
+	got, err := DecodeCallPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("call payload round trip:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestCallPayloadEmpty(t *testing.T) {
+	p := CallPayload{}
+	got, err := DecodeCallPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Args) != 0 || len(got.Items) != 0 {
+		t.Errorf("empty payload round trip = %+v", got)
+	}
+}
+
+func TestCallPayloadRejectsBadKind(t *testing.T) {
+	e := xdr.NewEncoder(16)
+	e.PutUint32(1)  // one arg
+	e.PutUint32(77) // invalid kind
+	e.PutUint64(0)
+	if _, err := DecodeCallPayload(e.Bytes()); err == nil {
+		t.Error("invalid arg kind accepted")
+	}
+}
+
+func TestFetchPayloadRoundTrip(t *testing.T) {
+	p := FetchPayload{
+		Wants: []LongPtr{
+			{Space: 1, Addr: 0x10, Type: 2},
+			{Space: 1, Addr: 0x20, Type: 2},
+		},
+		Budget: 8192,
+	}
+	got, err := DecodeFetchPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("fetch payload round trip mismatch: %+v", got)
+	}
+}
+
+func TestItemsPayloadRoundTrip(t *testing.T) {
+	p := ItemsPayload{Items: []DataItem{
+		{LP: LongPtr{Space: 1, Addr: 0x10, Type: 2}, Bytes: []byte{0xFF}},
+		{LP: LongPtr{Space: 4, Addr: 0x99, Type: 3}, Dirty: true, Bytes: []byte{}},
+	}}
+	got, err := DecodeItemsPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("items payload round trip mismatch: %+v", got)
+	}
+}
+
+func TestAllocBatchRoundTrip(t *testing.T) {
+	p := AllocBatchPayload{
+		Allocs: []AllocReq{{Token: 1, Type: 5}, {Token: 2, Type: 6}},
+		Frees:  []LongPtr{{Space: 1, Addr: 0x30, Type: 5}},
+	}
+	got, err := DecodeAllocBatchPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("alloc batch round trip mismatch: %+v", got)
+	}
+}
+
+func TestAllocReplyRoundTrip(t *testing.T) {
+	p := AllocReplyPayload{Addrs: []vmem.VAddr{0x100, 0x200}}
+	got, err := DecodeAllocReplyPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Addrs, p.Addrs) {
+		t.Errorf("alloc reply round trip = %+v", got)
+	}
+}
+
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(kind uint8, session, seq uint64, from, to uint32, proc string, payload []byte) bool {
+		k := Kind(kind%10) + 1
+		m := Message{Kind: k, Session: session, Seq: seq, From: from, To: to, Proc: proc, Payload: payload}
+		if m.Payload == nil {
+			m.Payload = []byte{}
+		}
+		enc := xdr.NewEncoder(m.WireSize())
+		m.Encode(enc)
+		got, err := Decode(xdr.NewDecoder(enc.Bytes()))
+		if err != nil {
+			return false
+		}
+		if got.Payload == nil {
+			got.Payload = []byte{}
+		}
+		return reflect.DeepEqual(got, m) && m.WireSize() == enc.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Robustness: arbitrary bytes must never panic any decoder — errors only.
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("decoder panicked on %x: %v", b, r)
+				ok = false
+			}
+		}()
+		_, _ = Decode(xdr.NewDecoder(b))
+		_, _ = DecodeCallPayload(b)
+		_, _ = DecodeFetchPayload(b)
+		_, _ = DecodeItemsPayload(b)
+		_, _ = DecodeAllocBatchPayload(b)
+		_, _ = DecodeAllocReplyPayload(b)
+		_, _ = ReadFrame(bytes.NewReader(b))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutation robustness: take a valid encoded message and flip bytes; the
+// decoder must fail cleanly or succeed, never panic.
+func TestMutatedMessageRobustness(t *testing.T) {
+	m := sampleMessage()
+	enc := xdr.NewEncoder(64)
+	m.Encode(enc)
+	base := enc.Bytes()
+	for i := 0; i < len(base); i++ {
+		for _, flip := range []byte{0x01, 0x80, 0xFF} {
+			mut := make([]byte, len(base))
+			copy(mut, base)
+			mut[i] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic decoding mutation at byte %d: %v", i, r)
+					}
+				}()
+				_, _ = Decode(xdr.NewDecoder(mut))
+			}()
+		}
+	}
+}
+
+func TestFuncArgRoundTrip(t *testing.T) {
+	p := CallPayload{
+		Args:  []Arg{FuncArg(3, "TreeService.search"), ScalarArg(types.Int64, 1)},
+		Parts: []uint32{1},
+	}
+	got, err := DecodeCallPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Args[0].Kind != types.Func || got.Args[0].FnSpace != 3 || got.Args[0].FnName != "TreeService.search" {
+		t.Errorf("func arg round trip = %+v", got.Args[0])
+	}
+}

@@ -1,0 +1,281 @@
+package xdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	cases := []uint32{0, 1, 0x7fffffff, 0x80000000, 0xffffffff, 42}
+	for _, v := range cases {
+		e := NewEncoder(8)
+		e.PutUint32(v)
+		got, err := NewDecoder(e.Bytes()).Uint32()
+		if err != nil {
+			t.Fatalf("Uint32(%#x): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("Uint32 round trip: got %#x, want %#x", got, v)
+		}
+	}
+}
+
+func TestUint32BigEndianWire(t *testing.T) {
+	e := NewEncoder(4)
+	e.PutUint32(0x01020304)
+	want := []byte{1, 2, 3, 4}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("wire format = %v, want %v", e.Bytes(), want)
+	}
+}
+
+func TestInt32Negative(t *testing.T) {
+	e := NewEncoder(4)
+	e.PutInt32(-1)
+	if !bytes.Equal(e.Bytes(), []byte{0xff, 0xff, 0xff, 0xff}) {
+		t.Errorf("int32(-1) wire = %v", e.Bytes())
+	}
+	got, err := NewDecoder(e.Bytes()).Int32()
+	if err != nil || got != -1 {
+		t.Errorf("Int32() = %d, %v; want -1, nil", got, err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 1 << 32, math.MaxUint64, 0x0102030405060708}
+	for _, v := range cases {
+		e := NewEncoder(8)
+		e.PutUint64(v)
+		got, err := NewDecoder(e.Bytes()).Uint64()
+		if err != nil || got != v {
+			t.Errorf("Uint64(%#x) round trip = %#x, %v", v, got, err)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutBool(true)
+	e.PutBool(false)
+	d := NewDecoder(e.Bytes())
+	v1, err1 := d.Bool()
+	v2, err2 := d.Bool()
+	if err1 != nil || err2 != nil || !v1 || v2 {
+		t.Errorf("bool round trip: %v %v %v %v", v1, err1, v2, err2)
+	}
+}
+
+func TestBoolRejectsOther(t *testing.T) {
+	e := NewEncoder(4)
+	e.PutUint32(2)
+	if _, err := NewDecoder(e.Bytes()).Bool(); err == nil {
+		t.Error("Bool() accepted 2, want error")
+	}
+}
+
+func TestFloats(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutFloat32(3.25)
+	e.PutFloat64(-1.5e300)
+	d := NewDecoder(e.Bytes())
+	f32, err := d.Float32()
+	if err != nil || f32 != 3.25 {
+		t.Errorf("Float32 = %v, %v", f32, err)
+	}
+	f64, err := d.Float64()
+	if err != nil || f64 != -1.5e300 {
+		t.Errorf("Float64 = %v, %v", f64, err)
+	}
+}
+
+func TestFloatNaN(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutFloat64(math.NaN())
+	f, err := NewDecoder(e.Bytes()).Float64()
+	if err != nil || !math.IsNaN(f) {
+		t.Errorf("NaN round trip = %v, %v", f, err)
+	}
+}
+
+func TestStringPadding(t *testing.T) {
+	for _, s := range []string{"", "a", "ab", "abc", "abcd", "abcde"} {
+		e := NewEncoder(16)
+		e.PutString(s)
+		if e.Len()%4 != 0 {
+			t.Errorf("PutString(%q): length %d not 4-aligned", s, e.Len())
+		}
+		got, err := NewDecoder(e.Bytes()).String()
+		if err != nil || got != s {
+			t.Errorf("String round trip %q = %q, %v", s, got, err)
+		}
+	}
+}
+
+func TestOpaqueRoundTrip(t *testing.T) {
+	b := []byte{1, 2, 3, 4, 5}
+	e := NewEncoder(16)
+	e.PutOpaque(b)
+	got, err := NewDecoder(e.Bytes()).Opaque()
+	if err != nil || !bytes.Equal(got, b) {
+		t.Errorf("Opaque round trip = %v, %v", got, err)
+	}
+}
+
+func TestFixedOpaque(t *testing.T) {
+	b := []byte{9, 8, 7}
+	e := NewEncoder(8)
+	e.PutFixedOpaque(b)
+	if e.Len() != 4 {
+		t.Fatalf("fixed opaque of 3 bytes encodes to %d bytes, want 4", e.Len())
+	}
+	got, err := NewDecoder(e.Bytes()).FixedOpaque(3)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Errorf("FixedOpaque round trip = %v, %v", got, err)
+	}
+}
+
+func TestNonZeroPaddingRejected(t *testing.T) {
+	raw := []byte{0, 0, 0, 1, 'x', 0, 0, 1} // length 1, data 'x', bad pad byte
+	if _, err := NewDecoder(raw).Opaque(); err != ErrPadding {
+		t.Errorf("Opaque with dirty padding: err = %v, want ErrPadding", err)
+	}
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); err != ErrShortBuffer {
+		t.Errorf("Uint32 on short buffer: %v", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0, 8, 'a'})
+	if _, err := d.Opaque(); err != ErrShortBuffer {
+		t.Errorf("Opaque with truncated body: %v", err)
+	}
+}
+
+func TestOversizeLengthRejected(t *testing.T) {
+	e := NewEncoder(4)
+	e.PutUint32(0xffffffff)
+	if _, err := NewDecoder(e.Bytes()).Opaque(); err == nil {
+		t.Error("Opaque accepted absurd length")
+	}
+}
+
+func TestDecoderOffsetTracking(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutUint32(1)
+	e.PutUint64(2)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Uint32(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Offset() != 4 || d.Remaining() != 8 {
+		t.Errorf("after Uint32: offset %d remaining %d", d.Offset(), d.Remaining())
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutUint32(7)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Errorf("after Reset: len %d", e.Len())
+	}
+	e.PutUint32(9)
+	got, _ := NewDecoder(e.Bytes()).Uint32()
+	if got != 9 {
+		t.Errorf("after Reset+Put: %d", got)
+	}
+}
+
+// Property-based round trips for every scalar kind.
+
+func TestQuickUint32(t *testing.T) {
+	f := func(v uint32) bool {
+		e := NewEncoder(4)
+		e.PutUint32(v)
+		got, err := NewDecoder(e.Bytes()).Uint32()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInt64(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewEncoder(8)
+		e.PutInt64(v)
+		got, err := NewDecoder(e.Bytes()).Int64()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloat64(t *testing.T) {
+	f := func(v float64) bool {
+		e := NewEncoder(8)
+		e.PutFloat64(v)
+		got, err := NewDecoder(e.Bytes()).Float64()
+		if err != nil {
+			return false
+		}
+		return got == v || (math.IsNaN(got) && math.IsNaN(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOpaque(t *testing.T) {
+	f := func(b []byte) bool {
+		e := NewEncoder(len(b) + 8)
+		e.PutOpaque(b)
+		if e.Len()%4 != 0 {
+			return false
+		}
+		got, err := NewDecoder(e.Bytes()).Opaque()
+		return err == nil && bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickString(t *testing.T) {
+	f := func(s string) bool {
+		e := NewEncoder(len(s) + 8)
+		e.PutString(s)
+		got, err := NewDecoder(e.Bytes()).String()
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSequence(t *testing.T) {
+	// Interleaved items decode in order regardless of values.
+	f := func(a uint32, b int64, s string, c bool) bool {
+		e := NewEncoder(64)
+		e.PutUint32(a)
+		e.PutInt64(b)
+		e.PutString(s)
+		e.PutBool(c)
+		d := NewDecoder(e.Bytes())
+		ga, e1 := d.Uint32()
+		gb, e2 := d.Int64()
+		gs, e3 := d.String()
+		gc, e4 := d.Bool()
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			return false
+		}
+		return ga == a && gb == b && gs == s && gc == c && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+package srpc_test
+
+import (
+	"errors"
+	"testing"
+
+	srpc "smartrpc"
+)
+
+// listSchema registers a singly linked list node type.
+func listSchema(t *testing.T) *srpc.Registry {
+	t.Helper()
+	reg := srpc.NewRegistry()
+	reg.MustRegister(&srpc.TypeDesc{
+		ID:   1,
+		Name: "Node",
+		Fields: []srpc.Field{
+			{Name: "next", Kind: srpc.KindPtr, Elem: 1},
+			{Name: "val", Kind: srpc.KindInt64},
+		},
+	})
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// twoRuntimes wires two runtimes over a local network via the public API.
+func twoRuntimes(t *testing.T, reg *srpc.Registry) (*srpc.Runtime, *srpc.Runtime) {
+	t.Helper()
+	net, err := srpc.NewLocalNetwork(srpc.NetModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	an, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := net.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srpc.New(srpc.Options{ID: 1, Node: an, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := srpc.New(srpc.Options{ID: 2, Node: bn, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return a, b
+}
+
+// buildList creates a linked list 1..n in rt's heap and returns its head.
+func buildList(t *testing.T, rt *srpc.Runtime, n int) srpc.Value {
+	t.Helper()
+	head := srpc.NullPtr(1)
+	for i := n; i >= 1; i-- {
+		v, err := rt.NewObject(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := rt.Deref(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SetInt("val", 0, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SetPtr("next", 0, head); err != nil {
+			t.Fatal(err)
+		}
+		head = v
+	}
+	return head
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	reg := listSchema(t)
+	a, b := twoRuntimes(t, reg)
+	err := b.Register("sum", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+		total := int64(0)
+		v := args[0]
+		for !v.IsNullPtr() {
+			ref, err := ctx.Runtime().Deref(v)
+			if err != nil {
+				return nil, err
+			}
+			n, err := ref.Int("val", 0)
+			if err != nil {
+				return nil, err
+			}
+			total += n
+			if v, err = ref.Ptr("next", 0); err != nil {
+				return nil, err
+			}
+		}
+		return []srpc.Value{srpc.Int64Value(total)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := buildList(t, a, 100)
+	if err := a.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Call(2, "sum", []srpc.Value{head})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].Int64(); got != 5050 {
+		t.Errorf("remote sum = %d, want 5050", got)
+	}
+}
+
+func TestPublicAPIErrorsMatchable(t *testing.T) {
+	reg := listSchema(t)
+	a, _ := twoRuntimes(t, reg)
+	if _, err := a.Call(2, "sum", nil); !errors.Is(err, srpc.ErrNoSession) {
+		t.Errorf("err = %v, want ErrNoSession", err)
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	reg := listSchema(t)
+	for _, pol := range []srpc.Policy{srpc.PolicySmart, srpc.PolicyEager, srpc.PolicyLazy} {
+		net, err := srpc.NewLocalNetwork(srpc.NetModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, _ := net.Attach(1)
+		bn, _ := net.Attach(2)
+		a, err := srpc.New(srpc.Options{ID: 1, Node: an, Registry: reg, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := srpc.New(srpc.Options{ID: 2, Node: bn, Registry: reg, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = b.Register("len", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+			n := int64(0)
+			v := args[0]
+			for !v.IsNullPtr() {
+				ref, err := ctx.Runtime().Deref(v)
+				if err != nil {
+					return nil, err
+				}
+				n++
+				if v, err = ref.Ptr("next", 0); err != nil {
+					return nil, err
+				}
+			}
+			return []srpc.Value{srpc.Int64Value(n)}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		head := buildList(t, a, 17)
+		if err := a.BeginSession(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Call(2, "len", []srpc.Value{head})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if err := a.EndSession(); err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Int64() != 17 {
+			t.Errorf("%v: len = %d", pol, res[0].Int64())
+		}
+		_ = a.Close()
+		_ = b.Close()
+		_ = net.Close()
+	}
+}
+
+func TestPublicAPIOverTCP(t *testing.T) {
+	reg := listSchema(t)
+	serverNode, err := srpc.ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientNode, err := srpc.ListenTCP(1, "127.0.0.1:0", map[uint32]string{2: serverNode.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := srpc.New(srpc.Options{ID: 2, Node: serverNode, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	client, err := srpc.New(srpc.Options{ID: 1, Node: clientNode, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	err = server.Register("sumAll", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+		total := int64(0)
+		v := args[0]
+		for !v.IsNullPtr() {
+			ref, err := ctx.Runtime().Deref(v)
+			if err != nil {
+				return nil, err
+			}
+			n, err := ref.Int("val", 0)
+			if err != nil {
+				return nil, err
+			}
+			total += n
+			if v, err = ref.Ptr("next", 0); err != nil {
+				return nil, err
+			}
+		}
+		return []srpc.Value{srpc.Int64Value(total)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := buildList(t, client, 25)
+	if err := client.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Call(2, "sumAll", []srpc.Value{head})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].Int64(); got != 325 {
+		t.Errorf("sum over TCP = %d, want 325", got)
+	}
+}
+
+func TestPublicAPIHeterogeneous(t *testing.T) {
+	reg := listSchema(t)
+	net, err := srpc.NewLocalNetwork(srpc.NetModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	an, _ := net.Attach(1)
+	bn, _ := net.Attach(2)
+	a, err := srpc.New(srpc.Options{ID: 1, Node: an, Registry: reg, Profile: srpc.SPARC32()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := srpc.New(srpc.Options{ID: 2, Node: bn, Registry: reg, Profile: srpc.Alpha64()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	err = b.Register("first", func(ctx *srpc.Ctx, args []srpc.Value) ([]srpc.Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := ref.Int("val", 0)
+		if err != nil {
+			return nil, err
+		}
+		return []srpc.Value{srpc.Int64Value(v)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := buildList(t, a, 3)
+	if err := a.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Call(2, "first", []srpc.Value{head})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Int64() != 1 {
+		t.Errorf("first = %d", res[0].Int64())
+	}
+}
