@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,11 +39,16 @@ func run(args []string) error {
 	closure := fs.Int("closure", 8192, "closure size in bytes")
 	repeats := fs.Int("repeats", 10, "repeated searches for fig6")
 	csvOut := fs.Bool("csv", false, "emit figure data as CSV instead of tables")
+	jsonOut := fs.Bool("json", false, "run the regression suite and emit a JSON report (srpcbench -json > BENCH_<n>.json)")
+	runs := fs.Int("runs", 5, "measured repetitions per point in -json mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	csv = *csvOut
 	model := netsim.Ethernet10SPARC()
+	if *jsonOut {
+		return emitJSON(model, *nodes, *closure, *runs)
+	}
 
 	runOne := func(name string) error {
 		switch name {
@@ -75,6 +81,23 @@ func run(args []string) error {
 
 // csv switches figure output to comma-separated series for plotting.
 var csv bool
+
+// emitJSON runs the benchmark-regression suite and writes the report to
+// stdout. Redirect into a BENCH_<n>.json snapshot and diff snapshots to
+// catch regressions: modeled columns must match exactly, wall/allocation
+// columns within noise.
+func emitJSON(model netsim.Model, nodes, closure, runs int) error {
+	rep, err := bench.BuildReport(model, nodes, closure, runs)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(out))
+	return err
+}
 
 func sec(d time.Duration) float64 { return d.Seconds() }
 

@@ -73,6 +73,9 @@ type TreeConfig struct {
 	Coherence   core.Coherence
 	// Model is the network cost model; zero value = free network (tests).
 	Model netsim.Model
+	// DisableFetchBatch reverts to the single-want FETCH protocol (one
+	// faulting page per message), for measuring the batching win.
+	DisableFetchBatch bool
 }
 
 func (c *TreeConfig) fill() error {
@@ -134,15 +137,16 @@ func RunTree(cfg TreeConfig) (TreeResult, error) {
 			return nil, err
 		}
 		return core.New(core.Options{
-			ID:          id,
-			Node:        node,
-			Registry:    reg,
-			Policy:      cfg.Policy,
-			ClosureSize: cfg.ClosureSize,
-			PageSize:    cfg.PageSize,
-			AllocPolicy: cfg.AllocPolicy,
-			Traversal:   cfg.Traversal,
-			Coherence:   cfg.Coherence,
+			ID:                id,
+			Node:              node,
+			Registry:          reg,
+			Policy:            cfg.Policy,
+			ClosureSize:       cfg.ClosureSize,
+			PageSize:          cfg.PageSize,
+			AllocPolicy:       cfg.AllocPolicy,
+			Traversal:         cfg.Traversal,
+			Coherence:         cfg.Coherence,
+			DisableFetchBatch: cfg.DisableFetchBatch,
 		})
 	}
 	caller, err := mk(CallerID)

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"smartrpc/internal/core"
+	"smartrpc/internal/netsim"
+)
+
+// Report is the machine-readable output of the benchmark-regression
+// harness (`srpcbench -json > BENCH_<n>.json`). Committed snapshots let a
+// later change be checked against an earlier one with nothing but two
+// files and a diff: modeled time and traffic must not move at all (the
+// cost model is deterministic), and wall time / allocations must not
+// regress beyond noise.
+type Report struct {
+	// Schema versions the report format.
+	Schema int `json:"schema"`
+	// Model names the network cost model the modeled times assume.
+	Model string `json:"model"`
+	// Nodes and Closure are the tree size and closure budget the rows
+	// were produced with (individual rows may override Closure).
+	Nodes   int `json:"nodes"`
+	Closure int `json:"closure_bytes"`
+	// Runs is how many measured repetitions each row averages over.
+	Runs int         `json:"runs"`
+	Rows []ReportRow `json:"rows"`
+}
+
+// ReportRow is one benchmark point.
+type ReportRow struct {
+	// Figure tags the experiment family: fig4, fig6, or fetch-batch.
+	Figure string `json:"figure"`
+	// Config identifies the point within the family.
+	Policy  string  `json:"policy"`
+	Ratio   float64 `json:"ratio"`
+	Closure int     `json:"closure_bytes"`
+
+	// Deterministic outputs (must be identical between snapshots).
+	ModelSec  float64 `json:"model_sec"`
+	Callbacks uint64  `json:"callbacks"`
+	Messages  uint64  `json:"messages"`
+	NetBytes  uint64  `json:"net_bytes"`
+	Faults    uint64  `json:"faults"`
+
+	// Host-dependent outputs (regression-checked with slack).
+	WallSec         float64 `json:"wall_sec"`
+	AllocsPerOp     uint64  `json:"allocs_per_op"`
+	AllocBytesPerOp uint64  `json:"alloc_bytes_per_op"`
+}
+
+// reportPoint is one configuration the report measures.
+type reportPoint struct {
+	figure string
+	policy core.Policy
+	name   string
+	ratio  float64
+	clos   int
+	noBat  bool
+}
+
+// BuildReport runs the regression suite and returns the filled report.
+// Each point runs once to warm caches, then `runs` measured times; wall
+// time and allocation counts are averaged, while the modeled outputs are
+// taken from the last run (they are identical across runs by
+// construction).
+func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	rep := Report{Schema: 1, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
+
+	var points []reportPoint
+	for _, pol := range []struct {
+		p core.Policy
+		n string
+	}{{core.PolicyEager, "eager"}, {core.PolicyLazy, "lazy"}, {core.PolicySmart, "smart"}} {
+		for _, ratio := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+			points = append(points, reportPoint{
+				figure: "fig4", policy: pol.p, name: pol.n, ratio: ratio, clos: closure,
+			})
+		}
+	}
+	for _, cs := range DefaultClosureSizes {
+		points = append(points, reportPoint{
+			figure: "fig6", policy: core.PolicySmart, name: "smart", ratio: 1.0, clos: cs,
+		})
+	}
+	// The multi-want FETCH protocol against its single-want ablation: the
+	// message counts quantify the batching win.
+	for _, ratio := range []float64{0.5, 1.0} {
+		for _, noBat := range []bool{false, true} {
+			name := "smart"
+			if noBat {
+				name = "smart-nobatch"
+			}
+			points = append(points, reportPoint{
+				figure: "fetch-batch", policy: core.PolicySmart, name: name,
+				ratio: ratio, clos: closure, noBat: noBat,
+			})
+		}
+	}
+
+	for _, pt := range points {
+		row, err := measurePoint(model, nodes, runs, pt)
+		if err != nil {
+			return Report{}, fmt.Errorf("report %s/%s/%.2f: %w", pt.figure, pt.name, pt.ratio, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func measurePoint(model netsim.Model, nodes, runs int, pt reportPoint) (ReportRow, error) {
+	cfg := TreeConfig{
+		Policy:            pt.policy,
+		Nodes:             nodes,
+		ClosureSize:       pt.clos,
+		AccessRatio:       pt.ratio,
+		Model:             model,
+		DisableFetchBatch: pt.noBat,
+	}
+	// Warm-up run: first-use initialization (layout caches, pools) should
+	// not be charged to the measurement.
+	if _, err := RunTree(cfg); err != nil {
+		return ReportRow{}, err
+	}
+	var last TreeResult
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		res, err := RunTree(cfg)
+		if err != nil {
+			return ReportRow{}, err
+		}
+		last = res
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms2)
+	return ReportRow{
+		Figure:          pt.figure,
+		Policy:          pt.name,
+		Ratio:           pt.ratio,
+		Closure:         pt.clos,
+		ModelSec:        last.Time.Seconds(),
+		Callbacks:       last.Callbacks,
+		Messages:        last.Messages,
+		NetBytes:        last.Bytes,
+		Faults:          last.Faults,
+		WallSec:         wall.Seconds() / float64(runs),
+		AllocsPerOp:     (ms2.Mallocs - ms1.Mallocs) / uint64(runs),
+		AllocBytesPerOp: (ms2.TotalAlloc - ms1.TotalAlloc) / uint64(runs),
+	}, nil
+}

@@ -18,15 +18,16 @@ const provisionalBase = uint32(0xF000_0000)
 // NewObject allocates a zeroed object of the given type in the local heap
 // and returns a pointer value to it.
 func (rt *Runtime) NewObject(ty types.ID) (Value, error) {
-	layout, err := rt.reg.Layout(ty, rt.space.Profile())
+	rv, err := rt.res.Resolve(ty)
 	if err != nil {
 		return Value{}, err
 	}
+	layout := rv.Layout
 	addr, err := rt.space.Alloc(layout.Size, layout.Align)
 	if err != nil {
 		return Value{}, err
 	}
-	if err := rt.space.WriteRaw(addr, make([]byte, layout.Size)); err != nil {
+	if err := rt.space.Zero(addr, layout.Size); err != nil {
 		return Value{}, err
 	}
 	return rt.PtrValueAt(addr, ty), nil
@@ -47,10 +48,11 @@ func (rt *Runtime) ExtendedMalloc(origin uint32, ty types.ID) (Value, error) {
 	if sess == 0 {
 		return Value{}, ErrNoSession
 	}
-	layout, err := rt.reg.Layout(ty, rt.space.Profile())
+	rv, err := rt.res.Resolve(ty)
 	if err != nil {
 		return Value{}, err
 	}
+	layout := rv.Layout
 
 	rt.allocMu.Lock()
 	rt.provCount++
@@ -77,7 +79,7 @@ func (rt *Runtime) ExtendedMalloc(origin uint32, ty types.ID) (Value, error) {
 	if !fresh {
 		return Value{}, fmt.Errorf("core: provisional pointer %v collided", prov)
 	}
-	if err := rt.space.WriteRaw(addr, make([]byte, layout.Size)); err != nil {
+	if err := rt.space.Zero(addr, layout.Size); err != nil {
 		return Value{}, err
 	}
 	rt.table.MarkResident(addr)
@@ -217,17 +219,18 @@ func (rt *Runtime) serveAllocBatch(m wire.Message) {
 	}
 	var out wire.AllocReplyPayload
 	for _, req := range p.Allocs {
-		layout, err := rt.reg.Layout(req.Type, rt.space.Profile())
+		rv, err := rt.res.Resolve(req.Type)
 		if err != nil {
 			rt.reply(m, wire.KindAllocReply, nil, err.Error())
 			return
 		}
+		layout := rv.Layout
 		addr, err := rt.space.Alloc(layout.Size, layout.Align)
 		if err != nil {
 			rt.reply(m, wire.KindAllocReply, nil, err.Error())
 			return
 		}
-		if err := rt.space.WriteRaw(addr, make([]byte, layout.Size)); err != nil {
+		if err := rt.space.Zero(addr, layout.Size); err != nil {
 			rt.reply(m, wire.KindAllocReply, nil, err.Error())
 			return
 		}

@@ -8,6 +8,7 @@ import (
 	"smartrpc/internal/types"
 	"smartrpc/internal/vmem"
 	"smartrpc/internal/wire"
+	"smartrpc/internal/xdr"
 )
 
 // onFault is the runtime's access-violation handler: the software analogue
@@ -60,22 +61,39 @@ func (rt *Runtime) fetchPage(pn uint32) error {
 	if sess == 0 {
 		return fmt.Errorf("core: page fault on cached data outside a session (page %d)", pn)
 	}
-	if len(rt.table.PageEntries(pn)) == 0 {
-		return fmt.Errorf("core: fault on cache page %d with no allocation table entries", pn)
-	}
-	for {
-		// Group wants by origin. Under the paper's allocation heuristic
-		// there is exactly one origin per page; PolicyMixed exercises the
-		// multi-origin worst case.
-		byOrigin := make(map[uint32][]wire.LongPtr)
-		for _, e := range rt.table.PageEntries(pn) {
+	for pass := 0; ; pass++ {
+		entries := rt.table.PageEntries(pn)
+		if pass == 0 && len(entries) == 0 {
+			return fmt.Errorf("core: fault on cache page %d with no allocation table entries", pn)
+		}
+		// Collect non-resident wants in offset order. Under the paper's
+		// allocation heuristic there is exactly one origin per page, so the
+		// common path is a single pass with no per-origin grouping;
+		// PolicyMixed exercises the multi-origin worst case below.
+		var wants []wire.LongPtr
+		sameOrigin := true
+		for i := range entries {
+			e := &entries[i]
 			if e.Resident {
 				continue
 			}
-			byOrigin[e.LP.Space] = append(byOrigin[e.LP.Space], e.LP)
+			if len(wants) > 0 && e.LP.Space != wants[0].Space {
+				sameOrigin = false
+			}
+			wants = append(wants, e.LP)
 		}
-		if len(byOrigin) == 0 {
+		if len(wants) == 0 {
 			return nil
+		}
+		if sameOrigin {
+			if err := rt.fetchFrom(sess, pn, wants[0].Space, wants); err != nil {
+				return err
+			}
+			continue
+		}
+		byOrigin := make(map[uint32][]wire.LongPtr)
+		for _, lp := range wants {
+			byOrigin[lp.Space] = append(byOrigin[lp.Space], lp)
 		}
 		origins := make([]uint32, 0, len(byOrigin))
 		for o := range byOrigin {
@@ -83,30 +101,59 @@ func (rt *Runtime) fetchPage(pn uint32) error {
 		}
 		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
 		for _, origin := range origins {
-			p := wire.FetchPayload{Wants: byOrigin[origin], Budget: uint32(rt.closure)}
-			rt.stats.fetchesSent.Add(1)
-			rt.trace(Event{Kind: EvFetchSent, Target: origin, Count: len(byOrigin[origin])})
-			reply, err := rt.sendAndWait(wire.Message{
-				Kind:    wire.KindFetch,
-				Session: sess,
-				To:      origin,
-				Payload: p.Encode(),
-			})
-			if err != nil {
-				return fmt.Errorf("fetch from space %d: %w", origin, err)
-			}
-			if reply.Err != "" {
-				return fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
-			}
-			rp, err := wire.DecodeItemsPayload(reply.Payload)
-			if err != nil {
-				return fmt.Errorf("fetch from space %d: decode: %w", origin, err)
-			}
-			if err := rt.installItems(rp.Items); err != nil {
-				return fmt.Errorf("fetch from space %d: install: %w", origin, err)
+			if err := rt.fetchFrom(sess, pn, origin, byOrigin[origin]); err != nil {
+				return err
 			}
 		}
 	}
+}
+
+// fetchFrom sends one FETCH for the given wants (all owned by origin) and
+// installs the reply. pn is the faulting page, excluded from ride-along
+// batching because its own wants are already in the message.
+func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr) error {
+	primary := len(wants)
+	if !rt.noFetchBatch {
+		// Coalesce outstanding wants: non-resident entries from the
+		// same origin stranded on partially resident pages ride
+		// along in this FETCH, so those pages are completed before
+		// they ever fault — one message instead of one per page.
+		// The ride-alongs are frozen (Primary marks the boundary):
+		// the server serves them but neither expands their pointer
+		// fields nor charges them against the closure budget, which
+		// stays fully available for the faulting page's own
+		// frontier. Charging or expanding them starves the
+		// productive closure and causes MORE faults, not fewer.
+		extra, _ := rt.table.OutstandingWants(origin, pn, rt.closure)
+		wants = append(wants, extra...)
+	}
+	p := wire.FetchPayload{
+		Wants:   wants,
+		Budget:  uint32(rt.closure),
+		Primary: uint32(primary),
+	}
+	rt.stats.fetchesSent.Add(1)
+	rt.trace(Event{Kind: EvFetchSent, Target: origin, Count: len(wants)})
+	reply, err := rt.sendAndWait(wire.Message{
+		Kind:    wire.KindFetch,
+		Session: sess,
+		To:      origin,
+		Payload: p.Encode(),
+	})
+	if err != nil {
+		return fmt.Errorf("fetch from space %d: %w", origin, err)
+	}
+	if reply.Err != "" {
+		return fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
+	}
+	rp, err := wire.DecodeItemsPayload(reply.Payload)
+	if err != nil {
+		return fmt.Errorf("fetch from space %d: decode: %w", origin, err)
+	}
+	if err := rt.installItems(rp.Items); err != nil {
+		return fmt.Errorf("fetch from space %d: install: %w", origin, err)
+	}
+	return nil
 }
 
 // serveFetch answers a data request: it sends the wanted objects plus a
@@ -119,7 +166,7 @@ func (rt *Runtime) serveFetch(m wire.Message) {
 	}
 	rt.stats.fetchesServed.Add(1)
 	rt.trace(Event{Kind: EvFetchServed, Target: m.From, Count: len(p.Wants)})
-	items, err := rt.buildClosureItems(p.Wants, int(p.Budget))
+	items, err := rt.buildClosureItems(p.Wants, int(p.Primary), int(p.Budget))
 	if err != nil {
 		rt.reply(m, wire.KindFetchReply, nil, err.Error())
 		return
@@ -133,17 +180,37 @@ func (rt *Runtime) serveFetch(m wire.Message) {
 // byte budget for additional data is exhausted. Only locally owned data
 // can be served; pointers to third spaces are passed through as long
 // pointers for the requester to resolve on its own faults.
-func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, budget int) ([]wire.DataItem, error) {
+//
+// primary is the count of leading wants that seed the traversal; wants
+// beyond it (the batched ride-alongs) are served but their pointer fields
+// are not expanded, so the closure budget is spent entirely on the faulting
+// page's own frontier. primary <= 0 means every want is primary.
+func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int) ([]wire.DataItem, error) {
 	type job struct {
-		lp   wire.LongPtr
-		want bool
+		lp     wire.LongPtr
+		want   bool
+		frozen bool // serve, but do not expand children
 	}
-	seen := make(map[wire.LongPtr]bool, len(wants))
-	queue := make([]job, 0, len(wants))
-	for _, lp := range wants {
-		queue = append(queue, job{lp: lp, want: true})
+	if primary <= 0 {
+		primary = len(wants)
 	}
-	var items []wire.DataItem
+	// est guesses the item count: every want plus however many
+	// minimum-size objects the budget can admit. Sizing the working set
+	// once up front keeps the serve path free of growth reallocations.
+	est := len(wants) + min(budget, 1<<16)/16 + 1
+	// seen is keyed by local address: only locally owned objects are ever
+	// encoded (foreign pointers pass through), and a uint32 key hashes
+	// much cheaper than the full long-pointer struct.
+	seen := make(map[vmem.VAddr]bool, est)
+	queue := make([]job, 0, est)
+	for i, lp := range wants {
+		queue = append(queue, job{lp: lp, want: true, frozen: i >= primary})
+	}
+	items := make([]wire.DataItem, 0, est)
+	// All item bytes are encoded into one arena; offs[k] is item k's start.
+	// Slicing happens after the loop, once the arena has stopped growing.
+	arena := xdr.NewEncoder(len(wants)*16 + min(budget, 1<<16))
+	offs := make([]int, 0, est)
 	budgetLeft := budget
 	for len(queue) > 0 {
 		var j job
@@ -154,7 +221,7 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, budget int) ([]wire.D
 			j = queue[0]
 			queue = queue[1:]
 		}
-		if j.lp.IsNull() || seen[j.lp] {
+		if j.lp.IsNull() {
 			continue
 		}
 		if j.lp.Space != rt.id {
@@ -163,30 +230,32 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, budget int) ([]wire.D
 			}
 			continue
 		}
-		desc, err := rt.reg.Lookup(j.lp.Type)
+		if seen[j.lp.Addr] {
+			continue
+		}
+		rv, err := rt.res.Resolve(j.lp.Type)
 		if err != nil {
 			return nil, err
 		}
-		size := desc.CanonicalSize()
 		if !j.want {
-			if budgetLeft < size {
+			if budgetLeft < rv.Canon {
 				continue // budget exhausted for optional data; keep draining queue for cheaper finds
 			}
-			budgetLeft -= size
+			budgetLeft -= rv.Canon
 		}
-		seen[j.lp] = true
-		b, err := encodeObject(rt.space, rt.table, rt.reg, desc, j.lp.Addr)
-		if err != nil {
+		seen[j.lp.Addr] = true
+		offs = append(offs, arena.Len())
+		if err := encodeObjectInto(arena, rt.space, rt.table, rt.res, rv.Desc, j.lp.Addr); err != nil {
 			return nil, fmt.Errorf("encode %v: %w", j.lp, err)
 		}
-		items = append(items, wire.DataItem{LP: j.lp, Bytes: b})
+		items = append(items, wire.DataItem{LP: j.lp})
+		if j.frozen {
+			continue
+		}
 		// Enqueue the pointed-to data, honoring any programmer-supplied
 		// closure shape hint for this type (§6: "use suggestions provided
 		// by the programmer" to optimize the closure's shape).
-		layout, err := rt.reg.Layout(desc.ID, rt.space.Profile())
-		if err != nil {
-			return nil, err
-		}
+		desc, layout := rv.Desc, rv.Layout
 		hint := rt.closureHint(desc.ID)
 		for i, f := range desc.Fields {
 			if f.Kind != types.Ptr {
@@ -216,6 +285,14 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, budget int) ([]wire.D
 			}
 		}
 	}
+	backing := arena.Bytes()
+	for k := range items {
+		end := len(backing)
+		if k+1 < len(offs) {
+			end = offs[k+1]
+		}
+		items[k].Bytes = backing[offs[k]:end]
+	}
 	return items, nil
 }
 
@@ -238,7 +315,7 @@ func (rt *Runtime) eagerClosureFor(args []Value) ([]wire.DataItem, error) {
 	if len(roots) == 0 {
 		return nil, nil
 	}
-	return rt.buildClosureItems(roots, math.MaxInt32)
+	return rt.buildClosureItems(roots, 0, math.MaxInt32)
 }
 
 // fetchOne retrieves a single object's canonical bytes without caching:
@@ -246,11 +323,11 @@ func (rt *Runtime) eagerClosureFor(args []Value) ([]wire.DataItem, error) {
 func (rt *Runtime) fetchOne(lp wire.LongPtr) ([]byte, error) {
 	if lp.Space == rt.id {
 		// Locally owned data is read directly; no session needed.
-		desc, err := rt.reg.Lookup(lp.Type)
+		rv, err := rt.res.Resolve(lp.Type)
 		if err != nil {
 			return nil, err
 		}
-		return encodeObject(rt.space, rt.table, rt.reg, desc, lp.Addr)
+		return encodeObject(rt.space, rt.table, rt.res, rv.Desc, lp.Addr)
 	}
 	rt.sessMu.Lock()
 	sess := rt.sess
@@ -287,11 +364,11 @@ func (rt *Runtime) fetchOne(lp wire.LongPtr) ([]byte, error) {
 func (rt *Runtime) writeOne(lp wire.LongPtr, data []byte) error {
 	if lp.Space == rt.id {
 		// Locally owned data is written directly; no session needed.
-		desc, err := rt.reg.Lookup(lp.Type)
+		rv, err := rt.res.Resolve(lp.Type)
 		if err != nil {
 			return err
 		}
-		return decodeObject(rt.space, rt.table, rt.reg, desc, lp.Addr, data)
+		return decodeObject(rt.space, rt.table, rt.res, rv.Desc, lp.Addr, data)
 	}
 	rt.sessMu.Lock()
 	sess := rt.sess

@@ -19,12 +19,24 @@ import (
 // the declared element type of the field; the conversion is therefore
 // independent of the local architecture, which is what lets spaces with
 // different profiles interoperate.
-func encodeObject(sp *vmem.Space, tb *swizzle.Table, reg *types.Registry, d *types.Desc, addr vmem.VAddr) ([]byte, error) {
-	layout, err := reg.Layout(d.ID, sp.Profile())
-	if err != nil {
+func encodeObject(sp *vmem.Space, tb *swizzle.Table, res *types.Resolver, d *types.Desc, addr vmem.VAddr) ([]byte, error) {
+	enc := xdr.NewEncoder(d.CanonicalSize())
+	if err := encodeObjectInto(enc, sp, tb, res, d, addr); err != nil {
 		return nil, err
 	}
-	enc := xdr.NewEncoder(d.CanonicalSize())
+	return enc.Bytes(), nil
+}
+
+// encodeObjectInto appends one object's canonical representation to enc.
+// Multi-item paths (closure replies, the modified data set) encode into a
+// shared arena encoder and slice the items out afterwards, so a reply
+// costs a constant number of allocations rather than two per object.
+func encodeObjectInto(enc *xdr.Encoder, sp *vmem.Space, tb *swizzle.Table, res *types.Resolver, d *types.Desc, addr vmem.VAddr) error {
+	rv, err := res.Resolve(d.ID)
+	if err != nil {
+		return err
+	}
+	layout := rv.Layout
 	for i, f := range d.Fields {
 		fl := layout.Fields[i]
 		count := f.Count
@@ -36,11 +48,11 @@ func encodeObject(sp *vmem.Space, tb *swizzle.Table, reg *types.Registry, d *typ
 			if f.Kind == types.Ptr {
 				pv, err := sp.ReadPtrRaw(off)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				lp, err := tb.Unswizzle(pv, f.Elem)
 				if err != nil {
-					return nil, fmt.Errorf("field %q: %w", f.Name, err)
+					return fmt.Errorf("field %q: %w", f.Name, err)
 				}
 				enc.PutUint32(lp.Space)
 				enc.PutUint32(uint32(lp.Addr))
@@ -49,12 +61,12 @@ func encodeObject(sp *vmem.Space, tb *swizzle.Table, reg *types.Registry, d *typ
 			}
 			raw, err := sp.ReadUintRaw(off, fl.ElemSize)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			encodeScalar(enc, f.Kind, raw)
 		}
 	}
-	return enc.Bytes(), nil
+	return nil
 }
 
 // encodeScalar writes one scalar element canonically. Signed kinds are
@@ -92,11 +104,12 @@ func decodeScalar(dec *xdr.Decoder, k types.Kind) (uint64, error) {
 // time — this is exactly the moment the paper allocates cache room for
 // newly referenced remote data. Writes bypass protection (the runtime is
 // the "kernel" here).
-func decodeObject(sp *vmem.Space, tb *swizzle.Table, reg *types.Registry, d *types.Desc, addr vmem.VAddr, data []byte) error {
-	layout, err := reg.Layout(d.ID, sp.Profile())
+func decodeObject(sp *vmem.Space, tb *swizzle.Table, res *types.Resolver, d *types.Desc, addr vmem.VAddr, data []byte) error {
+	rv, err := res.Resolve(d.ID)
 	if err != nil {
 		return err
 	}
+	layout := rv.Layout
 	dec := xdr.NewDecoder(data)
 	for i, f := range d.Fields {
 		fl := layout.Fields[i]

@@ -118,6 +118,17 @@ type Options struct {
 	// follows per type (§6's programmer-supplied shape suggestions).
 	// Types absent from the map follow every pointer field.
 	ClosureHints map[types.ID][]string
+	// DisableFetchBatch turns off multi-want FETCH coalescing: every page
+	// fault requests only its own page's entries, the seed protocol's
+	// behavior. Used by benchmarks and regression tests to measure the
+	// batching win.
+	DisableFetchBatch bool
+	// Concurrent makes the simulated address space take an internal lock
+	// on data copies, giving word-level atomicity between application
+	// goroutines that share the runtime outside the RPC protocol (e.g. a
+	// multithreaded TCP server). The default relies on the protocol's
+	// single-active-thread property (§3.1, §3.4) and is lock-free.
+	Concurrent bool
 }
 
 func (o *Options) fill() error {
@@ -177,15 +188,17 @@ type Stats struct {
 
 // Runtime is one address space's Smart RPC runtime system.
 type Runtime struct {
-	id        uint32
-	node      transport.Node
-	reg       *types.Registry
-	space     *vmem.Space
-	table     *swizzle.Table
-	policy    Policy
-	closure   int
-	traversal Traversal
-	coherence Coherence
+	id           uint32
+	node         transport.Node
+	reg          *types.Registry
+	res          *types.Resolver // per-profile Lookup+Layout cache
+	space        *vmem.Space
+	table        *swizzle.Table
+	policy       Policy
+	closure      int
+	traversal    Traversal
+	coherence    Coherence
+	noFetchBatch bool
 
 	hintMu sync.RWMutex
 	hints  map[types.ID]map[string]bool
@@ -247,7 +260,11 @@ func New(opts Options) (*Runtime, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	space, err := vmem.NewSpace(vmem.Config{PageSize: opts.PageSize, Profile: opts.Profile})
+	space, err := vmem.NewSpace(vmem.Config{
+		PageSize:   opts.PageSize,
+		Profile:    opts.Profile,
+		Concurrent: opts.Concurrent,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -255,12 +272,14 @@ func New(opts Options) (*Runtime, error) {
 		id:              opts.ID,
 		node:            opts.Node,
 		reg:             opts.Registry,
+		res:             opts.Registry.ResolverFor(space.Profile()),
 		space:           space,
 		table:           swizzle.New(space, opts.Registry, opts.ID, opts.AllocPolicy),
 		policy:          opts.Policy,
 		closure:         opts.ClosureSize,
 		traversal:       opts.Traversal,
 		coherence:       opts.Coherence,
+		noFetchBatch:    opts.DisableFetchBatch,
 		procs:           make(map[string]Handler),
 		pending:         make(map[uint64]chan wire.Message),
 		parts:           make(map[uint32]bool),
@@ -417,11 +436,19 @@ func (rt *Runtime) loop() {
 	}
 }
 
+// replyChans recycles the one-shot reply channels sendAndWait blocks on,
+// so steady-state requests allocate nothing. A channel is only returned to
+// the pool after its single message has been received, so pooled channels
+// are always empty and open.
+var replyChans = sync.Pool{
+	New: func() any { return make(chan wire.Message, 1) },
+}
+
 // sendAndWait sends a request and blocks for its reply.
 func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
 	seq := rt.seq.Add(1)
 	m.Seq = seq
-	ch := make(chan wire.Message, 1)
+	ch := replyChans.Get().(chan wire.Message)
 	rt.pendingMu.Lock()
 	rt.pending[seq] = ch
 	rt.pendingMu.Unlock()
@@ -437,10 +464,15 @@ func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
 	select {
 	case r, ok := <-ch:
 		if !ok {
+			// Close drained the pending map and closed the channel; it must
+			// not go back in the pool.
 			return wire.Message{}, ErrClosed
 		}
+		replyChans.Put(ch)
 		return r, nil
 	case <-rt.stop:
+		// The dispatcher may have plucked the channel from the pending map
+		// and be about to deliver into it, so it cannot be pooled either.
 		cleanup()
 		return wire.Message{}, ErrClosed
 	}

@@ -8,6 +8,7 @@ import (
 
 	"smartrpc/internal/vmem"
 	"smartrpc/internal/wire"
+	"smartrpc/internal/xdr"
 )
 
 // sessionCounter disambiguates sessions started by the same runtime.
@@ -321,16 +322,26 @@ func (rt *Runtime) modifiedSetItems() ([]wire.DataItem, error) {
 		return lps[i].Addr < lps[j].Addr
 	})
 	items := make([]wire.DataItem, 0, len(lps))
+	arena := xdr.NewEncoder(len(lps) * 16)
+	offs := make([]int, 0, len(lps))
 	for _, lp := range lps {
-		desc, err := rt.reg.Lookup(lp.Type)
+		rv, err := rt.res.Resolve(lp.Type)
 		if err != nil {
 			return nil, err
 		}
-		b, err := encodeObject(rt.space, rt.table, rt.reg, desc, lp.Addr)
-		if err != nil {
+		offs = append(offs, arena.Len())
+		if err := encodeObjectInto(arena, rt.space, rt.table, rt.res, rv.Desc, lp.Addr); err != nil {
 			return nil, fmt.Errorf("encode modified %v: %w", lp, err)
 		}
-		items = append(items, wire.DataItem{LP: lp, Dirty: true, Bytes: b})
+		items = append(items, wire.DataItem{LP: lp, Dirty: true})
+	}
+	backing := arena.Bytes()
+	for k := range items {
+		end := len(backing)
+		if k+1 < len(offs) {
+			end = offs[k+1]
+		}
+		items[k].Bytes = backing[offs[k]:end]
 	}
 	return items, nil
 }
@@ -470,6 +481,8 @@ func (rt *Runtime) collectDirtyItems() ([]wire.DataItem, error) {
 	// Encode every resident object whose span touches a dirty page. An
 	// object spanning pages may have been modified on any of them.
 	var items []wire.DataItem
+	arena := xdr.NewEncoder(0)
+	var offs []int
 	for _, e := range rt.table.Entries() {
 		if !e.Resident {
 			continue
@@ -486,15 +499,23 @@ func (rt *Runtime) collectDirtyItems() ([]wire.DataItem, error) {
 		if !hit {
 			continue
 		}
-		desc, err := rt.reg.Lookup(e.LP.Type)
+		rv, err := rt.res.Resolve(e.LP.Type)
 		if err != nil {
 			return nil, err
 		}
-		b, err := encodeObject(rt.space, rt.table, rt.reg, desc, e.Addr)
-		if err != nil {
+		offs = append(offs, arena.Len())
+		if err := encodeObjectInto(arena, rt.space, rt.table, rt.res, rv.Desc, e.Addr); err != nil {
 			return nil, fmt.Errorf("encode dirty %v: %w", e.LP, err)
 		}
-		items = append(items, wire.DataItem{LP: e.LP, Dirty: true, Bytes: b})
+		items = append(items, wire.DataItem{LP: e.LP, Dirty: true})
+	}
+	backing := arena.Bytes()
+	for k := range items {
+		end := len(backing)
+		if k+1 < len(offs) {
+			end = offs[k+1]
+		}
+		items[k].Bytes = backing[offs[k]:end]
 	}
 	// The dirtiness obligation travels with the thread of control: clean
 	// the pages and drop writable pages to read-only so later writes
@@ -527,11 +548,11 @@ func (rt *Runtime) applyWriteBack(items []wire.DataItem) error {
 		if it.LP.Space != rt.id {
 			return fmt.Errorf("write-back for foreign datum %v", it.LP)
 		}
-		desc, err := rt.reg.Lookup(it.LP.Type)
+		rv, err := rt.res.Resolve(it.LP.Type)
 		if err != nil {
 			return err
 		}
-		if err := decodeObject(rt.space, rt.table, rt.reg, desc, it.LP.Addr, it.Bytes); err != nil {
+		if err := decodeObject(rt.space, rt.table, rt.res, rv.Desc, it.LP.Addr, it.Bytes); err != nil {
 			return fmt.Errorf("apply write-back %v: %w", it.LP, err)
 		}
 	}
@@ -585,11 +606,11 @@ func (rt *Runtime) installItems(items []wire.DataItem) error {
 		if err != nil {
 			return err
 		}
-		desc, err := rt.reg.Lookup(it.LP.Type)
+		rv, err := rt.res.Resolve(it.LP.Type)
 		if err != nil {
 			return err
 		}
-		if err := decodeObject(rt.space, rt.table, rt.reg, desc, addr, it.Bytes); err != nil {
+		if err := decodeObject(rt.space, rt.table, rt.res, rv.Desc, addr, it.Bytes); err != nil {
 			return fmt.Errorf("install %v: %w", it.LP, err)
 		}
 		rt.table.MarkResident(addr)

@@ -171,10 +171,10 @@ func (rt *Runtime) argsToValues(args []wire.Arg) ([]Value, error) {
 type Ref struct {
 	rt     *Runtime
 	desc   *types.Desc
-	layout types.Layout
-	addr   vmem.VAddr   // smart/eager
-	lp     wire.LongPtr // lazy
-	data   []byte       // lazy: the object's canonical bytes, one callback's worth
+	layout *types.Layout // shared, immutable (from the resolver cache)
+	addr   vmem.VAddr    // smart/eager
+	lp     wire.LongPtr  // lazy
+	data   []byte        // lazy: the object's canonical bytes, one callback's worth
 }
 
 // Deref resolves a pointer value into a Ref. In lazy mode this performs
@@ -182,30 +182,31 @@ type Ref struct {
 // as in §2's naive approach): field accessors then read the fetched copy,
 // but dereferencing the same pointer again calls back again — there is no
 // caching across Refs.
-func (rt *Runtime) Deref(v Value) (*Ref, error) {
+//
+// The Ref is returned by value: on the smart path a dereference is just a
+// couple of table lookups and allocates nothing, matching the paper's
+// claim that cached remote data costs the same as local data to access.
+func (rt *Runtime) Deref(v Value) (Ref, error) {
 	if v.Kind != types.Ptr {
-		return nil, fmt.Errorf("core: cannot deref %v value", v.Kind)
+		return Ref{}, fmt.Errorf("core: cannot deref %v value", v.Kind)
 	}
 	if v.IsNullPtr() {
-		return nil, vmem.ErrNull
+		return Ref{}, vmem.ErrNull
 	}
-	desc, err := rt.reg.Lookup(v.Elem)
+	rv, err := rt.res.Resolve(v.Elem)
 	if err != nil {
-		return nil, err
+		return Ref{}, err
 	}
-	r := &Ref{rt: rt, desc: desc}
+	r := Ref{rt: rt, desc: rv.Desc}
 	if rt.policy == PolicyLazy {
 		r.lp = v.LP
 		r.data, err = rt.fetchOne(r.lp)
 		if err != nil {
-			return nil, err
+			return Ref{}, err
 		}
 		return r, nil
 	}
-	r.layout, err = rt.reg.Layout(desc.ID, rt.space.Profile())
-	if err != nil {
-		return nil, err
-	}
+	r.layout = rv.Layout
 	r.addr = v.Addr
 	return r, nil
 }

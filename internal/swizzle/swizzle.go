@@ -80,17 +80,37 @@ type area struct {
 
 // Table is the data allocation table plus the swizzle/unswizzle maps for
 // one address space. It is safe for concurrent use.
+//
+// Rows live in one append-only slice; the lookup maps hold indices into
+// it. A swizzle therefore costs one slice append and two small-key map
+// inserts, and marking a datum resident is a single in-place store — the
+// table sits on both the install path (one swizzle per pointer field
+// received) and the fault path, so its constant factors dominate the
+// runtime's hot loops. The peak row count is remembered across Invalidate
+// and used to pre-size the next session's maps, so steady-state sessions
+// never pay incremental map growth.
 type Table struct {
 	space  *vmem.Space
 	reg    *types.Registry
+	res    *types.Resolver
 	selfID uint32
 	policy AllocPolicy
 
-	mu     sync.Mutex
-	byLP   map[wire.LongPtr]vmem.VAddr
-	byAddr map[vmem.VAddr]Entry
-	byPage map[uint32][]Entry
+	mu   sync.Mutex
+	rows []Entry
+	// byLP and byAddr map a long pointer / swizzled address to its row's
+	// index. Removed rows are deleted from the maps and from byPage but
+	// stay in rows as unreachable tombstones; their slots are not reused,
+	// matching the no-reuse rule for freed cache addresses.
+	byLP   map[wire.LongPtr]int32
+	byAddr map[vmem.VAddr]int32
+	// byPage lists row indices per cache page. Reservation is a bump
+	// allocator over fresh page runs, so the per-page lists are naturally
+	// in increasing-offset order — the (page, offset) order §3.2's fetch
+	// needs — without sorting.
+	byPage map[uint32][]int32
 	areas  map[uint32]*area
+	hint   int // peak row count observed, carried across Invalidate
 }
 
 // New creates a table for space, which has identifier selfID in the
@@ -99,16 +119,43 @@ func New(space *vmem.Space, reg *types.Registry, selfID uint32, policy AllocPoli
 	if policy == 0 {
 		policy = PolicyPerOrigin
 	}
-	return &Table{
+	t := &Table{
 		space:  space,
 		reg:    reg,
+		res:    reg.ResolverFor(space.Profile()),
 		selfID: selfID,
 		policy: policy,
-		byLP:   make(map[wire.LongPtr]vmem.VAddr),
-		byAddr: make(map[vmem.VAddr]Entry),
-		byPage: make(map[uint32][]Entry),
-		areas:  make(map[uint32]*area),
 	}
+	t.reset()
+	return t
+}
+
+// reset drops the row store and maps. They are re-created lazily by the
+// next insert (ensureLocked), pre-sized to the largest population seen so
+// far — a table that is invalidated and never refilled (end of the last
+// session) costs nothing. Caller holds t.mu (or is the constructor).
+func (t *Table) reset() {
+	if n := len(t.rows); n > t.hint {
+		t.hint = n
+	}
+	t.rows = nil
+	t.byLP = nil
+	t.byAddr = nil
+	t.byPage = nil
+	t.areas = nil
+}
+
+// ensureLocked materializes the row store and maps if reset dropped them.
+// Lookups on the nil maps behave as misses, so only inserts need this.
+func (t *Table) ensureLocked() {
+	if t.byLP != nil {
+		return
+	}
+	t.rows = make([]Entry, 0, t.hint)
+	t.byLP = make(map[wire.LongPtr]int32, t.hint)
+	t.byAddr = make(map[vmem.VAddr]int32, t.hint)
+	t.byPage = make(map[uint32][]int32, t.hint/4+1)
+	t.areas = make(map[uint32]*area)
 }
 
 // SelfID returns the owning space's identifier.
@@ -136,28 +183,31 @@ func (t *Table) SwizzleIn(lp wire.LongPtr, areaKey uint32) (vmem.VAddr, bool, er
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if addr, ok := t.byLP[lp]; ok {
-		return addr, false, nil
+	if i, ok := t.byLP[lp]; ok {
+		return t.rows[i].Addr, false, nil
 	}
-	layout, err := t.reg.Layout(lp.Type, t.space.Profile())
+	t.ensureLocked()
+	rv, err := t.res.Resolve(lp.Type)
 	if err != nil {
 		return vmem.Null, false, fmt.Errorf("swizzle %v: %w", lp, err)
 	}
+	layout := rv.Layout
 	addr, err := t.reserveLocked(areaKey, layout.Size, layout.Align)
 	if err != nil {
 		return vmem.Null, false, fmt.Errorf("swizzle %v: %w", lp, err)
 	}
 	pn := t.space.PageOf(addr)
-	e := Entry{
+	i := int32(len(t.rows))
+	t.rows = append(t.rows, Entry{
 		Page:   pn,
 		Offset: uint32(addr) - uint32(t.space.PageBase(pn)),
 		LP:     lp,
 		Addr:   addr,
 		Size:   layout.Size,
-	}
-	t.byLP[lp] = addr
-	t.byAddr[addr] = e
-	t.byPage[pn] = append(t.byPage[pn], e)
+	})
+	t.byLP[lp] = i
+	t.byAddr[addr] = i
+	t.byPage[pn] = append(t.byPage[pn], i)
 	return addr, true, nil
 }
 
@@ -208,17 +258,8 @@ const ProvisionalAreaFlag uint32 = 0x8000_0000
 func (t *Table) MarkResident(addr vmem.VAddr) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	e, ok := t.byAddr[addr]
-	if !ok {
-		return
-	}
-	e.Resident = true
-	t.byAddr[addr] = e
-	rows := t.byPage[e.Page]
-	for i := range rows {
-		if rows[i].Addr == addr {
-			rows[i].Resident = true
-		}
+	if i, ok := t.byAddr[addr]; ok {
+		t.rows[i].Resident = true
 	}
 }
 
@@ -229,21 +270,24 @@ func (t *Table) MarkResident(addr vmem.VAddr) {
 func (t *Table) Remove(addr vmem.VAddr) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	e, ok := t.byAddr[addr]
+	i, ok := t.byAddr[addr]
 	if !ok {
 		return fmt.Errorf("%w: %#x", ErrNotSwizzled, uint32(addr))
 	}
+	e := t.rows[i]
 	delete(t.byAddr, addr)
 	delete(t.byLP, e.LP)
-	rows := t.byPage[e.Page]
-	for i := range rows {
-		if rows[i].Addr == addr {
-			t.byPage[e.Page] = append(rows[:i], rows[i+1:]...)
+	idxs := t.byPage[e.Page]
+	for k, ri := range idxs {
+		if ri == i {
+			idxs = append(idxs[:k], idxs[k+1:]...)
 			break
 		}
 	}
-	if len(t.byPage[e.Page]) == 0 {
+	if len(idxs) == 0 {
 		delete(t.byPage, e.Page)
+	} else {
+		t.byPage[e.Page] = idxs
 	}
 	return nil
 }
@@ -253,8 +297,8 @@ func (t *Table) Remove(addr vmem.VAddr) error {
 func (t *Table) AllResident(pn uint32) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, e := range t.byPage[pn] {
-		if !e.Resident {
+	for _, i := range t.byPage[pn] {
+		if !t.rows[i].Resident {
 			return false
 		}
 	}
@@ -289,12 +333,16 @@ func (t *Table) Unswizzle(addr vmem.VAddr, declared types.ID) (wire.LongPtr, err
 	}
 	if t.space.InCache(addr) {
 		t.mu.Lock()
-		e, ok := t.byAddr[addr]
+		i, ok := t.byAddr[addr]
+		var lp wire.LongPtr
+		if ok {
+			lp = t.rows[i].LP
+		}
 		t.mu.Unlock()
 		if !ok {
 			return wire.LongPtr{}, fmt.Errorf("%w: %#x", ErrNotSwizzled, uint32(addr))
 		}
-		return e.LP, nil
+		return lp, nil
 	}
 	return wire.LongPtr{Space: t.selfID, Addr: addr, Type: declared}, nil
 }
@@ -303,16 +351,22 @@ func (t *Table) Unswizzle(addr vmem.VAddr, declared types.ID) (wire.LongPtr, err
 func (t *Table) LookupAddr(addr vmem.VAddr) (Entry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	e, ok := t.byAddr[addr]
-	return e, ok
+	i, ok := t.byAddr[addr]
+	if !ok {
+		return Entry{}, false
+	}
+	return t.rows[i], true
 }
 
 // LookupLP returns the swizzled address for a long pointer, if present.
 func (t *Table) LookupLP(lp wire.LongPtr) (vmem.VAddr, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	a, ok := t.byLP[lp]
-	return a, ok
+	i, ok := t.byLP[lp]
+	if !ok {
+		return vmem.Null, false
+	}
+	return t.rows[i].Addr, true
 }
 
 // PageEntries returns the table rows for one page, ordered by offset:
@@ -321,11 +375,83 @@ func (t *Table) LookupLP(lp wire.LongPtr) (vmem.VAddr, bool) {
 func (t *Table) PageEntries(pn uint32) []Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	src := t.byPage[pn]
-	out := make([]Entry, len(src))
-	copy(out, src)
-	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	idxs := t.byPage[pn]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]Entry, len(idxs))
+	for k, i := range idxs {
+		out[k] = t.rows[i]
+	}
 	return out
+}
+
+// OutstandingWants returns the long pointers of non-resident entries
+// originating from origin that live on *partially resident* pages other
+// than excludePN, in (page, offset) order, stopping once their accumulated
+// canonical sizes would exceed budget bytes (a cap bounding per-message
+// eagerness). It also reports the bytes selected.
+//
+// A partially resident page is one where a previous transfer's byte budget
+// ran out mid-page: some entries are installed, the rest are not, and the
+// page's protection cannot be released until they all are (§3.2). Such a
+// page is certain to cost its own FETCH round-trip on first touch, so the
+// fetch path piggybacks its remaining wants onto the current faulting
+// page's FETCH message instead — one message where the single-want
+// protocol needs two. Fully non-resident pages are deliberately excluded:
+// prefetching them is speculation that cascades (each install swizzles
+// fresh frontier entries), inflating transferred bytes on sparse access
+// patterns.
+func (t *Table) OutstandingWants(origin uint32, excludePN uint32, budget int) ([]wire.LongPtr, int) {
+	if budget <= 0 {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var pages []uint32
+	for pn, idxs := range t.byPage {
+		if pn == excludePN {
+			continue
+		}
+		missing, resident := false, false
+		for _, i := range idxs {
+			if t.rows[i].Resident {
+				resident = true
+			} else if t.rows[i].LP.Space == origin {
+				missing = true
+			}
+		}
+		if missing && resident {
+			pages = append(pages, pn)
+		}
+	}
+	if len(pages) == 0 {
+		return nil, 0
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	var out []wire.LongPtr
+	left := budget
+	for _, pn := range pages {
+		for _, i := range t.byPage[pn] {
+			e := &t.rows[i]
+			if e.Resident || e.LP.Space != origin {
+				continue
+			}
+			// Charge canonical (wire) size, the unit the serving side's
+			// closure budget is denominated in, so a batched FETCH never
+			// ships more bytes than a single-want one.
+			size := e.Size
+			if rv, err := t.res.Resolve(e.LP.Type); err == nil {
+				size = rv.Canon
+			}
+			if size > left {
+				return out, budget - left
+			}
+			left -= size
+			out = append(out, e.LP)
+		}
+	}
+	return out, budget - left
 }
 
 // Entries returns every table row, ordered by page then offset. Used by
@@ -334,8 +460,8 @@ func (t *Table) Entries() []Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]Entry, 0, len(t.byAddr))
-	for _, e := range t.byAddr {
-		out = append(out, e)
+	for _, i := range t.byAddr {
+		out = append(out, t.rows[i])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Page != out[j].Page {
@@ -362,7 +488,7 @@ func (t *Table) Len() int {
 func (t *Table) Rebind(old, new wire.LongPtr) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	addr, ok := t.byLP[old]
+	i, ok := t.byLP[old]
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrRebindUnknown, old)
 	}
@@ -370,16 +496,8 @@ func (t *Table) Rebind(old, new wire.LongPtr) error {
 		return fmt.Errorf("swizzle: rebind target %v already mapped", new)
 	}
 	delete(t.byLP, old)
-	t.byLP[new] = addr
-	e := t.byAddr[addr]
-	e.LP = new
-	t.byAddr[addr] = e
-	rows := t.byPage[e.Page]
-	for i := range rows {
-		if rows[i].Addr == addr {
-			rows[i].LP = new
-		}
-	}
+	t.byLP[new] = i
+	t.rows[i].LP = new
 	return nil
 }
 
@@ -389,10 +507,7 @@ func (t *Table) Rebind(old, new wire.LongPtr) error {
 func (t *Table) Invalidate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.byLP = make(map[wire.LongPtr]vmem.VAddr)
-	t.byAddr = make(map[vmem.VAddr]Entry)
-	t.byPage = make(map[uint32][]Entry)
-	t.areas = make(map[uint32]*area)
+	t.reset()
 }
 
 func alignUp(n, a int) int {

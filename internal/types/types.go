@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"smartrpc/internal/arch"
 )
@@ -275,8 +276,21 @@ var ErrUnknownType = errors.New("types: unknown type")
 // Registry is the type database. It is safe for concurrent use. In a real
 // deployment this is the network name server; here every runtime holds a
 // reference to a shared (or replicated) registry.
+//
+// Lookups are on the runtime's hottest paths (every dereference and every
+// marshaled object resolves its descriptor and layout), so the registry
+// publishes an immutable snapshot through an atomic pointer: reads take no
+// lock at all, and the rare writes (schema registration, a layout-cache
+// fill) copy the snapshot under a mutex and republish it.
 type Registry struct {
-	mu      sync.RWMutex
+	mu        sync.Mutex // serializes writers
+	state     atomic.Pointer[regState]
+	resolvers []*Resolver // shared per-profile caches, see ResolverFor
+}
+
+// regState is one immutable registry snapshot. Maps reachable from it are
+// never mutated after publication.
+type regState struct {
 	byID    map[ID]*Desc
 	byName  map[string]*Desc
 	layouts map[layoutKey]Layout
@@ -289,11 +303,13 @@ type layoutKey struct {
 
 // NewRegistry returns an empty type database.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{}
+	r.state.Store(&regState{
 		byID:    make(map[ID]*Desc),
 		byName:  make(map[string]*Desc),
 		layouts: make(map[layoutKey]Layout),
-	}
+	})
+	return r
 }
 
 // Register adds a descriptor. Pointer element types may be registered in
@@ -305,16 +321,29 @@ func (r *Registry) Register(d *Desc) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if prev, ok := r.byID[d.ID]; ok {
+	st := r.state.Load()
+	if prev, ok := st.byID[d.ID]; ok {
 		return fmt.Errorf("types: ID %d already registered as %q", d.ID, prev.Name)
 	}
-	if prev, ok := r.byName[d.Name]; ok {
+	if prev, ok := st.byName[d.Name]; ok {
 		return fmt.Errorf("types: name %q already registered as ID %d", d.Name, prev.ID)
 	}
 	cp := *d
 	cp.Fields = append([]Field(nil), d.Fields...)
-	r.byID[d.ID] = &cp
-	r.byName[d.Name] = &cp
+	ns := &regState{
+		byID:    make(map[ID]*Desc, len(st.byID)+1),
+		byName:  make(map[string]*Desc, len(st.byName)+1),
+		layouts: st.layouts,
+	}
+	for k, v := range st.byID {
+		ns.byID[k] = v
+	}
+	for k, v := range st.byName {
+		ns.byName[k] = v
+	}
+	ns.byID[d.ID] = &cp
+	ns.byName[d.Name] = &cp
+	r.state.Store(ns)
 	return nil
 }
 
@@ -328,9 +357,7 @@ func (r *Registry) MustRegister(d *Desc) {
 
 // Lookup resolves a type ID.
 func (r *Registry) Lookup(id ID) (*Desc, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	d, ok := r.byID[id]
+	d, ok := r.state.Load().byID[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: ID %d", ErrUnknownType, id)
 	}
@@ -339,9 +366,7 @@ func (r *Registry) Lookup(id ID) (*Desc, error) {
 
 // LookupName resolves a type name.
 func (r *Registry) LookupName(name string) (*Desc, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	d, ok := r.byName[name]
+	d, ok := r.state.Load().byName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: name %q", ErrUnknownType, name)
 	}
@@ -351,39 +376,127 @@ func (r *Registry) LookupName(name string) (*Desc, error) {
 // Layout returns the (cached) layout of type id under profile p.
 func (r *Registry) Layout(id ID, p arch.Profile) (Layout, error) {
 	key := layoutKey{id: id, arch: p.Name}
-	r.mu.RLock()
-	if l, ok := r.layouts[key]; ok {
-		r.mu.RUnlock()
+	st := r.state.Load()
+	if l, ok := st.layouts[key]; ok {
 		return l, nil
 	}
-	d, ok := r.byID[id]
-	r.mu.RUnlock()
+	d, ok := st.byID[id]
 	if !ok {
 		return Layout{}, fmt.Errorf("%w: ID %d", ErrUnknownType, id)
 	}
 	l := LayoutOf(d, p)
 	r.mu.Lock()
-	r.layouts[key] = l
+	st = r.state.Load()
+	if cached, ok := st.layouts[key]; ok {
+		r.mu.Unlock()
+		return cached, nil
+	}
+	ns := &regState{
+		byID:    st.byID,
+		byName:  st.byName,
+		layouts: make(map[layoutKey]Layout, len(st.layouts)+1),
+	}
+	for k, v := range st.layouts {
+		ns.layouts[k] = v
+	}
+	ns.layouts[key] = l
+	r.state.Store(ns)
 	r.mu.Unlock()
 	return l, nil
 }
 
+// Resolved bundles everything the runtime needs to act on one type under
+// one architecture profile: the descriptor, its concrete layout, and the
+// canonical (XDR) encoded size. The layout is shared and immutable.
+type Resolved struct {
+	Desc   *Desc
+	Layout *Layout
+	// Canon is Desc.CanonicalSize(), precomputed: closure budgeting
+	// charges it once per served object.
+	Canon int
+}
+
+// Resolver is a per-profile resolution cache in front of a Registry. A
+// hit is one small-key map lookup returning shared pointers — no string
+// hashing (the registry's layout cache is keyed by profile name) and no
+// layout copying. Descriptors are immutable once registered, so cached
+// entries never go stale. Obtain one with Registry.ResolverFor; resolvers
+// for the same profile are shared.
+type Resolver struct {
+	reg *Registry
+	p   arch.Profile
+
+	mu    sync.Mutex // serializes cache fills
+	state atomic.Pointer[map[ID]Resolved]
+}
+
+// ResolverFor returns the shared resolver for profile p, creating it on
+// first use.
+func (r *Registry) ResolverFor(p arch.Profile) *Resolver {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rs := range r.resolvers {
+		if rs.p.Name == p.Name {
+			return rs
+		}
+	}
+	rs := &Resolver{reg: r, p: p}
+	empty := make(map[ID]Resolved)
+	rs.state.Store(&empty)
+	r.resolvers = append(r.resolvers, rs)
+	return rs
+}
+
+// Resolve returns the descriptor, layout, and canonical size of type id.
+func (rs *Resolver) Resolve(id ID) (Resolved, error) {
+	if e, ok := (*rs.state.Load())[id]; ok {
+		return e, nil
+	}
+	return rs.fill(id)
+}
+
+// fill computes and publishes the cache entry for id (copy-on-write, like
+// the registry's own snapshot).
+func (rs *Resolver) fill(id ID) (Resolved, error) {
+	d, err := rs.reg.Lookup(id)
+	if err != nil {
+		return Resolved{}, err
+	}
+	l, err := rs.reg.Layout(id, rs.p)
+	if err != nil {
+		return Resolved{}, err
+	}
+	e := Resolved{Desc: d, Layout: &l, Canon: d.CanonicalSize()}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	old := *rs.state.Load()
+	if prev, ok := old[id]; ok {
+		return prev, nil
+	}
+	next := make(map[ID]Resolved, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = e
+	rs.state.Store(&next)
+	return e, nil
+}
+
 // Validate checks that every pointer field references a registered type.
 func (r *Registry) Validate() error {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	ids := make([]ID, 0, len(r.byID))
-	for id := range r.byID {
+	st := r.state.Load()
+	ids := make([]ID, 0, len(st.byID))
+	for id := range st.byID {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		d := r.byID[id]
+		d := st.byID[id]
 		for _, f := range d.Fields {
 			if f.Kind != Ptr {
 				continue
 			}
-			if _, ok := r.byID[f.Elem]; !ok {
+			if _, ok := st.byID[f.Elem]; !ok {
 				return fmt.Errorf("type %q field %q: %w: ID %d", d.Name, f.Name, ErrUnknownType, f.Elem)
 			}
 		}
@@ -393,10 +506,9 @@ func (r *Registry) Validate() error {
 
 // Names returns all registered type names, sorted.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.byName))
-	for n := range r.byName {
+	st := r.state.Load()
+	names := make([]string, 0, len(st.byName))
+	for n := range st.byName {
 		names = append(names, n)
 	}
 	sort.Strings(names)

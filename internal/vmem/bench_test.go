@@ -1,0 +1,39 @@
+package vmem
+
+import "testing"
+
+// BenchmarkVmemAccess measures the simulated-memory load/store fast path
+// (flat page table, no lock in the default single-active-thread mode).
+// Run with -benchmem: the steady state must be zero allocations.
+func BenchmarkVmemAccess(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		conc bool
+	}{{"lockfree", false}, {"concurrent", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, err := NewSpace(Config{Concurrent: cfg.conc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			addr, err := s.Alloc(4096, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var buf [64]byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := VAddr(uint32(i) % 64 * 64)
+				if err := s.WriteUint(addr+off%4032, 4, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.ReadUint(addr+off%4032, 4); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Read(addr, buf[:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

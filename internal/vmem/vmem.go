@@ -19,12 +19,34 @@
 // data and a cache region where protected page areas for remote data are
 // carved out. Addresses are plain uint32 values (VAddr); address 0 is the
 // null pointer.
+//
+// # Concurrency model
+//
+// Page lookup is a flat slice index per region (both regions are
+// bump-allocated, so the mapped pages of each region are dense) against an
+// atomically published page table, and per-page protection and dirty bits
+// are atomics, so the metadata side of every operation is lock-free.
+//
+// Data copies come in two flavors, selected by Config.Concurrent:
+//
+//   - Concurrent=false (default): copies take no lock at all. This relies
+//     on the paper's single-active-thread property (§3.1, §3.4): within an
+//     RPC session exactly one thread of control is active across the whole
+//     system, and the control-transfer messages that hand it off establish
+//     happens-before edges, so two goroutines never race on page data. The
+//     in-memory and TCP transports both deliver messages over channels,
+//     which gives exactly that ordering.
+//   - Concurrent=true: copies additionally hold an internal mutex, giving
+//     word-level atomicity between application goroutines that share one
+//     Space outside the RPC protocol (e.g. a multithreaded server probing
+//     its own heap while handlers run).
 package vmem
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"smartrpc/internal/arch"
 )
@@ -126,12 +148,23 @@ var (
 	ErrBadFree = errors.New("vmem: bad free")
 )
 
-// page is one unit of protection and transfer.
+// page is one unit of protection and transfer. data is fixed at creation;
+// prot and dirty are atomics so protection checks and dirty bookkeeping
+// never take a lock.
 type page struct {
 	data  []byte
-	prot  Prot
-	cache bool // page lives in the cache region
-	dirty bool // cache page modified since install (coherency protocol)
+	prot  atomic.Int32
+	dirty atomic.Bool // cache page modified since install (coherency protocol)
+	cache bool        // page lives in the cache region
+}
+
+// pageTable is the immutable flat page table: one dense slice per region,
+// indexed by page number minus the region's base page number. Growth
+// copies the affected slice and publishes a fresh table; *page pointers
+// stay stable across growth.
+type pageTable struct {
+	heap  []*page
+	cache []*page
 }
 
 // Config parameterizes a Space.
@@ -141,6 +174,11 @@ type Config struct {
 	PageSize int
 	// Profile is the simulated architecture. Defaults to arch.SPARC32.
 	Profile arch.Profile
+	// Concurrent makes data copies hold an internal lock so goroutines
+	// sharing the Space outside the RPC protocol get word-level atomicity.
+	// The default (false) is lock-free and relies on the protocol's
+	// single-active-thread property; see the package comment.
+	Concurrent bool
 }
 
 func (c *Config) fill() error {
@@ -159,19 +197,29 @@ func (c *Config) fill() error {
 // Space is one simulated address space: a page table, a heap for local
 // data, a cache region for remote data, and a fault handler.
 //
-// All methods are safe for concurrent use; the fault handler is invoked
-// without the space lock held, so it may call back into the Space.
+// Metadata operations (protection, dirty bits, fault accounting) are safe
+// for concurrent use. Data copies are lock-free unless Config.Concurrent
+// is set; see the package comment for when that is sound. The fault
+// handler is invoked without any lock held, so it may call back into the
+// Space.
 type Space struct {
-	pageSize  int
-	pageShift uint
-	profile   arch.Profile
+	pageSize   int
+	pageShift  uint
+	pageMask   uint32
+	concurrent bool
+	profile    arch.Profile
 
-	mu        sync.Mutex
-	pages     map[uint32]*page
-	handler   Handler
+	heapPN0  uint32 // first heap page number
+	cachePN0 uint32 // first cache page number
+	topPN    uint32 // first page number past the cache region
+
+	table   atomic.Pointer[pageTable]
+	handler atomic.Pointer[Handler]
+	faults  atomic.Uint64
+
+	mu        sync.Mutex // guards growth, heap allocator, cacheNext; copies too when concurrent
 	heap      allocator
 	cacheNext VAddr // bump pointer for cache page allocation
-	faults    uint64
 }
 
 // NewSpace creates an empty address space.
@@ -184,12 +232,17 @@ func NewSpace(cfg Config) (*Space, error) {
 		shift++
 	}
 	s := &Space{
-		pageSize:  cfg.PageSize,
-		pageShift: shift,
-		profile:   cfg.Profile,
-		pages:     make(map[uint32]*page),
-		cacheNext: cacheBase,
+		pageSize:   cfg.PageSize,
+		pageShift:  shift,
+		pageMask:   uint32(cfg.PageSize - 1),
+		concurrent: cfg.Concurrent,
+		profile:    cfg.Profile,
+		heapPN0:    uint32(heapBase) >> shift,
+		cachePN0:   uint32(cacheBase) >> shift,
+		topPN:      uint32(spaceTop) >> shift,
+		cacheNext:  cacheBase,
 	}
+	s.table.Store(&pageTable{})
 	s.heap.init(heapBase, cacheBase)
 	return s, nil
 }
@@ -205,16 +258,20 @@ func (s *Space) PointerSize() int { return s.profile.PointerSize }
 
 // SetHandler installs the fault handler.
 func (s *Space) SetHandler(h Handler) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.handler = h
+	s.handler.Store(&h)
+}
+
+// loadHandler returns the installed handler (nil if none).
+func (s *Space) loadHandler() Handler {
+	if hp := s.handler.Load(); hp != nil {
+		return *hp
+	}
+	return nil
 }
 
 // Faults returns the number of access violations delivered so far.
 func (s *Space) Faults() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.faults
+	return s.faults.Load()
 }
 
 // PageOf returns the page number containing addr.
@@ -236,6 +293,36 @@ func (s *Space) InCache(addr VAddr) bool {
 // InHeap reports whether addr lies in the local heap region.
 func (s *Space) InHeap(addr VAddr) bool {
 	return addr >= heapBase && addr < cacheBase
+}
+
+// pageAt returns the page with number pn in table t, or nil if unmapped.
+func (s *Space) pageAt(t *pageTable, pn uint32) *page {
+	if pn >= s.cachePN0 {
+		if pn >= s.topPN {
+			return nil
+		}
+		if i := pn - s.cachePN0; i < uint32(len(t.cache)) {
+			return t.cache[i]
+		}
+		return nil
+	}
+	if pn >= s.heapPN0 {
+		if i := pn - s.heapPN0; i < uint32(len(t.heap)) {
+			return t.heap[i]
+		}
+	}
+	return nil
+}
+
+// lookup loads the current table and returns the page for pn (nil if
+// unmapped).
+func (s *Space) lookup(pn uint32) *page {
+	return s.pageAt(s.table.Load(), pn)
+}
+
+// allows reports whether protection p admits an access of the given kind.
+func allows(p Prot, kind FaultKind) bool {
+	return p == ProtReadWrite || (kind == FaultRead && p == ProtRead)
 }
 
 // --- allocation ---
@@ -300,19 +387,67 @@ func (s *Space) AllocCachePages(n int) (VAddr, error) {
 }
 
 // mapRangeLocked ensures pages covering [addr, addr+size) exist with the
-// given protection. Existing pages keep their data and protection.
+// given protection. Existing pages keep their data and protection. Called
+// with s.mu held; publishes a fresh page table (copy-on-write) so lock-free
+// readers never observe a partially updated slice.
 func (s *Space) mapRangeLocked(addr VAddr, size int, prot Prot, cache bool) {
 	first := uint32(addr) >> s.pageShift
 	last := (uint32(addr) + uint32(size) - 1) >> s.pageShift
+
+	old := s.table.Load()
+	missing := false
 	for pn := first; pn <= last; pn++ {
-		if _, ok := s.pages[pn]; !ok {
-			s.pages[pn] = &page{
-				data:  make([]byte, s.pageSize),
-				prot:  prot,
-				cache: cache,
-			}
+		if s.pageAt(old, pn) == nil {
+			missing = true
+			break
 		}
 	}
+	if !missing {
+		return
+	}
+
+	// Copy-on-write: clone each region slice at most once, then fill the
+	// missing slots. Readers index the published slices without a lock, so
+	// the old slices are never mutated in place.
+	nt := &pageTable{heap: old.heap, cache: old.cache}
+	grow := func(region []*page, idx uint32) []*page {
+		need := int(idx) + 1
+		if need < len(region) {
+			need = len(region)
+		}
+		out := make([]*page, need, need+need/2)
+		copy(out, region)
+		return out
+	}
+	heapCopied, cacheCopied := false, false
+	for pn := first; pn <= last; pn++ {
+		var slot **page
+		if pn >= s.cachePN0 {
+			idx := pn - s.cachePN0
+			if !cacheCopied {
+				nt.cache = grow(nt.cache, idx)
+				cacheCopied = true
+			} else if int(idx) >= len(nt.cache) {
+				nt.cache = grow(nt.cache, idx)
+			}
+			slot = &nt.cache[idx]
+		} else {
+			idx := pn - s.heapPN0
+			if !heapCopied {
+				nt.heap = grow(nt.heap, idx)
+				heapCopied = true
+			} else if int(idx) >= len(nt.heap) {
+				nt.heap = grow(nt.heap, idx)
+			}
+			slot = &nt.heap[idx]
+		}
+		if *slot == nil {
+			p := &page{data: make([]byte, s.pageSize), cache: cache}
+			p.prot.Store(int32(prot))
+			*slot = p
+		}
+	}
+	s.table.Store(nt)
 }
 
 // --- protection and dirty bookkeeping ---
@@ -320,56 +455,48 @@ func (s *Space) mapRangeLocked(addr VAddr, size int, prot Prot, cache bool) {
 // SetProt changes the protection of page pn. It is the runtime's analogue
 // of mprotect(2).
 func (s *Space) SetProt(pn uint32, prot Prot) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pages[pn]
-	if !ok {
+	p := s.lookup(pn)
+	if p == nil {
 		return fmt.Errorf("%w: page %d", ErrUnmapped, pn)
 	}
-	p.prot = prot
+	p.prot.Store(int32(prot))
 	return nil
 }
 
 // ProtOf returns the protection of page pn.
 func (s *Space) ProtOf(pn uint32) (Prot, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pages[pn]
-	if !ok {
+	p := s.lookup(pn)
+	if p == nil {
 		return 0, fmt.Errorf("%w: page %d", ErrUnmapped, pn)
 	}
-	return p.prot, nil
+	return Prot(p.prot.Load()), nil
 }
 
 // MarkDirty sets or clears the dirty bit of a cache page.
 func (s *Space) MarkDirty(pn uint32, dirty bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pages[pn]
-	if !ok {
+	p := s.lookup(pn)
+	if p == nil {
 		return fmt.Errorf("%w: page %d", ErrUnmapped, pn)
 	}
-	p.dirty = dirty
+	p.dirty.Store(dirty)
 	return nil
 }
 
 // IsDirty reports the dirty bit of page pn (false for unmapped pages).
 func (s *Space) IsDirty(pn uint32) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pages[pn]
-	return ok && p.dirty
+	p := s.lookup(pn)
+	return p != nil && p.dirty.Load()
 }
 
-// DirtyPages returns the page numbers of all dirty cache pages: the
-// "modified data set" the coherency protocol ships on control transfer.
+// DirtyPages returns the page numbers of all dirty cache pages in
+// ascending order: the "modified data set" the coherency protocol ships on
+// control transfer.
 func (s *Space) DirtyPages() []uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	t := s.table.Load()
 	var out []uint32
-	for pn, p := range s.pages {
-		if p.cache && p.dirty {
-			out = append(out, pn)
+	for i, p := range t.cache {
+		if p != nil && p.dirty.Load() {
+			out = append(out, s.cachePN0+uint32(i))
 		}
 	}
 	return out
@@ -381,17 +508,18 @@ func (s *Space) DirtyPages() []uint32 {
 // address range stays reserved so stale ordinary pointers fault rather
 // than alias new data.
 func (s *Space) InvalidateCache() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, p := range s.pages {
-		if !p.cache {
+	if s.concurrent {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	t := s.table.Load()
+	for _, p := range t.cache {
+		if p == nil {
 			continue
 		}
-		for i := range p.data {
-			p.data[i] = 0
-		}
-		p.prot = ProtNone
-		p.dirty = false
+		clear(p.data)
+		p.prot.Store(int32(ProtNone))
+		p.dirty.Store(false)
 	}
 }
 
@@ -400,32 +528,55 @@ func (s *Space) InvalidateCache() {
 // ReadRaw copies len(buf) bytes from addr without protection checks. The
 // runtime uses it to marshal data out of pages regardless of protection.
 func (s *Space) ReadRaw(addr VAddr, buf []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.copyLocked(addr, buf, true)
+	return s.rawAccess(addr, buf, true)
 }
 
 // WriteRaw copies data to addr without protection checks or dirty
 // bookkeeping. The runtime uses it to install fetched data.
 func (s *Space) WriteRaw(addr VAddr, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.copyLocked(addr, data, false)
+	return s.rawAccess(addr, data, false)
 }
 
-func (s *Space) copyLocked(addr VAddr, buf []byte, read bool) error {
+func (s *Space) rawAccess(addr VAddr, buf []byte, read bool) error {
 	if addr == Null {
 		return ErrNull
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	t := s.table.Load()
+	// Fast path: the whole access falls inside one mapped page.
+	po := int(uint32(addr) & s.pageMask)
+	if po+len(buf) <= s.pageSize {
+		p := s.pageAt(t, uint32(addr)>>s.pageShift)
+		if p == nil {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(addr))
+		}
+		if s.concurrent {
+			s.mu.Lock()
+		}
+		if read {
+			copy(buf, p.data[po:po+len(buf)])
+		} else {
+			copy(p.data[po:po+len(buf)], buf)
+		}
+		if s.concurrent {
+			s.mu.Unlock()
+		}
+		return nil
+	}
+	if s.concurrent {
+		s.mu.Lock()
+		defer s.mu.Unlock()
 	}
 	off := 0
 	for off < len(buf) {
 		a := addr + VAddr(off)
-		pn := uint32(a) >> s.pageShift
-		p, ok := s.pages[pn]
-		if !ok {
+		p := s.pageAt(t, uint32(a)>>s.pageShift)
+		if p == nil {
 			return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(a))
 		}
-		po := int(uint32(a) & uint32(s.pageSize-1))
+		po := int(uint32(a) & s.pageMask)
 		n := s.pageSize - po
 		if n > len(buf)-off {
 			n = len(buf) - off
@@ -435,6 +586,39 @@ func (s *Space) copyLocked(addr VAddr, buf []byte, read bool) error {
 		} else {
 			copy(p.data[po:po+n], buf[off:off+n])
 		}
+		off += n
+	}
+	return nil
+}
+
+// Zero clears size bytes starting at addr without protection checks and
+// without allocating a scratch buffer. The runtime uses it to initialize
+// fresh objects.
+func (s *Space) Zero(addr VAddr, size int) error {
+	if addr == Null {
+		return ErrNull
+	}
+	if size <= 0 {
+		return nil
+	}
+	if s.concurrent {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	t := s.table.Load()
+	off := 0
+	for off < size {
+		a := addr + VAddr(off)
+		p := s.pageAt(t, uint32(a)>>s.pageShift)
+		if p == nil {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(a))
+		}
+		po := int(uint32(a) & s.pageMask)
+		n := s.pageSize - po
+		if n > size-off {
+			n = size - off
+		}
+		clear(p.data[po : po+n])
 		off += n
 	}
 	return nil
@@ -454,7 +638,9 @@ func (s *Space) Write(addr VAddr, data []byte) error {
 	return s.access(addr, data, FaultWrite)
 }
 
-// access performs a checked copy, faulting page by page as needed.
+// access performs a checked copy. The fast path — a single already
+// accessible page — is lock-free (one atomic table load plus one atomic
+// protection load); everything else goes through accessSlow.
 func (s *Space) access(addr VAddr, buf []byte, kind FaultKind) error {
 	if addr == Null {
 		return ErrNull
@@ -462,20 +648,82 @@ func (s *Space) access(addr VAddr, buf []byte, kind FaultKind) error {
 	if len(buf) == 0 {
 		return nil
 	}
+	po := int(uint32(addr) & s.pageMask)
+	if po+len(buf) <= s.pageSize {
+		if p := s.lookup(uint32(addr) >> s.pageShift); p != nil && allows(Prot(p.prot.Load()), kind) {
+			if s.concurrent {
+				s.mu.Lock()
+			}
+			if kind == FaultRead {
+				copy(buf, p.data[po:po+len(buf)])
+			} else {
+				copy(p.data[po:po+len(buf)], buf)
+			}
+			if s.concurrent {
+				s.mu.Unlock()
+			}
+			return nil
+		}
+	}
+	return s.accessSlow(addr, buf, kind)
+}
+
+// accessSlow handles faulting and page-straddling checked accesses. It is
+// fault-atomic: every page the access touches is faulted in and verified
+// accessible before the first byte is copied, so an unresolved fault on a
+// later page aborts the access with memory unchanged. (In Concurrent mode
+// another goroutine can still change protection between the verification
+// scan and the copy — the same window the original locked implementation
+// had between its per-page protection check and copy.)
+func (s *Space) accessSlow(addr VAddr, buf []byte, kind FaultKind) error {
+	first := uint32(addr) >> s.pageShift
+	last := (uint32(addr) + uint32(len(buf)) - 1) >> s.pageShift
+	// Bounded rounds defend against handlers that flap protection.
+	const maxRounds = 3
+	for round := 0; ; round++ {
+		faulted := false
+		for pn := first; pn <= last; pn++ {
+			p := s.lookup(pn)
+			a := addr
+			if pn != first {
+				a = s.PageBase(pn)
+			}
+			if p == nil {
+				return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(a))
+			}
+			if allows(Prot(p.prot.Load()), kind) {
+				continue
+			}
+			if round >= maxRounds {
+				return fmt.Errorf("%w: %s of %#x", ErrFaultUnresolved, kind, uint32(a))
+			}
+			h := s.loadHandler()
+			s.faults.Add(1)
+			if h == nil {
+				return fmt.Errorf("%w: %s of %#x", ErrNoHandler, kind, uint32(a))
+			}
+			if err := h(Fault{Addr: a, Page: pn, Kind: kind}); err != nil {
+				return fmt.Errorf("vmem: %s fault at %#x: %w", kind, uint32(a), err)
+			}
+			faulted = true
+		}
+		if !faulted {
+			break
+		}
+	}
+	if s.concurrent {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	t := s.table.Load()
 	off := 0
 	for off < len(buf) {
 		a := addr + VAddr(off)
-		pn := uint32(a) >> s.pageShift
-		if err := s.ensureAccess(a, pn, kind); err != nil {
-			return err
-		}
-		s.mu.Lock()
-		p, ok := s.pages[pn]
-		if !ok {
-			s.mu.Unlock()
+		p := s.pageAt(t, uint32(a)>>s.pageShift)
+		if p == nil {
 			return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(a))
 		}
-		po := int(uint32(a) & uint32(s.pageSize-1))
+		po := int(uint32(a) & s.pageMask)
 		n := s.pageSize - po
 		if n > len(buf)-off {
 			n = len(buf) - off
@@ -485,50 +733,32 @@ func (s *Space) access(addr VAddr, buf []byte, kind FaultKind) error {
 		} else {
 			copy(p.data[po:po+n], buf[off:off+n])
 		}
-		s.mu.Unlock()
 		off += n
 	}
 	return nil
 }
 
-// ensureAccess checks protection for one access and runs the fault handler
-// until the page is accessible. Bounded retries defend against handlers
-// that flap protection.
-func (s *Space) ensureAccess(addr VAddr, pn uint32, kind FaultKind) error {
-	const maxRetries = 3
-	for attempt := 0; ; attempt++ {
-		s.mu.Lock()
-		p, ok := s.pages[pn]
-		if !ok {
-			s.mu.Unlock()
-			return fmt.Errorf("%w: %#x", ErrUnmapped, uint32(addr))
-		}
-		ok = p.prot == ProtReadWrite || (kind == FaultRead && p.prot == ProtRead)
-		if ok {
-			s.mu.Unlock()
-			return nil
-		}
-		if attempt >= maxRetries {
-			s.mu.Unlock()
-			return fmt.Errorf("%w: %s of %#x", ErrFaultUnresolved, kind, uint32(addr))
-		}
-		h := s.handler
-		s.faults++
-		s.mu.Unlock()
-		if h == nil {
-			return fmt.Errorf("%w: %s of %#x", ErrNoHandler, kind, uint32(addr))
-		}
-		if err := h(Fault{Addr: addr, Page: pn, Kind: kind}); err != nil {
-			return fmt.Errorf("vmem: %s fault at %#x: %w", kind, uint32(addr), err)
-		}
-	}
-}
-
 // --- typed access (profile byte order) ---
 
 // ReadUint reads an unsigned integer of the given byte width (1, 2, 4, 8)
-// through the checked path.
+// through the checked path. The accessible single-page case is
+// zero-allocation and lock-free.
 func (s *Space) ReadUint(addr VAddr, width int) (uint64, error) {
+	if addr != Null {
+		po := int(uint32(addr) & s.pageMask)
+		if po+width <= s.pageSize {
+			if p := s.lookup(uint32(addr) >> s.pageShift); p != nil && allows(Prot(p.prot.Load()), FaultRead) {
+				if s.concurrent {
+					s.mu.Lock()
+				}
+				v := decodeUint(p.data[po:po+width], s.profile.Order)
+				if s.concurrent {
+					s.mu.Unlock()
+				}
+				return v, nil
+			}
+		}
+	}
 	var buf [8]byte
 	if err := s.Read(addr, buf[:width]); err != nil {
 		return 0, err
@@ -537,8 +767,24 @@ func (s *Space) ReadUint(addr VAddr, width int) (uint64, error) {
 }
 
 // WriteUint writes an unsigned integer of the given byte width through the
-// checked path.
+// checked path. The accessible single-page case is zero-allocation and
+// lock-free.
 func (s *Space) WriteUint(addr VAddr, width int, v uint64) error {
+	if addr != Null {
+		po := int(uint32(addr) & s.pageMask)
+		if po+width <= s.pageSize {
+			if p := s.lookup(uint32(addr) >> s.pageShift); p != nil && allows(Prot(p.prot.Load()), FaultWrite) {
+				if s.concurrent {
+					s.mu.Lock()
+				}
+				encodeUint(p.data[po:po+width], s.profile.Order, v)
+				if s.concurrent {
+					s.mu.Unlock()
+				}
+				return nil
+			}
+		}
+	}
 	var buf [8]byte
 	encodeUint(buf[:width], s.profile.Order, v)
 	return s.Write(addr, buf[:width])
@@ -558,6 +804,21 @@ func (s *Space) WritePtr(addr VAddr, v VAddr) error {
 
 // ReadUintRaw reads an unsigned integer without protection checks.
 func (s *Space) ReadUintRaw(addr VAddr, width int) (uint64, error) {
+	if addr != Null {
+		po := int(uint32(addr) & s.pageMask)
+		if po+width <= s.pageSize {
+			if p := s.lookup(uint32(addr) >> s.pageShift); p != nil {
+				if s.concurrent {
+					s.mu.Lock()
+				}
+				v := decodeUint(p.data[po:po+width], s.profile.Order)
+				if s.concurrent {
+					s.mu.Unlock()
+				}
+				return v, nil
+			}
+		}
+	}
 	var buf [8]byte
 	if err := s.ReadRaw(addr, buf[:width]); err != nil {
 		return 0, err
@@ -567,6 +828,21 @@ func (s *Space) ReadUintRaw(addr VAddr, width int) (uint64, error) {
 
 // WriteUintRaw writes an unsigned integer without protection checks.
 func (s *Space) WriteUintRaw(addr VAddr, width int, v uint64) error {
+	if addr != Null {
+		po := int(uint32(addr) & s.pageMask)
+		if po+width <= s.pageSize {
+			if p := s.lookup(uint32(addr) >> s.pageShift); p != nil {
+				if s.concurrent {
+					s.mu.Lock()
+				}
+				encodeUint(p.data[po:po+width], s.profile.Order, v)
+				if s.concurrent {
+					s.mu.Unlock()
+				}
+				return nil
+			}
+		}
+	}
 	var buf [8]byte
 	encodeUint(buf[:width], s.profile.Order, v)
 	return s.WriteRaw(addr, buf[:width])

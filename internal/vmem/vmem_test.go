@@ -231,6 +231,91 @@ func TestAccessSpanningPages(t *testing.T) {
 	}
 }
 
+func TestSpanningAccessFaultAtomic(t *testing.T) {
+	// A write that straddles a page boundary where the second page's fault
+	// cannot be resolved must abort without modifying either page: all
+	// pages in the span are faulted in and verified before any byte moves.
+	s := newSpace(t, Config{PageSize: 64})
+	base, err := s.AllocCachePages(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondPN := s.PageOf(base) + 1
+	s.SetHandler(func(f Fault) error {
+		if f.Page == secondPN {
+			return nil // leave protection unchanged: unresolvable
+		}
+		return s.SetProt(f.Page, ProtReadWrite)
+	})
+	data := make([]byte, 60)
+	for i := range data {
+		data[i] = 0xEE
+	}
+	start := base + 30 // crosses the boundary at offset 64
+	if err := s.Write(start, data); !errors.Is(err, ErrFaultUnresolved) {
+		t.Fatalf("spanning write err = %v, want ErrFaultUnresolved", err)
+	}
+	// Nothing may have been written, not even the first page's portion.
+	got := make([]byte, 60)
+	if err := s.ReadRaw(start, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x after aborted spanning write, want 0", i, b)
+		}
+	}
+	// Reads spanning the same boundary abort without partial results too.
+	probe := []byte{1, 2, 3}
+	buf := make([]byte, 60)
+	copy(buf, probe)
+	if err := s.Read(start, buf); !errors.Is(err, ErrFaultUnresolved) {
+		t.Fatalf("spanning read err = %v, want ErrFaultUnresolved", err)
+	}
+	for i, b := range probe {
+		if buf[i] != b {
+			t.Fatalf("aborted spanning read clobbered buf[%d] = %#x", i, buf[i])
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	s := newSpace(t, Config{PageSize: 64})
+	addr, err := s.Alloc(150, 8) // spans three 64-byte pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := make([]byte, 150)
+	for i := range fill {
+		fill[i] = 0xFF
+	}
+	if err := s.WriteRaw(addr, fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Zero(addr+5, 140); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 150)
+	if err := s.ReadRaw(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0)
+		if i < 5 || i >= 145 {
+			want = 0xFF
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+	if err := s.Zero(Null, 8); !errors.Is(err, ErrNull) {
+		t.Errorf("Zero(Null) err = %v, want ErrNull", err)
+	}
+	if err := s.Zero(0x2000_0000, 8); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("Zero(unmapped) err = %v, want ErrUnmapped", err)
+	}
+}
+
 func TestTypedAccessByteOrder(t *testing.T) {
 	big := newSpace(t, Config{Profile: arch.SPARC32()})
 	little := newSpace(t, Config{Profile: arch.Alpha64()})
@@ -413,8 +498,10 @@ func TestProtString(t *testing.T) {
 func TestConcurrentFaultingReaders(t *testing.T) {
 	// Many goroutines touch the same protected page concurrently; the
 	// handler installs data exactly like the runtime would. All readers
-	// must see the installed bytes, with no deadlock or panic.
-	s := newSpace(t, Config{})
+	// must see the installed bytes, with no deadlock or panic. Sharing a
+	// Space between application goroutines outside the RPC protocol's
+	// single-active-thread discipline requires Concurrent mode.
+	s := newSpace(t, Config{Concurrent: true})
 	base, err := s.AllocCachePages(1)
 	if err != nil {
 		t.Fatal(err)
@@ -454,9 +541,10 @@ func TestConcurrentFaultingReaders(t *testing.T) {
 }
 
 func TestConcurrentMixedAccess(t *testing.T) {
-	// Concurrent readers and writers on heap memory: the space's internal
-	// locking must keep every access atomic at the word level.
-	s := newSpace(t, Config{})
+	// Concurrent readers and writers on heap memory: in Concurrent mode
+	// the space's internal locking must keep every access atomic at the
+	// word level.
+	s := newSpace(t, Config{Concurrent: true})
 	addr, err := s.Alloc(8, 8)
 	if err != nil {
 		t.Fatal(err)

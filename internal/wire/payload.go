@@ -141,6 +141,23 @@ func putItems(e *xdr.Encoder, items []DataItem) {
 	}
 }
 
+// itemsEncodedSize returns the exact encoded size of an item vector, so
+// payload encoders can size their buffer once instead of growing it —
+// fetch replies carry most of the bytes the system ever moves.
+func itemsEncodedSize(items []DataItem) int {
+	n := 4
+	for _, it := range items {
+		n += EncodedLongPtrSize + 4 + 4 + (len(it.Bytes)+3)&^3
+	}
+	return n
+}
+
+// getItems decodes a data-item vector. The items' Bytes alias the
+// decoder's buffer rather than copying it: decoded items are installed (or
+// written through) synchronously by the receiving runtime while the
+// message payload is still live, so the copy per item would be pure
+// allocation churn on the hottest path in the system. Callers must treat
+// the bytes as read-only.
 func getItems(d *xdr.Decoder) ([]DataItem, error) {
 	n, err := d.Uint32()
 	if err != nil {
@@ -158,12 +175,9 @@ func getItems(d *xdr.Decoder) ([]DataItem, error) {
 		if it.Dirty, err = d.Bool(); err != nil {
 			return nil, err
 		}
-		b, err := d.Opaque()
-		if err != nil {
+		if it.Bytes, err = d.Opaque(); err != nil {
 			return nil, err
 		}
-		it.Bytes = make([]byte, len(b))
-		copy(it.Bytes, b)
 		items = append(items, it)
 	}
 	return items, nil
@@ -182,7 +196,7 @@ type CallPayload struct {
 
 // Encode returns the canonical encoding of p.
 func (p *CallPayload) Encode() []byte {
-	e := xdr.NewEncoder(64 + 32*len(p.Args))
+	e := xdr.NewEncoder(16 + 32*len(p.Args) + itemsEncodedSize(p.Items) + 4*len(p.Parts))
 	e.PutUint32(uint32(len(p.Args)))
 	for _, a := range p.Args {
 		putArg(e, a)
@@ -237,20 +251,27 @@ func DecodeCallPayload(b []byte) (CallPayload, error) {
 
 // FetchPayload requests the data for a set of long pointers — all the
 // entries of the faulted page's data allocation table — plus an eager
-// closure budget in bytes (§3.3).
+// closure budget in bytes (§3.3). The first Primary wants are the faulting
+// page's own entries and seed the server's closure traversal; any wants
+// beyond them are batched ride-alongs (stranded entries of partially
+// resident pages) that are served but not expanded, so they cannot starve
+// the faulting page's frontier of closure budget. Primary == 0 means all
+// wants are primary (the single-want protocol).
 type FetchPayload struct {
-	Wants  []LongPtr
-	Budget uint32
+	Wants   []LongPtr
+	Budget  uint32
+	Primary uint32
 }
 
 // Encode returns the canonical encoding of p.
 func (p *FetchPayload) Encode() []byte {
-	e := xdr.NewEncoder(8 + EncodedLongPtrSize*len(p.Wants))
+	e := xdr.NewEncoder(12 + EncodedLongPtrSize*len(p.Wants))
 	e.PutUint32(uint32(len(p.Wants)))
 	for _, lp := range p.Wants {
 		putLongPtr(e, lp)
 	}
 	e.PutUint32(p.Budget)
+	e.PutUint32(p.Primary)
 	return e.Bytes()
 }
 
@@ -276,6 +297,12 @@ func DecodeFetchPayload(b []byte) (FetchPayload, error) {
 	if p.Budget, err = d.Uint32(); err != nil {
 		return p, err
 	}
+	if p.Primary, err = d.Uint32(); err != nil {
+		return p, err
+	}
+	if p.Primary > n {
+		return p, fmt.Errorf("wire: primary count %d exceeds want count %d", p.Primary, n)
+	}
 	return p, nil
 }
 
@@ -286,7 +313,7 @@ type ItemsPayload struct {
 
 // Encode returns the canonical encoding of p.
 func (p *ItemsPayload) Encode() []byte {
-	e := xdr.NewEncoder(64)
+	e := xdr.NewEncoder(itemsEncodedSize(p.Items))
 	putItems(e, p.Items)
 	return e.Bytes()
 }

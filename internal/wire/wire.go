@@ -18,6 +18,7 @@ package wire
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"smartrpc/internal/xdr"
 )
@@ -155,9 +156,31 @@ func Decode(dec *xdr.Decoder) (Message, error) {
 // readers from corrupt length prefixes.
 const maxFrame = 16 << 20
 
+// maxPooledFrame is the largest scratch buffer the frame pools retain.
+// Occasional giant frames are served by one-shot allocations instead of
+// pinning megabytes inside the pools forever.
+const maxPooledFrame = 1 << 20
+
+// framePools recycle the per-frame scratch buffers of the stream framing
+// layer. A connection in steady state encodes and decodes thousands of
+// messages; with the pools, neither direction allocates once the buffers
+// have grown to the session's working frame size. Reuse is safe because
+// Decode copies the payload and strings out of the frame body before it
+// is returned.
+var (
+	frameEncPool = sync.Pool{New: func() any { return xdr.NewEncoder(4096) }}
+	frameBufPool = sync.Pool{New: func() any { b := make([]byte, 4096); return &b }}
+)
+
 // WriteFrame writes m to w as a length-prefixed frame.
 func WriteFrame(w io.Writer, m *Message) error {
-	enc := xdr.NewEncoder(m.WireSize() + 8)
+	enc := frameEncPool.Get().(*xdr.Encoder)
+	defer func() {
+		if cap(enc.Bytes()) <= maxPooledFrame {
+			enc.Reset()
+			frameEncPool.Put(enc)
+		}
+	}()
 	m.Encode(enc)
 	body := enc.Bytes()
 	var hdr [4]byte
@@ -182,7 +205,16 @@ func ReadFrame(r io.Reader) (Message, error) {
 	if n < 0 || n > maxFrame {
 		return Message{}, fmt.Errorf("wire: frame length %d out of range", n)
 	}
-	body := make([]byte, n)
+	bp := frameBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	body := (*bp)[:n]
+	defer func() {
+		if cap(*bp) <= maxPooledFrame {
+			frameBufPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, fmt.Errorf("wire: read frame body: %w", err)
 	}

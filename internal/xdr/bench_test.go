@@ -1,0 +1,67 @@
+package xdr
+
+import "testing"
+
+// BenchmarkXDREncode measures canonical encoding of a representative
+// record mix (fixed-width fields, opaque payload, string) into a reused
+// encoder. Run with -benchmem: with Reset-based reuse the steady state
+// must be zero allocations.
+func BenchmarkXDREncode(b *testing.B) {
+	opaque := make([]byte, 256)
+	for i := range opaque {
+		opaque[i] = byte(i)
+	}
+	enc := NewEncoder(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		enc.PutUint32(uint32(i))
+		enc.PutUint64(uint64(i) * 3)
+		enc.PutBool(i&1 == 0)
+		enc.PutFloat64(float64(i))
+		enc.PutString("node_search")
+		enc.PutOpaque(opaque)
+		if enc.Len() == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// BenchmarkXDRDecode measures the matching decode path. The decoder
+// aliases its input for opaque fields, so the only allocation per
+// iteration is the decoded string.
+func BenchmarkXDRDecode(b *testing.B) {
+	opaque := make([]byte, 256)
+	enc := NewEncoder(1024)
+	enc.PutUint32(7)
+	enc.PutUint64(21)
+	enc.PutBool(true)
+	enc.PutFloat64(3.5)
+	enc.PutString("node_search")
+	enc.PutOpaque(opaque)
+	buf := enc.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		if _, err := d.Uint32(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Uint64(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Bool(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Float64(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.String(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Opaque(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
