@@ -41,11 +41,15 @@ func run(args []string) error {
 	csvOut := fs.Bool("csv", false, "emit figure data as CSV instead of tables")
 	jsonOut := fs.Bool("json", false, "run the regression suite and emit a JSON report (srpcbench -json > BENCH_<n>.json)")
 	runs := fs.Int("runs", 5, "measured repetitions per point in -json mode")
+	checkFile := fs.String("check", "", "compare the regression suite's deterministic modeled columns against a committed BENCH_<n>.json snapshot; exit nonzero on any drift")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	csv = *csvOut
 	model := netsim.Ethernet10SPARC()
+	if *checkFile != "" {
+		return checkAgainst(model, *checkFile)
+	}
 	if *jsonOut {
 		return emitJSON(model, *nodes, *closure, *runs)
 	}
@@ -97,6 +101,30 @@ func emitJSON(model netsim.Model, nodes, closure, runs int) error {
 	}
 	_, err = fmt.Println(string(out))
 	return err
+}
+
+// checkAgainst rebuilds the regression suite at the baseline's
+// configuration and fails if any deterministic modeled column moved. A
+// single measured run suffices: the modeled outputs are identical across
+// runs by construction, and the host-dependent columns are not compared.
+func checkAgainst(model netsim.Model, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var baseline bench.Report
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	cur, err := bench.BuildReport(model, baseline.Nodes, baseline.Closure, 1)
+	if err != nil {
+		return err
+	}
+	if err := bench.Check(baseline, cur); err != nil {
+		return fmt.Errorf("against %s: %w", path, err)
+	}
+	fmt.Printf("srpcbench: modeled columns match %s (%d rows, schema %d)\n", path, len(baseline.Rows), baseline.Schema)
+	return nil
 }
 
 func sec(d time.Duration) float64 { return d.Seconds() }
@@ -234,6 +262,15 @@ func ablations(model netsim.Model) error {
 	rows, err = bench.CoherenceAblation(model, 8191, 8192)
 	if err := print("coherency protocol", rows, err); err != nil {
 		return err
+	}
+	rows, err = bench.DeltaShipAblation(model, 8191, 8192, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n-- delta shipping (repeated update searches) --\n")
+	fmt.Printf("%-24s %-10s %-11s %-10s %-12s %-12s\n", "config", "time(s)", "callbacks", "messages", "bytes", "coh-bytes")
+	for _, r := range rows {
+		fmt.Printf("%-24s %-10.3f %-11d %-10d %-12d %-12d\n", r.Name, sec(r.Time), r.Callbacks, r.Messages, r.Bytes, r.CohBytes)
 	}
 	rows, err = bench.AllocPolicyAblation(model, 512)
 	if err := print("cache page allocation heuristic", rows, err); err != nil {

@@ -19,6 +19,7 @@ import (
 	"smartrpc/internal/swizzle"
 	"smartrpc/internal/transport"
 	"smartrpc/internal/types"
+	"smartrpc/internal/wire"
 )
 
 // NodeType is the tree node's type ID in the harness registry.
@@ -76,6 +77,9 @@ type TreeConfig struct {
 	// DisableFetchBatch reverts to the single-want FETCH protocol (one
 	// faulting page per message), for measuring the batching win.
 	DisableFetchBatch bool
+	// DisableDeltaShip reverts the coherency path to full shipping (the
+	// paper's modeled protocol), for measuring the delta-shipping win.
+	DisableDeltaShip bool
 }
 
 func (c *TreeConfig) fill() error {
@@ -107,6 +111,18 @@ type TreeResult struct {
 	Callbacks uint64
 	// Messages and Bytes are total network traffic.
 	Messages, Bytes uint64
+	// Crossings counts address-space boundary crossings of the thread of
+	// control (call + return messages): the denominator for per-crossing
+	// traffic metrics.
+	Crossings uint64
+	// CohItemBytes is the encoded payload bytes of coherency-path data
+	// items that actually crossed the wire, summed over all spaces
+	// (deltas contribute their delta size, elided items nothing).
+	CohItemBytes uint64
+	// CohItemsShipped / CohDeltaItems / CohItemsSkipped break the
+	// coherency-path items down: transmitted (full or delta), the delta
+	// subset, and elided entirely.
+	CohItemsShipped, CohDeltaItems, CohItemsSkipped uint64
 	// Faults is the callee's access-violation count.
 	Faults uint64
 	// Visited is the number of nodes the callee actually visited.
@@ -147,6 +163,7 @@ func RunTree(cfg TreeConfig) (TreeResult, error) {
 			Traversal:         cfg.Traversal,
 			Coherence:         cfg.Coherence,
 			DisableFetchBatch: cfg.DisableFetchBatch,
+			DisableDeltaShip:  cfg.DisableDeltaShip,
 		})
 	}
 	caller, err := mk(CallerID)
@@ -196,14 +213,21 @@ func RunTree(cfg TreeConfig) (TreeResult, error) {
 	}
 
 	st := callee.Stats()
+	cst := caller.Stats()
 	out := TreeResult{
 		Time:      clock.Now(),
 		Callbacks: st.FetchesSent,
 		Messages:  stats.Messages(),
 		Bytes:     stats.Bytes(),
-		Faults:    st.Faults,
-		Visited:   visited,
-		Sum:       sum,
+		Crossings: stats.KindMessages(uint32(wire.KindCall)) +
+			stats.KindMessages(uint32(wire.KindReturn)),
+		CohItemBytes:    st.CohItemBytes + cst.CohItemBytes,
+		CohItemsShipped: st.CohItemsShipped + cst.CohItemsShipped,
+		CohDeltaItems:   st.CohDeltaItems + cst.CohDeltaItems,
+		CohItemsSkipped: st.CohItemsSkipped + cst.CohItemsSkipped,
+		Faults:          st.Faults,
+		Visited:         visited,
+		Sum:             sum,
 	}
 	if cfg.Policy == core.PolicyLazy && cfg.Update {
 		// Lazy updates go home immediately; count them as callbacks too,

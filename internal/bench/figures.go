@@ -149,7 +149,10 @@ type Fig7Row struct {
 
 // Fig7 reproduces Figure 7: processing time when the visited nodes are
 // updated versus merely visited, over the access-ratio sweep, with the
-// proposed method at closure 8192.
+// proposed method at closure 8192. Delta shipping is disabled: the
+// figure reproduces the paper's protocol, which re-transmits full
+// encodings on every crossing (DeltaShipAblation measures the
+// difference).
 func Fig7(model netsim.Model, nodes, closure int, ratios []float64) ([]Fig7Row, error) {
 	if ratios == nil {
 		ratios = DefaultRatios
@@ -159,12 +162,13 @@ func Fig7(model netsim.Model, nodes, closure int, ratios []float64) ([]Fig7Row, 
 		row := Fig7Row{Ratio: r}
 		for _, update := range []bool{true, false} {
 			res, err := RunTree(TreeConfig{
-				Policy:      core.PolicySmart,
-				Nodes:       nodes,
-				ClosureSize: closure,
-				AccessRatio: r,
-				Update:      update,
-				Model:       model,
+				Policy:           core.PolicySmart,
+				Nodes:            nodes,
+				ClosureSize:      closure,
+				AccessRatio:      r,
+				Update:           update,
+				Model:            model,
+				DisableDeltaShip: true,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig7 ratio %v update %v: %w", r, update, err)
@@ -216,6 +220,9 @@ type AblationRow struct {
 	Callbacks uint64
 	Messages  uint64
 	Bytes     uint64
+	// CohBytes is the coherency-path item payload actually shipped
+	// (TreeResult.CohItemBytes); zero for rows that do not track it.
+	CohBytes uint64
 }
 
 // PageSizeAblation sweeps the protection grain, a design choice the paper
@@ -271,7 +278,9 @@ func TraversalAblation(model netsim.Model, nodes, closure int) ([]AblationRow, e
 }
 
 // CoherenceAblation compares the paper's piggyback protocol against naive
-// write-back-on-transfer, on the update workload.
+// write-back-on-transfer, on the update workload. Both arms run with
+// delta shipping disabled so the comparison reproduces the paper's
+// protocols as modeled.
 func CoherenceAblation(model netsim.Model, nodes, closure int) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, co := range []core.Coherence{core.CoherencePiggyback, core.CoherenceWriteBack} {
@@ -280,12 +289,13 @@ func CoherenceAblation(model netsim.Model, nodes, closure int) ([]AblationRow, e
 			name = "coherence=writeback"
 		}
 		res, err := RunTree(TreeConfig{
-			Nodes:       nodes,
-			ClosureSize: closure,
-			AccessRatio: 0.5,
-			Update:      true,
-			Coherence:   co,
-			Model:       model,
+			Nodes:            nodes,
+			ClosureSize:      closure,
+			AccessRatio:      0.5,
+			Update:           true,
+			Coherence:        co,
+			Model:            model,
+			DisableDeltaShip: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
@@ -293,6 +303,45 @@ func CoherenceAblation(model netsim.Model, nodes, closure int) ([]AblationRow, e
 		rows = append(rows, AblationRow{
 			Name: name, Time: res.Time,
 			Callbacks: res.Callbacks, Messages: res.Messages, Bytes: res.Bytes,
+			CohBytes: res.CohItemBytes,
+		})
+	}
+	return rows, nil
+}
+
+// DeltaShipAblation measures the delta-shipping win on the repeated
+// update workload: several full searches in one session, each doubling
+// every visited node in place, so the modified data set re-crosses the
+// boundary on every call and return. Full shipping re-transmits every
+// item's complete encoding each time; delta shipping sends byte-range
+// diffs (8 of a node's 16 canonical data bytes change per visit) and
+// zero-byte tokens for the untouched remainder of each dirty page.
+func DeltaShipAblation(model netsim.Model, nodes, closure, repeats int) ([]AblationRow, error) {
+	if repeats <= 0 {
+		repeats = 8
+	}
+	var rows []AblationRow
+	for _, noDelta := range []bool{false, true} {
+		name := "coh=delta-ship"
+		if noDelta {
+			name = "coh=full-ship"
+		}
+		res, err := RunTree(TreeConfig{
+			Nodes:            nodes,
+			ClosureSize:      closure,
+			AccessRatio:      0.5,
+			Update:           true,
+			Repeats:          repeats,
+			Model:            model,
+			DisableDeltaShip: noDelta,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name: name, Time: res.Time,
+			Callbacks: res.Callbacks, Messages: res.Messages, Bytes: res.Bytes,
+			CohBytes: res.CohItemBytes,
 		})
 	}
 	return rows, nil

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"smartrpc/internal/core"
@@ -31,7 +32,8 @@ type Report struct {
 
 // ReportRow is one benchmark point.
 type ReportRow struct {
-	// Figure tags the experiment family: fig4, fig6, or fetch-batch.
+	// Figure tags the experiment family: fig4, fig6, fetch-batch, or
+	// coh-delta.
 	Figure string `json:"figure"`
 	// Config identifies the point within the family.
 	Policy  string  `json:"policy"`
@@ -44,6 +46,16 @@ type ReportRow struct {
 	Messages  uint64  `json:"messages"`
 	NetBytes  uint64  `json:"net_bytes"`
 	Faults    uint64  `json:"faults"`
+	// Crossings counts boundary crossings of the thread of control
+	// (call + return messages); MsgsPerCrossing divides total messages
+	// by it. CohItemBytes and the item counters attribute bytes on the
+	// wire to the coherency path (schema 2).
+	Crossings       uint64  `json:"crossings"`
+	MsgsPerCrossing float64 `json:"msgs_per_crossing"`
+	CohItemBytes    uint64  `json:"coh_item_bytes"`
+	CohItemsShipped uint64  `json:"coh_items_shipped"`
+	CohDeltaItems   uint64  `json:"coh_delta_items"`
+	CohItemsSkipped uint64  `json:"coh_items_skipped"`
 
 	// Host-dependent outputs (regression-checked with slack).
 	WallSec         float64 `json:"wall_sec"`
@@ -53,12 +65,15 @@ type ReportRow struct {
 
 // reportPoint is one configuration the report measures.
 type reportPoint struct {
-	figure string
-	policy core.Policy
-	name   string
-	ratio  float64
-	clos   int
-	noBat  bool
+	figure  string
+	policy  core.Policy
+	name    string
+	ratio   float64
+	clos    int
+	noBat   bool
+	update  bool
+	repeats int
+	noDelta bool
 }
 
 // BuildReport runs the regression suite and returns the filled report.
@@ -70,7 +85,7 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	rep := Report{Schema: 1, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
+	rep := Report{Schema: 2, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
 
 	var points []reportPoint
 	for _, pol := range []struct {
@@ -102,6 +117,20 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 			})
 		}
 	}
+	// Delta shipping against its full-shipping ablation on the repeated
+	// update workload: the coh_item_bytes column quantifies the win.
+	for _, ratio := range []float64{0.5, 1.0} {
+		for _, noDelta := range []bool{false, true} {
+			name := "smart-delta"
+			if noDelta {
+				name = "smart-fullship"
+			}
+			points = append(points, reportPoint{
+				figure: "coh-delta", policy: core.PolicySmart, name: name,
+				ratio: ratio, clos: closure, update: true, repeats: 8, noDelta: noDelta,
+			})
+		}
+	}
 
 	for _, pt := range points {
 		row, err := measurePoint(model, nodes, runs, pt)
@@ -113,14 +142,69 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 	return rep, nil
 }
 
+// Check compares the deterministic modeled columns of cur against a
+// committed baseline snapshot. Every baseline row must be present in cur
+// (matched by figure/policy/ratio/closure) with identical modeled
+// outputs; rows that exist only in cur are new experiments and pass.
+// Wall-clock and allocation columns are host-dependent and ignored.
+// Schema-1 baselines predate the crossing/coherency columns, so only the
+// columns they carry are compared.
+func Check(baseline, cur Report) error {
+	if baseline.Nodes != cur.Nodes || baseline.Closure != cur.Closure {
+		return fmt.Errorf("config mismatch: baseline %d nodes/%d closure, current %d/%d",
+			baseline.Nodes, baseline.Closure, cur.Nodes, cur.Closure)
+	}
+	byKey := make(map[string]ReportRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		byKey[rowKey(r)] = r
+	}
+	var drifts []string
+	for _, want := range baseline.Rows {
+		got, ok := byKey[rowKey(want)]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("%s: row missing", rowKey(want)))
+			continue
+		}
+		check := func(col string, wantV, gotV float64) {
+			if wantV != gotV {
+				drifts = append(drifts, fmt.Sprintf("%s: %s = %v, baseline %v", rowKey(want), col, gotV, wantV))
+			}
+		}
+		check("model_sec", want.ModelSec, got.ModelSec)
+		check("callbacks", float64(want.Callbacks), float64(got.Callbacks))
+		check("messages", float64(want.Messages), float64(got.Messages))
+		check("net_bytes", float64(want.NetBytes), float64(got.NetBytes))
+		check("faults", float64(want.Faults), float64(got.Faults))
+		if baseline.Schema >= 2 {
+			check("crossings", float64(want.Crossings), float64(got.Crossings))
+			check("msgs_per_crossing", want.MsgsPerCrossing, got.MsgsPerCrossing)
+			check("coh_item_bytes", float64(want.CohItemBytes), float64(got.CohItemBytes))
+			check("coh_items_shipped", float64(want.CohItemsShipped), float64(got.CohItemsShipped))
+			check("coh_delta_items", float64(want.CohDeltaItems), float64(got.CohDeltaItems))
+			check("coh_items_skipped", float64(want.CohItemsSkipped), float64(got.CohItemsSkipped))
+		}
+	}
+	if len(drifts) > 0 {
+		return fmt.Errorf("modeled columns drifted from baseline:\n  %s", strings.Join(drifts, "\n  "))
+	}
+	return nil
+}
+
+func rowKey(r ReportRow) string {
+	return fmt.Sprintf("%s/%s/%.4f/%d", r.Figure, r.Policy, r.Ratio, r.Closure)
+}
+
 func measurePoint(model netsim.Model, nodes, runs int, pt reportPoint) (ReportRow, error) {
 	cfg := TreeConfig{
 		Policy:            pt.policy,
 		Nodes:             nodes,
 		ClosureSize:       pt.clos,
 		AccessRatio:       pt.ratio,
+		Update:            pt.update,
+		Repeats:           pt.repeats,
 		Model:             model,
 		DisableFetchBatch: pt.noBat,
+		DisableDeltaShip:  pt.noDelta,
 	}
 	// Warm-up run: first-use initialization (layout caches, pools) should
 	// not be charged to the measurement.
@@ -141,6 +225,10 @@ func measurePoint(model netsim.Model, nodes, runs int, pt reportPoint) (ReportRo
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms2)
+	perCrossing := 0.0
+	if last.Crossings > 0 {
+		perCrossing = float64(last.Messages) / float64(last.Crossings)
+	}
 	return ReportRow{
 		Figure:          pt.figure,
 		Policy:          pt.name,
@@ -151,6 +239,12 @@ func measurePoint(model netsim.Model, nodes, runs int, pt reportPoint) (ReportRo
 		Messages:        last.Messages,
 		NetBytes:        last.Bytes,
 		Faults:          last.Faults,
+		Crossings:       last.Crossings,
+		MsgsPerCrossing: perCrossing,
+		CohItemBytes:    last.CohItemBytes,
+		CohItemsShipped: last.CohItemsShipped,
+		CohDeltaItems:   last.CohDeltaItems,
+		CohItemsSkipped: last.CohItemsSkipped,
 		WallSec:         wall.Seconds() / float64(runs),
 		AllocsPerOp:     (ms2.Mallocs - ms1.Mallocs) / uint64(runs),
 		AllocBytesPerOp: (ms2.TotalAlloc - ms1.TotalAlloc) / uint64(runs),

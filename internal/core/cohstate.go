@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"smartrpc/internal/delta"
+	"smartrpc/internal/wire"
+)
+
+// This file implements delta shipping for the coherency protocol. The
+// paper's protocol (§3.4) re-transmits the full modified data set on
+// every address-space boundary crossing: all objects on dirty cache
+// pages plus the origin's session-modified set, each as a complete
+// canonical encoding. Most of those bytes are redundant — the page-grain
+// dirty tracking sweeps up unmodified neighbors, and the circulating
+// modified set is re-sent to spaces that already received it on an
+// earlier crossing.
+//
+// The ship state remembers, per peer and per datum, the canonical bytes
+// and crossing version that peer last exchanged with us (sent to it, or
+// received from it — either way the peer holds them). On the next
+// crossing to that peer a datum is:
+//
+//   - shipped as a zero-byte *token* when its bytes match the peer's
+//     recorded view (the no-change-since-last-crossing case). The token
+//     still carries the dirty bit: the write-back obligation and the
+//     receiver's duty to keep re-circulating the item must keep hopping
+//     with the thread of control even when no bytes need to move —
+//     dropping the item entirely would strand the modification on a
+//     space that is not the ground runtime and lose it at session end;
+//   - dropped entirely on *final* shipments (end-of-session write-back,
+//     where an up-to-date origin has already applied the value and no
+//     onward obligation exists);
+//   - shipped as a byte-range delta against the recorded view when that
+//     is smaller than the full body;
+//   - shipped full otherwise (and always on first exchange).
+//
+// Crossing versions advance by one on each item exchanged for a datum on
+// a peer edge, in lockstep on both sides because both process the same
+// item stream in the same order; a delta or token item carries the
+// version it applies to, so any desynchronization is detected instead of
+// silently corrupting data. State is session-scoped: it is dropped with
+// the cache at invalidation.
+//
+// The Options.DisableDeltaShip ablation restores full shipping (the
+// paper's modeled protocol); it must be set identically on every space.
+
+// cohView is what one peer is known to hold for one datum.
+type cohView struct {
+	// ver counts the items exchanged with the peer for this datum; a
+	// delta or token item names the version it patches.
+	ver uint32
+	// bytes is the canonical encoding at ver. Slices alias the encode
+	// arena or the message payload they arrived in; neither is reused.
+	bytes []byte
+}
+
+// cohState is a runtime's delta-shipping memory, guarded by its own
+// mutex: the send side runs on the session's active thread while the
+// receive side runs on dispatcher-spawned handlers.
+type cohState struct {
+	mu    sync.Mutex
+	peers map[uint32]map[wire.LongPtr]*cohView
+}
+
+func (cs *cohState) viewsFor(peer uint32) map[wire.LongPtr]*cohView {
+	if cs.peers == nil {
+		cs.peers = make(map[uint32]map[wire.LongPtr]*cohView)
+	}
+	m := cs.peers[peer]
+	if m == nil {
+		m = make(map[wire.LongPtr]*cohView)
+		cs.peers[peer] = m
+	}
+	return m
+}
+
+// clear drops all ship state (session teardown and cache invalidation).
+func (cs *cohState) clear() {
+	cs.mu.Lock()
+	cs.peers = nil
+	cs.mu.Unlock()
+}
+
+// deltaShipItems rewrites a coherency-path item batch bound for peer
+// through the ship state: items the peer already holds shrink to tokens
+// (or, when final, disappear), changed items become deltas when
+// profitable, and the rest ship full. Every surviving item advances the
+// datum's crossing version on this edge. final marks shipments after
+// which the receiver has no onward obligation (end-of-session and
+// coherence-writeback deliveries to the origin): there an unchanged item
+// is dropped outright instead of tokenized. The input slice is filtered
+// in place; item bytes are retained as the new recorded view.
+func (rt *Runtime) deltaShipItems(peer uint32, items []wire.DataItem, final bool) []wire.DataItem {
+	if rt.noDeltaShip || len(items) == 0 {
+		// Full shipping (the ablation) still feeds the accounting, so the
+		// two modes compare on the same coherency-path byte counters.
+		for _, it := range items {
+			rt.stats.cohItemsShipped.Add(1)
+			rt.stats.cohItemBytes.Add(uint64(len(it.Bytes)))
+		}
+		return items
+	}
+	rt.coh.mu.Lock()
+	defer rt.coh.mu.Unlock()
+	views := rt.coh.viewsFor(peer)
+	out := items[:0]
+	for _, it := range items {
+		v := views[it.LP]
+		if v == nil {
+			views[it.LP] = &cohView{ver: 1, bytes: it.Bytes}
+			rt.stats.cohItemsShipped.Add(1)
+			rt.stats.cohItemBytes.Add(uint64(len(it.Bytes)))
+			out = append(out, it)
+			continue
+		}
+		if bytes.Equal(v.bytes, it.Bytes) {
+			// Unchanged since the last crossing on this edge: the peer
+			// holds exactly these bytes already, so no body travels.
+			rt.stats.cohItemsSkipped.Add(1)
+			if final {
+				continue
+			}
+			out = append(out, wire.DataItem{
+				LP:      it.LP,
+				Dirty:   it.Dirty,
+				Delta:   true,
+				BaseVer: v.ver,
+			})
+			v.ver++
+			continue
+		}
+		runs := delta.Diff(v.bytes, it.Bytes, delta.DefaultGap)
+		// A delta replaces the opaque body and adds the BaseVer word;
+		// compare padded wire costs before committing to it.
+		if runs != nil && 4+pad4(delta.EncodedSize(runs)) < pad4(len(it.Bytes)) {
+			out = append(out, wire.DataItem{
+				LP:      it.LP,
+				Dirty:   it.Dirty,
+				Delta:   true,
+				BaseVer: v.ver,
+				Bytes:   delta.Encode(runs),
+			})
+			rt.stats.cohDeltaItems.Add(1)
+			rt.stats.cohItemBytes.Add(uint64(delta.EncodedSize(runs)))
+		} else {
+			rt.stats.cohItemBytes.Add(uint64(len(it.Bytes)))
+			out = append(out, it)
+		}
+		rt.stats.cohItemsShipped.Add(1)
+		v.ver++
+		v.bytes = it.Bytes
+	}
+	return out
+}
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// cohReceive resolves an incoming coherency-path item from peer to its
+// full canonical bytes — patching a delta item against the recorded view
+// — and advances the ship state to mirror the sender's. fresh reports
+// whether the bytes differ from what this space last exchanged for the
+// datum: a false return means the local copy is already current and the
+// caller may skip re-installing the value (it must still honor the
+// item's dirty bit).
+func (rt *Runtime) cohReceive(peer uint32, it wire.DataItem) (full []byte, fresh bool, err error) {
+	if rt.noDeltaShip {
+		if it.Delta {
+			return nil, false, fmt.Errorf("core: delta item for %v received with delta shipping disabled", it.LP)
+		}
+		return it.Bytes, true, nil
+	}
+	rt.coh.mu.Lock()
+	defer rt.coh.mu.Unlock()
+	views := rt.coh.viewsFor(peer)
+	v := views[it.LP]
+	if it.Delta {
+		if v == nil {
+			return nil, false, fmt.Errorf("core: delta for %v from space %d without a baseline", it.LP, peer)
+		}
+		if v.ver != it.BaseVer {
+			return nil, false, fmt.Errorf("core: delta for %v from space %d patches version %d, have %d",
+				it.LP, peer, it.BaseVer, v.ver)
+		}
+		if len(it.Bytes) == 0 {
+			// Token: no change since the last crossing; the recorded view
+			// is the current value.
+			v.ver++
+			return v.bytes, false, nil
+		}
+		runs, err := delta.Decode(it.Bytes)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: delta for %v: %w", it.LP, err)
+		}
+		patched, err := delta.Apply(v.bytes, runs)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: delta for %v: %w", it.LP, err)
+		}
+		v.ver++
+		v.bytes = patched
+		return patched, true, nil
+	}
+	if v == nil {
+		views[it.LP] = &cohView{ver: 1, bytes: it.Bytes}
+	} else {
+		v.ver++
+		v.bytes = it.Bytes
+	}
+	return it.Bytes, true, nil
+}

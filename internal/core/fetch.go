@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"smartrpc/internal/types"
 	"smartrpc/internal/vmem"
@@ -99,7 +99,7 @@ func (rt *Runtime) fetchPage(pn uint32) error {
 		for o := range byOrigin {
 			origins = append(origins, o)
 		}
-		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+		slices.Sort(origins)
 		for _, origin := range origins {
 			if err := rt.fetchFrom(sess, pn, origin, byOrigin[origin]); err != nil {
 				return err
@@ -150,7 +150,10 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 	if err != nil {
 		return fmt.Errorf("fetch from space %d: decode: %w", origin, err)
 	}
-	if err := rt.installItems(rp.Items); err != nil {
+	// Fetch replies bypass the delta-shipping state (coh=false): a datum
+	// is fetched at most once per session, so there is no baseline to
+	// diff against and tracking it would desynchronize the edge.
+	if err := rt.installItems(origin, rp.Items, false); err != nil {
 		return fmt.Errorf("fetch from space %d: install: %w", origin, err)
 	}
 	return nil
@@ -376,7 +379,14 @@ func (rt *Runtime) writeOne(lp wire.LongPtr, data []byte) error {
 	if sess == 0 {
 		return ErrNoSession
 	}
-	p := wire.ItemsPayload{Items: []wire.DataItem{{LP: lp, Bytes: data}}}
+	// Repeated read-modify-write of the same datum is the lazy baseline's
+	// whole life; ship only what changed since the origin last saw it,
+	// and nothing at all when the value is unchanged.
+	items := rt.deltaShipItems(lp.Space, []wire.DataItem{{LP: lp, Bytes: data}}, true)
+	if len(items) == 0 {
+		return nil
+	}
+	p := wire.ItemsPayload{Items: items}
 	rt.stats.writeBackMsgs.Add(1)
 	reply, err := rt.sendAndWait(wire.Message{
 		Kind:    wire.KindWriteBack,

@@ -123,6 +123,13 @@ type Options struct {
 	// behavior. Used by benchmarks and regression tests to measure the
 	// batching win.
 	DisableFetchBatch bool
+	// DisableDeltaShip turns off delta shipping on the coherency path and
+	// restores the paper's full-shipping protocol: every crossing
+	// re-transmits the complete canonical encoding of every item in the
+	// modified data set. The setting must be identical on every space of
+	// a network — a full-shipping receiver rejects delta items. Used by
+	// benchmarks and regression tests to measure the delta-shipping win.
+	DisableDeltaShip bool
 	// Concurrent makes the simulated address space take an internal lock
 	// on data copies, giving word-level atomicity between application
 	// goroutines that share the runtime outside the RPC protocol (e.g. a
@@ -184,6 +191,20 @@ type Stats struct {
 	WriteBackMsgs uint64
 	// AllocBatches counts batched remote allocation flushes.
 	AllocBatches uint64
+	// CohItemsShipped counts coherency-path items actually transmitted
+	// (full bodies plus deltas), after delta-shipping elisions.
+	CohItemsShipped uint64
+	// CohDeltaItems counts the subset of CohItemsShipped sent as
+	// byte-range deltas rather than full bodies.
+	CohDeltaItems uint64
+	// CohItemsSkipped counts coherency-path items elided entirely because
+	// the receiving space already held the current version.
+	CohItemsSkipped uint64
+	// CohItemBytes sums the encoded payload bytes of transmitted
+	// coherency-path items (delta items contribute their delta size).
+	// With DisableDeltaShip it sums full bodies, making the two modes
+	// directly comparable.
+	CohItemBytes uint64
 }
 
 // Runtime is one address space's Smart RPC runtime system.
@@ -199,6 +220,7 @@ type Runtime struct {
 	traversal    Traversal
 	coherence    Coherence
 	noFetchBatch bool
+	noDeltaShip  bool
 
 	hintMu sync.RWMutex
 	hints  map[types.ID]map[string]bool
@@ -229,6 +251,10 @@ type Runtime struct {
 	// modification would read a stale copy.
 	modMu           sync.Mutex
 	sessionModified map[wire.LongPtr]bool
+	modScratch      []wire.LongPtr // reusable key buffer for modifiedSetItems
+
+	// coh is the delta-shipping ship state (cohstate.go).
+	coh cohState
 
 	tracer atomic.Pointer[tracerBox]
 
@@ -238,6 +264,8 @@ type Runtime struct {
 		itemsInstalled, bytesInstalled atomic.Uint64
 		dirtyItemsSent, writeBackMsgs  atomic.Uint64
 		allocBatches                   atomic.Uint64
+		cohItemsShipped, cohDeltaItems atomic.Uint64
+		cohItemsSkipped, cohItemBytes  atomic.Uint64
 	}
 
 	closeOnce sync.Once
@@ -280,6 +308,7 @@ func New(opts Options) (*Runtime, error) {
 		traversal:       opts.Traversal,
 		coherence:       opts.Coherence,
 		noFetchBatch:    opts.DisableFetchBatch,
+		noDeltaShip:     opts.DisableDeltaShip,
 		procs:           make(map[string]Handler),
 		pending:         make(map[uint64]chan wire.Message),
 		parts:           make(map[uint32]bool),
@@ -378,6 +407,11 @@ func (rt *Runtime) Stats() Stats {
 		DirtyItemsSent: rt.stats.dirtyItemsSent.Load(),
 		WriteBackMsgs:  rt.stats.writeBackMsgs.Load(),
 		AllocBatches:   rt.stats.allocBatches.Load(),
+
+		CohItemsShipped: rt.stats.cohItemsShipped.Load(),
+		CohDeltaItems:   rt.stats.cohDeltaItems.Load(),
+		CohItemsSkipped: rt.stats.cohItemsSkipped.Load(),
+		CohItemBytes:    rt.stats.cohItemBytes.Load(),
 	}
 }
 

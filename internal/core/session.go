@@ -1,9 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 	"sync/atomic"
 
 	"smartrpc/internal/vmem"
@@ -59,7 +61,11 @@ func (rt *Runtime) Session() uint64 {
 // EndSession performs the ground runtime's two end-of-session tasks
 // (§3.4): write every modified page back to its original address space,
 // and multicast an invalidation to every participating space. It then
-// invalidates the local cache.
+// invalidates the local cache. Write-backs to distinct origins are
+// independent of each other, as are the invalidations, so each phase
+// fans out to all its targets concurrently and waits for the acks; the
+// phases themselves stay ordered (no space may discard its cache before
+// every modification has reached home).
 func (rt *Runtime) EndSession() error {
 	rt.sessMu.Lock()
 	if rt.sess == 0 {
@@ -77,7 +83,7 @@ func (rt *Runtime) EndSession() error {
 			parts = append(parts, p)
 		}
 	}
-	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	slices.Sort(parts)
 	rt.sessMu.Unlock()
 
 	// Any allocations still batched must reach their origins first, so
@@ -100,7 +106,8 @@ func (rt *Runtime) EndSession() error {
 	for o := range byOrigin {
 		origins = append(origins, o)
 	}
-	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	slices.Sort(origins)
+	sends := make([]wire.Message, 0, len(origins))
 	for _, origin := range origins {
 		items := byOrigin[origin]
 		if origin == rt.id {
@@ -111,25 +118,40 @@ func (rt *Runtime) EndSession() error {
 			}
 			continue
 		}
+		// The ship-state transform runs sequentially (it mutates shared
+		// per-peer views); only the network round trips overlap below.
+		items = rt.deltaShipItems(origin, items, true)
+		if len(items) == 0 {
+			// The origin already holds every final value (it received
+			// them on an earlier crossing): no write-back needed.
+			continue
+		}
+		rt.trace(Event{Kind: EvWriteBackSent, Target: origin, Count: len(items)})
 		p := wire.ItemsPayload{Items: items}
-		reply, err := rt.sendAndWait(wire.Message{
+		sends = append(sends, wire.Message{
 			Kind:    wire.KindWriteBack,
 			Session: sess,
 			To:      origin,
 			Payload: p.Encode(),
 		})
+	}
+	writeBack := func(m wire.Message) error {
+		reply, err := rt.sendAndWait(m)
 		if err != nil {
-			return fmt.Errorf("end session: write back to space %d: %w", origin, err)
+			return fmt.Errorf("end session: write back to space %d: %w", m.To, err)
 		}
 		rt.stats.writeBackMsgs.Add(1)
-		rt.trace(Event{Kind: EvWriteBackSent, Target: origin, Count: len(items)})
 		if reply.Err != "" {
-			return fmt.Errorf("end session: space %d rejected write-back: %s", origin, reply.Err)
+			return fmt.Errorf("end session: space %d rejected write-back: %s", m.To, reply.Err)
 		}
+		return nil
+	}
+	if err := fanOut(sends, writeBack); err != nil {
+		return err
 	}
 
 	// 2. Multicast the invalidation to the participating spaces.
-	for _, p := range parts {
+	invalidate := func(p uint32) error {
 		rt.trace(Event{Kind: EvInvalidateSent, Target: p})
 		reply, err := rt.sendAndWait(wire.Message{
 			Kind:    wire.KindInvalidate,
@@ -143,12 +165,17 @@ func (rt *Runtime) EndSession() error {
 		if reply.Err != "" {
 			return fmt.Errorf("end session: space %d rejected invalidate: %s", p, reply.Err)
 		}
+		return nil
+	}
+	if err := fanOut(parts, invalidate); err != nil {
+		return err
 	}
 
 	// Local invalidation and session teardown.
 	rt.space.InvalidateCache()
 	rt.table.Invalidate()
 	rt.clearModified()
+	rt.coh.clear()
 	rt.trace(Event{Kind: EvSessionEnd})
 	rt.sessMu.Lock()
 	rt.sess = 0
@@ -156,6 +183,29 @@ func (rt *Runtime) EndSession() error {
 	rt.parts = make(map[uint32]bool)
 	rt.sessMu.Unlock()
 	return nil
+}
+
+// fanOut runs f once per target concurrently and waits for all of them,
+// returning the joined errors. One target short-circuits the goroutine
+// spawn; the common session (two spaces) pays nothing for the fan-out.
+func fanOut[T any](targets []T, f func(T) error) error {
+	switch len(targets) {
+	case 0:
+		return nil
+	case 1:
+		return f(targets[0])
+	}
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt T) {
+			defer wg.Done()
+			errs[i] = f(tgt)
+		}(i, tgt)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // adoptSession joins an incoming message's session, enforcing the
@@ -198,7 +248,7 @@ func (rt *Runtime) partsList() []uint32 {
 	for p := range rt.parts {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -215,7 +265,7 @@ func (rt *Runtime) Call(target uint32, proc string, args []Value) ([]Value, erro
 	rt.parts[target] = true
 	rt.sessMu.Unlock()
 
-	payload, err := rt.buildTransferPayload(sess, args)
+	payload, err := rt.buildTransferPayload(sess, target, args)
 	if err != nil {
 		return nil, fmt.Errorf("call %s@%d: %w", proc, target, err)
 	}
@@ -237,7 +287,7 @@ func (rt *Runtime) Call(target uint32, proc string, args []Value) ([]Value, erro
 		if len(reply.Payload) > 0 {
 			if rp, derr := wire.DecodeCallPayload(reply.Payload); derr == nil {
 				rt.mergeParts(rp.Parts)
-				_ = rt.installItems(rp.Items)
+				_ = rt.installItems(target, rp.Items, true)
 			}
 		}
 		return nil, fmt.Errorf("call %s@%d: remote: %s", proc, target, reply.Err)
@@ -247,19 +297,21 @@ func (rt *Runtime) Call(target uint32, proc string, args []Value) ([]Value, erro
 		return nil, fmt.Errorf("call %s@%d: decode return: %w", proc, target, err)
 	}
 	rt.mergeParts(rp.Parts)
-	if err := rt.installItems(rp.Items); err != nil {
+	if err := rt.installItems(target, rp.Items, true); err != nil {
 		return nil, fmt.Errorf("call %s@%d: install returned data: %w", proc, target, err)
 	}
 	return rt.argsToValues(rp.Args)
 }
 
 // buildTransferPayload assembles the outbound payload for a control
-// transfer: converted arguments, the piggybacked modified data set, the
-// eager closure (policy dependent), and the participant set. It first
-// flushes batched remote allocations (§3.5: "the batch operations are
-// performed when the activity of the thread moves to another address
-// space").
-func (rt *Runtime) buildTransferPayload(sess uint64, args []Value) (*wire.CallPayload, error) {
+// transfer to peer: converted arguments, the piggybacked modified data
+// set, the eager closure (policy dependent), and the participant set. It
+// first flushes batched remote allocations (§3.5: "the batch operations
+// are performed when the activity of the thread moves to another address
+// space"). Every item rides through the delta-shipping transform for the
+// peer's edge (cohstate.go), so data the peer already holds crosses the
+// boundary as a zero-byte token or a byte-range delta.
+func (rt *Runtime) buildTransferPayload(sess uint64, peer uint32, args []Value) (*wire.CallPayload, error) {
 	if err := rt.flushAllocBatches(sess); err != nil {
 		return nil, err
 	}
@@ -299,6 +351,7 @@ func (rt *Runtime) buildTransferPayload(sess uint64, args []Value) (*wire.CallPa
 		}
 		items = append(items, closure...)
 	}
+	items = rt.deltaShipItems(peer, items, false)
 	return &wire.CallPayload{Args: wireArgs, Items: items, Parts: rt.partsList()}, nil
 }
 
@@ -306,20 +359,30 @@ func (rt *Runtime) buildTransferPayload(sess uint64, args []Value) (*wire.CallPa
 // was modified during this session, so the modified data set keeps
 // traveling with the thread of control (§3.4).
 func (rt *Runtime) modifiedSetItems() ([]wire.DataItem, error) {
+	// The snapshot runs on every boundary crossing; reuse one scratch
+	// slice instead of allocating a fresh one each time. The scratch is
+	// claimed under modMu for the duration of the call (concurrent
+	// claimants fall back to allocating).
 	rt.modMu.Lock()
-	lps := make([]wire.LongPtr, 0, len(rt.sessionModified))
+	lps := rt.modScratch[:0]
+	rt.modScratch = nil
 	for lp := range rt.sessionModified {
 		lps = append(lps, lp)
 	}
 	rt.modMu.Unlock()
+	defer func() {
+		rt.modMu.Lock()
+		rt.modScratch = lps[:0]
+		rt.modMu.Unlock()
+	}()
 	if len(lps) == 0 {
 		return nil, nil
 	}
-	sort.Slice(lps, func(i, j int) bool {
-		if lps[i].Space != lps[j].Space {
-			return lps[i].Space < lps[j].Space
+	slices.SortFunc(lps, func(a, b wire.LongPtr) int {
+		if c := cmp.Compare(a.Space, b.Space); c != 0 {
+			return c
 		}
-		return lps[i].Addr < lps[j].Addr
+		return cmp.Compare(a.Addr, b.Addr)
 	})
 	items := make([]wire.DataItem, 0, len(lps))
 	arena := xdr.NewEncoder(len(lps) * 16)
@@ -354,10 +417,12 @@ func (rt *Runtime) dropModified(lp wire.LongPtr) {
 	rt.modMu.Unlock()
 }
 
-// clearModified resets the session-modified set at session teardown.
+// clearModified resets the session-modified set at session teardown. The
+// map is cleared rather than reallocated: its buckets are warm again by
+// the next session.
 func (rt *Runtime) clearModified() {
 	rt.modMu.Lock()
-	rt.sessionModified = make(map[wire.LongPtr]bool)
+	clear(rt.sessionModified)
 	rt.modMu.Unlock()
 }
 
@@ -374,6 +439,10 @@ func (rt *Runtime) sendDirtyHome(sess uint64, dirty []wire.DataItem) error {
 				return err
 			}
 			continue
+		}
+		items = rt.deltaShipItems(origin, items, true)
+		if len(items) == 0 {
+			continue // origin already holds every value
 		}
 		p := wire.ItemsPayload{Items: items}
 		reply, err := rt.sendAndWait(wire.Message{
@@ -405,7 +474,7 @@ func (rt *Runtime) serveCall(m wire.Message) {
 		return
 	}
 	rt.mergeParts(p.Parts)
-	if err := rt.installItems(p.Items); err != nil {
+	if err := rt.installItems(m.From, p.Items, true); err != nil {
 		rt.reply(m, wire.KindReturn, nil, fmt.Sprintf("install: %v", err))
 		return
 	}
@@ -429,7 +498,7 @@ func (rt *Runtime) serveCall(m wire.Message) {
 		// before failing already happened, so the modified data set still
 		// travels back with the (error) return rather than being lost if
 		// the session ends next.
-		out, perr := rt.buildTransferPayload(m.Session, nil)
+		out, perr := rt.buildTransferPayload(m.Session, m.From, nil)
 		if perr != nil {
 			rt.reply(m, wire.KindReturn, nil, err.Error())
 			return
@@ -437,7 +506,7 @@ func (rt *Runtime) serveCall(m wire.Message) {
 		rt.reply(m, wire.KindReturn, out.Encode(), err.Error())
 		return
 	}
-	out, err := rt.buildTransferPayload(m.Session, results)
+	out, err := rt.buildTransferPayload(m.Session, m.From, results)
 	if err != nil {
 		rt.reply(m, wire.KindReturn, nil, fmt.Sprintf("build return: %v", err))
 		return
@@ -461,6 +530,7 @@ func (rt *Runtime) serveInvalidate(m wire.Message) {
 	rt.batch = make(map[uint32]*originBatch)
 	rt.allocMu.Unlock()
 	rt.clearModified()
+	rt.coh.clear()
 	rt.reply(m, wire.KindInvalidateAck, nil, "")
 }
 
@@ -473,7 +543,7 @@ func (rt *Runtime) collectDirtyItems() ([]wire.DataItem, error) {
 	if len(pages) == 0 {
 		return nil, nil
 	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	slices.Sort(pages)
 	dirtySet := make(map[uint32]bool, len(pages))
 	for _, pn := range pages {
 		dirtySet[pn] = true
@@ -541,56 +611,99 @@ func (rt *Runtime) collectDirtyItems() ([]wire.DataItem, error) {
 	return items, nil
 }
 
-// applyWriteBack installs items into locally owned heap objects: the
-// receiving half of the write-back path.
+// applyHome installs body into the locally owned heap object at lp: the
+// receiving half of the write-back path and of circulating modified
+// items arriving home.
+func (rt *Runtime) applyHome(lp wire.LongPtr, body []byte) error {
+	if lp.Space != rt.id {
+		return fmt.Errorf("write-back for foreign datum %v", lp)
+	}
+	rv, err := rt.res.Resolve(lp.Type)
+	if err != nil {
+		return err
+	}
+	if err := decodeObject(rt.space, rt.table, rt.res, rv.Desc, lp.Addr, body); err != nil {
+		return fmt.Errorf("apply write-back %v: %w", lp, err)
+	}
+	return nil
+}
+
+// applyWriteBack applies raw full-body items to the local heap (the
+// purely local path; wire arrivals go through cohReceive first).
 func (rt *Runtime) applyWriteBack(items []wire.DataItem) error {
 	for _, it := range items {
-		if it.LP.Space != rt.id {
-			return fmt.Errorf("write-back for foreign datum %v", it.LP)
-		}
-		rv, err := rt.res.Resolve(it.LP.Type)
-		if err != nil {
+		if err := rt.applyHome(it.LP, it.Bytes); err != nil {
 			return err
-		}
-		if err := decodeObject(rt.space, rt.table, rt.res, rv.Desc, it.LP.Addr, it.Bytes); err != nil {
-			return fmt.Errorf("apply write-back %v: %w", it.LP, err)
 		}
 	}
 	return nil
 }
 
 // serveWriteBack handles a write-back message from the ground runtime (or
-// from the CoherenceWriteBack ablation).
+// from the CoherenceWriteBack ablation). Items resolve through the ship
+// state for the sender's edge, so delta-encoded bodies are patched
+// against the recorded view before being applied.
 func (rt *Runtime) serveWriteBack(m wire.Message) {
 	p, err := wire.DecodeItemsPayload(m.Payload)
 	if err != nil {
 		rt.reply(m, wire.KindWriteBackAck, nil, fmt.Sprintf("decode: %v", err))
 		return
 	}
-	if err := rt.applyWriteBack(p.Items); err != nil {
-		rt.reply(m, wire.KindWriteBackAck, nil, err.Error())
-		return
+	for _, it := range p.Items {
+		full, fresh, err := rt.cohReceive(m.From, it)
+		if err != nil {
+			rt.reply(m, wire.KindWriteBackAck, nil, err.Error())
+			return
+		}
+		if !fresh {
+			continue // the heap already holds this value from an earlier crossing
+		}
+		if err := rt.applyHome(it.LP, full); err != nil {
+			rt.reply(m, wire.KindWriteBackAck, nil, err.Error())
+			return
+		}
 	}
 	rt.reply(m, wire.KindWriteBackAck, nil, "")
 }
 
-// installItems caches incoming data items: the receiving half of fetch
-// replies and of the piggybacked modified data set. Items whose origin is
-// this space are applied directly to the heap (the modification has come
-// home). For the rest, the object's bytes are installed in its protected
-// page area slot; a page's protection is released only once every entry
-// on it is resident, and released pages are sealed against further
-// allocation so first accesses stay detectable.
-func (rt *Runtime) installItems(items []wire.DataItem) error {
+// installItems caches incoming data items from space `from`: the
+// receiving half of fetch replies and of the piggybacked modified data
+// set. Items whose origin is this space are applied directly to the heap
+// (the modification has come home). For the rest, the object's bytes are
+// installed in its protected page area slot; a page's protection is
+// released only once every entry on it is resident, and released pages
+// are sealed against further allocation so first accesses stay
+// detectable.
+//
+// coh marks items on the coherency path (Call/Return piggybacks): those
+// resolve through the ship state for the sender's edge, so delta bodies
+// are patched against the recorded view and zero-byte tokens skip the
+// decode entirely — the local copy is known current, and only the item's
+// dirty obligation is honored. Fetch replies (coh=false) bypass the ship
+// state; a delta item there is a protocol error.
+func (rt *Runtime) installItems(from uint32, items []wire.DataItem, coh bool) error {
 	if len(items) == 0 {
 		return nil
 	}
 	touched := make(map[uint32]bool)
 	dirtyPages := make(map[uint32]bool)
 	for _, it := range items {
-		if it.LP.Space == rt.id {
-			if err := rt.applyWriteBack([]wire.DataItem{it}); err != nil {
+		body := it.Bytes
+		fresh := true
+		if coh {
+			var err error
+			body, fresh, err = rt.cohReceive(from, it)
+			if err != nil {
 				return err
+			}
+		} else if it.Delta {
+			return fmt.Errorf("core: delta item %v outside the coherency path", it.LP)
+		}
+		if it.LP.Space == rt.id {
+			if fresh {
+				if err := rt.applyHome(it.LP, body); err != nil {
+					return err
+				}
 			}
 			if it.Dirty && rt.coherence == CoherencePiggyback {
 				// Keep the modification circulating until session end so
@@ -606,17 +719,19 @@ func (rt *Runtime) installItems(items []wire.DataItem) error {
 		if err != nil {
 			return err
 		}
-		rv, err := rt.res.Resolve(it.LP.Type)
-		if err != nil {
-			return err
-		}
-		if err := decodeObject(rt.space, rt.table, rt.res, rv.Desc, addr, it.Bytes); err != nil {
-			return fmt.Errorf("install %v: %w", it.LP, err)
+		if fresh {
+			rv, err := rt.res.Resolve(it.LP.Type)
+			if err != nil {
+				return err
+			}
+			if err := decodeObject(rt.space, rt.table, rt.res, rv.Desc, addr, body); err != nil {
+				return fmt.Errorf("install %v: %w", it.LP, err)
+			}
+			rt.stats.itemsInstalled.Add(1)
+			rt.stats.bytesInstalled.Add(uint64(len(body)))
+			rt.trace(Event{Kind: EvInstall, LP: it.LP, Count: len(body)})
 		}
 		rt.table.MarkResident(addr)
-		rt.stats.itemsInstalled.Add(1)
-		rt.stats.bytesInstalled.Add(uint64(len(it.Bytes)))
-		rt.trace(Event{Kind: EvInstall, LP: it.LP, Count: len(it.Bytes)})
 		e, _ := rt.table.LookupAddr(addr)
 		first := rt.space.PageOf(addr)
 		last := rt.space.PageOf(addr + vmem.VAddr(e.Size-1))
@@ -631,7 +746,7 @@ func (rt *Runtime) installItems(items []wire.DataItem) error {
 	for pn := range touched {
 		pages = append(pages, pn)
 	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	slices.Sort(pages)
 	for _, pn := range pages {
 		if dirtyPages[pn] {
 			if err := rt.space.MarkDirty(pn, true); err != nil {

@@ -1,0 +1,147 @@
+// Package delta computes and applies byte-range diffs between two
+// canonical encodings of the same datum. The coherency protocol uses it
+// to ship only the changed ranges of a modified object across an
+// address-space boundary when the receiving space already holds an older
+// encoding (the baseline), instead of re-transmitting the full value on
+// every crossing.
+//
+// A diff is a list of runs, each an (offset, bytes) pair against the
+// baseline. Runs are produced in increasing offset order and never
+// overlap; applying them to the baseline reproduces the current encoding
+// exactly. Because canonical encodings of a fixed-shape object never
+// change length, diffs are only defined between equal-length buffers —
+// Diff returns nil for anything else and the caller falls back to
+// shipping the full body.
+package delta
+
+import (
+	"fmt"
+
+	"smartrpc/internal/xdr"
+)
+
+// DefaultGap is the coalescing distance used by the runtime: two changed
+// ranges separated by fewer than this many unchanged bytes are merged
+// into one run. Each run costs runOverhead bytes of framing, so bridging
+// a gap shorter than that is always a net win on the wire.
+const DefaultGap = 8
+
+// runOverhead is the encoded framing cost of one run: offset word plus
+// the opaque length word (payload padding is accounted separately).
+const runOverhead = 8
+
+// Run is one contiguous byte-range replacement at Off in the baseline.
+type Run struct {
+	Off  uint32
+	Data []byte
+}
+
+// Diff returns the runs that transform base into cur, coalescing changed
+// ranges separated by fewer than gap unchanged bytes. It returns nil
+// (meaning "no diff representable") when the lengths differ, and an
+// empty, non-nil slice when the buffers are equal. Run data aliases cur.
+func Diff(base, cur []byte, gap int) []Run {
+	if len(base) != len(cur) {
+		return nil
+	}
+	if gap < 1 {
+		gap = 1
+	}
+	runs := []Run{}
+	n := len(cur)
+	for i := 0; i < n; {
+		if base[i] == cur[i] {
+			i++
+			continue
+		}
+		// A changed byte starts a run; extend it while the next change is
+		// within gap bytes of the last one.
+		start := i
+		last := i
+		for j := i + 1; j < n && j-last <= gap; j++ {
+			if base[j] != cur[j] {
+				last = j
+			}
+		}
+		runs = append(runs, Run{Off: uint32(start), Data: cur[start : last+1]})
+		i = last + 1
+	}
+	return runs
+}
+
+// Apply patches base with runs and returns the resulting buffer (a fresh
+// copy; base is not modified). A run extending past the end of base is an
+// error: it means the diff was computed against a different baseline.
+func Apply(base []byte, runs []Run) ([]byte, error) {
+	out := make([]byte, len(base))
+	copy(out, base)
+	for _, r := range runs {
+		end := int(r.Off) + len(r.Data)
+		if end > len(out) {
+			return nil, fmt.Errorf("delta: run [%d:%d) exceeds baseline length %d", r.Off, end, len(out))
+		}
+		copy(out[r.Off:], r.Data)
+	}
+	return out, nil
+}
+
+// EncodedSize returns the exact length of Encode(runs), so callers can
+// compare a delta against the full body before committing to either.
+func EncodedSize(runs []Run) int {
+	n := 4
+	for _, r := range runs {
+		n += runOverhead + len(r.Data) + pad4(len(r.Data))
+	}
+	return n
+}
+
+func pad4(n int) int { return (4 - n%4) % 4 }
+
+// Encode returns the canonical (XDR) encoding of runs:
+//
+//	uint32 nruns; { uint32 off; opaque data }[nruns]
+func Encode(runs []Run) []byte {
+	e := xdr.NewEncoder(EncodedSize(runs))
+	e.PutUint32(uint32(len(runs)))
+	for _, r := range runs {
+		e.PutUint32(r.Off)
+		e.PutOpaque(r.Data)
+	}
+	return e.Bytes()
+}
+
+// maxRuns bounds a decoded run vector; a legitimate diff never has more
+// runs than bytes in the object.
+const maxRuns = 1 << 22
+
+// Decode parses an encoded run vector. Run data aliases b.
+func Decode(b []byte) ([]Run, error) {
+	d := xdr.NewDecoder(b)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRuns {
+		return nil, fmt.Errorf("delta: run count %d out of range", n)
+	}
+	runs := make([]Run, 0, n)
+	prevEnd := -1
+	for i := uint32(0); i < n; i++ {
+		var r Run
+		if r.Off, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if r.Data, err = d.Opaque(); err != nil {
+			return nil, err
+		}
+		if int(r.Off) <= prevEnd {
+			return nil, fmt.Errorf("delta: runs out of order or overlapping at offset %d", r.Off)
+		}
+		prevEnd = int(r.Off) + len(r.Data) - 1
+		runs = append(runs, r)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("delta: %d trailing bytes after runs", d.Remaining())
+	}
+	return runs, nil
+}

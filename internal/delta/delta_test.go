@@ -1,0 +1,177 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, base, cur []byte, gap int) []Run {
+	t.Helper()
+	runs := Diff(base, cur, gap)
+	if runs == nil {
+		t.Fatalf("Diff returned nil for equal-length buffers (%d bytes)", len(base))
+	}
+	got, err := Apply(base, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatalf("Apply(Diff) mismatch:\nbase %x\ncur  %x\ngot  %x\nruns %v", base, cur, got, runs)
+	}
+	enc := Encode(runs)
+	if len(enc) != EncodedSize(runs) {
+		t.Fatalf("EncodedSize = %d, len(Encode) = %d", EncodedSize(runs), len(enc))
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Apply(base, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, cur) {
+		t.Fatal("Apply(Decode(Encode(Diff))) mismatch")
+	}
+	return runs
+}
+
+func TestDiffEqual(t *testing.T) {
+	b := []byte{1, 2, 3, 4}
+	runs := Diff(b, []byte{1, 2, 3, 4}, DefaultGap)
+	if runs == nil || len(runs) != 0 {
+		t.Fatalf("diff of equal buffers = %v, want empty", runs)
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	if runs := Diff([]byte{1, 2}, []byte{1, 2, 3}, DefaultGap); runs != nil {
+		t.Fatalf("diff across lengths = %v, want nil", runs)
+	}
+}
+
+func TestDiffSingleChange(t *testing.T) {
+	base := make([]byte, 64)
+	cur := make([]byte, 64)
+	copy(cur, base)
+	cur[17] = 0xff
+	runs := roundTrip(t, base, cur, DefaultGap)
+	if len(runs) != 1 || runs[0].Off != 17 || len(runs[0].Data) != 1 {
+		t.Fatalf("runs = %v, want one single-byte run at 17", runs)
+	}
+}
+
+func TestDiffCoalescesNearbyChanges(t *testing.T) {
+	base := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[10] = 1
+	cur[14] = 1 // 3 unchanged bytes between: within gap 8 → one run
+	runs := roundTrip(t, base, cur, 8)
+	if len(runs) != 1 || runs[0].Off != 10 || len(runs[0].Data) != 5 {
+		t.Fatalf("runs = %v, want one coalesced run [10,15)", runs)
+	}
+}
+
+func TestDiffSplitsDistantChanges(t *testing.T) {
+	base := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0] = 1
+	cur[40] = 1
+	runs := roundTrip(t, base, cur, 8)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %v, want two runs", runs)
+	}
+}
+
+func TestDiffEdges(t *testing.T) {
+	base := []byte{9, 9, 9, 9}
+	cur := []byte{1, 9, 9, 2} // changes at both ends
+	roundTrip(t, base, cur, 1)
+	roundTrip(t, base, []byte{1, 2, 3, 4}, DefaultGap)
+	roundTrip(t, []byte{}, []byte{}, DefaultGap)
+}
+
+func TestDiffRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(256)
+		base := make([]byte, n)
+		rng.Read(base)
+		cur := make([]byte, n)
+		copy(cur, base)
+		for flips := rng.Intn(8); flips > 0; flips-- {
+			if n == 0 {
+				break
+			}
+			cur[rng.Intn(n)] ^= byte(1 + rng.Intn(255))
+		}
+		roundTrip(t, base, cur, 1+rng.Intn(16))
+	}
+}
+
+func TestApplyRejectsOutOfRangeRun(t *testing.T) {
+	if _, err := Apply([]byte{1, 2}, []Run{{Off: 1, Data: []byte{0, 0}}}); err == nil {
+		t.Fatal("out-of-range run applied without error")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	// Overlapping runs.
+	enc := Encode([]Run{{Off: 0, Data: []byte{1, 2, 3, 4}}, {Off: 2, Data: []byte{5}}})
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("overlapping runs decoded without error")
+	}
+	// Trailing garbage.
+	enc = append(Encode([]Run{{Off: 0, Data: []byte{1}}}), 0, 0, 0, 0)
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+	// Truncated.
+	if _, err := Decode(Encode([]Run{{Off: 0, Data: []byte{1, 2, 3}}})[:6]); err == nil {
+		t.Fatal("truncated encoding decoded without error")
+	}
+}
+
+func TestEncodedSizeFavorsFullBodyWhenDense(t *testing.T) {
+	// A fully rewritten buffer must cost more as a delta than as a body,
+	// so the shipping layer's fallback comparison picks the full body.
+	base := make([]byte, 32)
+	cur := bytes.Repeat([]byte{0xaa}, 32)
+	runs := Diff(base, cur, DefaultGap)
+	if EncodedSize(runs) <= len(cur) {
+		t.Fatalf("dense delta size %d not above body size %d", EncodedSize(runs), len(cur))
+	}
+}
+
+func BenchmarkDiffSparse(b *testing.B) {
+	base := make([]byte, 4096)
+	cur := make([]byte, 4096)
+	copy(cur, base)
+	cur[100] = 1
+	cur[2000] = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Diff(base, cur, DefaultGap)
+	}
+}
+
+func BenchmarkDiffEqualBuffers(b *testing.B) {
+	base := make([]byte, 4096)
+	cur := make([]byte, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Diff(base, cur, DefaultGap)
+	}
+}
+
+func BenchmarkApplySparse(b *testing.B) {
+	base := make([]byte, 4096)
+	runs := []Run{{Off: 100, Data: []byte{1}}, {Off: 2000, Data: []byte{2}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(base, runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -94,16 +94,36 @@ func (c *Clock) Reset() {
 	c.mu.Unlock()
 }
 
-// Stats counts network traffic. All methods are safe for concurrent use.
+// maxKinds bounds the per-kind counter range. Message kinds are a small
+// dense enumeration (wire.Kind starts at 1); kinds at or beyond the range
+// fold into slot 0, the "unclassified" bucket.
+const maxKinds = 16
+
+// Stats counts network traffic, in total and broken out by message kind,
+// so the benchmark harness can attribute bytes on the wire to protocol
+// paths (calls/returns vs fetches vs coherency write-backs). All methods
+// are safe for concurrent use.
 type Stats struct {
-	messages atomic.Uint64
-	bytes    atomic.Uint64
+	messages  atomic.Uint64
+	bytes     atomic.Uint64
+	kindMsgs  [maxKinds]atomic.Uint64
+	kindBytes [maxKinds]atomic.Uint64
 }
 
-// Record notes one message with the given payload size.
-func (s *Stats) Record(payloadBytes int) {
+// Record notes one message of unclassified kind with the given payload
+// size.
+func (s *Stats) Record(payloadBytes int) { s.RecordKind(0, payloadBytes) }
+
+// RecordKind notes one message of the given kind with the given payload
+// size.
+func (s *Stats) RecordKind(kind uint32, payloadBytes int) {
 	s.messages.Add(1)
 	s.bytes.Add(uint64(payloadBytes))
+	if kind >= maxKinds {
+		kind = 0
+	}
+	s.kindMsgs[kind].Add(1)
+	s.kindBytes[kind].Add(uint64(payloadBytes))
 }
 
 // Messages returns the number of messages recorded.
@@ -112,8 +132,28 @@ func (s *Stats) Messages() uint64 { return s.messages.Load() }
 // Bytes returns the total payload bytes recorded.
 func (s *Stats) Bytes() uint64 { return s.bytes.Load() }
 
+// KindMessages returns the number of messages recorded for kind.
+func (s *Stats) KindMessages(kind uint32) uint64 {
+	if kind >= maxKinds {
+		kind = 0
+	}
+	return s.kindMsgs[kind].Load()
+}
+
+// KindBytes returns the payload bytes recorded for kind.
+func (s *Stats) KindBytes(kind uint32) uint64 {
+	if kind >= maxKinds {
+		kind = 0
+	}
+	return s.kindBytes[kind].Load()
+}
+
 // Reset zeroes the counters.
 func (s *Stats) Reset() {
 	s.messages.Store(0)
 	s.bytes.Store(0)
+	for i := range s.kindMsgs {
+		s.kindMsgs[i].Store(0)
+		s.kindBytes[i].Store(0)
+	}
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -20,8 +21,13 @@ type TCPNode struct {
 	listener net.Listener
 	book     map[uint32]string
 
-	mu     sync.Mutex
-	conns  map[uint32]net.Conn
+	mu    sync.Mutex
+	conns map[uint32]net.Conn
+	// bufs buffers each connection's write side so a frame's header and
+	// body leave in one syscall instead of two; Send flushes per frame,
+	// so nothing lingers (the sockets run TCP_NODELAY, and a half-sent
+	// frame would stall the peer's reader).
+	bufs   map[uint32]*bufio.Writer
 	closed bool
 
 	inbox chan wire.Message
@@ -44,6 +50,7 @@ func ListenTCP(id uint32, addr string, book map[uint32]string) (*TCPNode, error)
 		listener: ln,
 		book:     make(map[uint32]string, len(book)),
 		conns:    make(map[uint32]net.Conn),
+		bufs:     make(map[uint32]*bufio.Writer),
 		inbox:    make(chan wire.Message, inboxSize),
 		done:     make(chan struct{}),
 	}
@@ -85,6 +92,7 @@ func (n *TCPNode) acceptLoop() {
 			_ = old.Close()
 		}
 		n.conns[peer] = conn
+		n.bufs[peer] = bufio.NewWriter(conn)
 		n.mu.Unlock()
 		n.wg.Add(1)
 		go n.readLoop(peer, conn)
@@ -99,6 +107,7 @@ func (n *TCPNode) readLoop(peer uint32, conn net.Conn) {
 			n.mu.Lock()
 			if n.conns[peer] == conn {
 				delete(n.conns, peer)
+				delete(n.bufs, peer)
 			}
 			n.mu.Unlock()
 			_ = conn.Close()
@@ -137,8 +146,9 @@ func (n *TCPNode) connTo(peer uint32) (net.Conn, error) {
 		// The paper sets TCP_NODELAY so small packets go out immediately.
 		_ = tc.SetNoDelay(true)
 	}
+	bw := bufio.NewWriter(conn)
 	hello := wire.Message{Kind: wire.KindInvalidateAck, From: n.id, To: peer, Payload: []byte{}}
-	if err := wire.WriteFrame(conn, &hello); err != nil {
+	if err := writeFrameFlush(bw, &hello); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("transport: handshake with space %d: %w", peer, err)
 	}
@@ -155,22 +165,36 @@ func (n *TCPNode) connTo(peer uint32) (net.Conn, error) {
 		return existing, nil
 	}
 	n.conns[peer] = conn
+	n.bufs[peer] = bw
 	n.mu.Unlock()
 	n.wg.Add(1)
 	go n.readLoop(peer, conn)
 	return conn, nil
 }
 
+// writeFrameFlush writes one frame into bw and flushes it, so the header
+// and body reach the socket in a single write.
+func writeFrameFlush(bw *bufio.Writer, m *wire.Message) error {
+	if err := wire.WriteFrame(bw, m); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // Send routes m to the space identified by m.To.
 func (n *TCPNode) Send(m wire.Message) error {
 	m.From = n.id
-	conn, err := n.connTo(m.To)
-	if err != nil {
+	if _, err := n.connTo(m.To); err != nil {
 		return err
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return wire.WriteFrame(conn, &m)
+	bw, ok := n.bufs[m.To]
+	if !ok {
+		// The connection dropped between connTo and the send.
+		return fmt.Errorf("transport: connection to space %d lost", m.To)
+	}
+	return writeFrameFlush(bw, &m)
 }
 
 // Recv blocks until a message arrives or the node closes.
@@ -201,6 +225,7 @@ func (n *TCPNode) Close() error {
 		conns = append(conns, c)
 	}
 	n.conns = make(map[uint32]net.Conn)
+	n.bufs = make(map[uint32]*bufio.Writer)
 	n.mu.Unlock()
 	close(n.done)
 	_ = n.listener.Close()

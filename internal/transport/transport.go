@@ -125,7 +125,7 @@ func (n *Network) route(m wire.Message) error {
 	}
 	size := m.WireSize()
 	n.clock.Advance(n.model.Cost(size))
-	n.stats.Record(size)
+	n.stats.RecordKind(uint32(m.Kind), size)
 	select {
 	case dst.inbox <- m:
 		return nil

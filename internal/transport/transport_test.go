@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"errors"
 	"sync"
 	"testing"
@@ -194,7 +196,119 @@ func TestNetworkConcurrentTraffic(t *testing.T) {
 	}
 }
 
+func TestNetworkPerKindAccounting(t *testing.T) {
+	stats := &netsim.Stats{}
+	net, err := NewNetwork(netsim.Model{}, nil, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	a, _ := net.Attach(1)
+	b, _ := net.Attach(2)
+	call := wire.Message{Kind: wire.KindCall, To: 2, Payload: make([]byte, 100)}
+	fetch := wire.Message{Kind: wire.KindFetch, To: 2, Payload: make([]byte, 40)}
+	for _, m := range []wire.Message{call, fetch, fetch} {
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stats.KindMessages(uint32(wire.KindCall)); got != 1 {
+		t.Errorf("call messages = %d, want 1", got)
+	}
+	if got := stats.KindBytes(uint32(wire.KindCall)); got != uint64(call.WireSize()) {
+		t.Errorf("call bytes = %d, want %d", got, call.WireSize())
+	}
+	if got := stats.KindMessages(uint32(wire.KindFetch)); got != 2 {
+		t.Errorf("fetch messages = %d, want 2", got)
+	}
+	if got := stats.KindBytes(uint32(wire.KindFetch)); got != 2*uint64(fetch.WireSize()) {
+		t.Errorf("fetch bytes = %d, want %d", got, 2*fetch.WireSize())
+	}
+	// The per-kind breakdown supplements the totals; it must not skew them.
+	if got := stats.Messages(); got != 3 {
+		t.Errorf("total messages = %d, want 3", got)
+	}
+	wantTotal := uint64(call.WireSize()) + 2*uint64(fetch.WireSize())
+	if got := stats.Bytes(); got != wantTotal {
+		t.Errorf("total bytes = %d, want %d", got, wantTotal)
+	}
+}
+
 // --- TCP transport ---
+
+// countingWriter counts the Write calls that reach the "socket".
+type countingWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+func TestTCPWritePathOneWritePerFrame(t *testing.T) {
+	var cw countingWriter
+	bw := bufio.NewWriter(&cw)
+	msgs := []wire.Message{
+		{Kind: wire.KindCall, From: 1, To: 2, Proc: "p", Payload: make([]byte, 512)},
+		{Kind: wire.KindReturn, From: 2, To: 1, Payload: []byte{7}},
+	}
+	for i, m := range msgs {
+		before := cw.writes
+		if err := writeFrameFlush(bw, &m); err != nil {
+			t.Fatal(err)
+		}
+		// Header and body must leave in a single write (the point of the
+		// buffered writer: one syscall per frame instead of two).
+		if got := cw.writes - before; got != 1 {
+			t.Errorf("frame %d reached the connection in %d writes, want 1", i, got)
+		}
+	}
+	for i := range msgs {
+		got, err := wire.ReadFrame(&cw.buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != msgs[i].Kind || got.From != msgs[i].From || len(got.Payload) != len(msgs[i].Payload) {
+			t.Errorf("frame %d round-trip = %+v", i, got)
+		}
+	}
+	if cw.buf.Len() != 0 {
+		t.Errorf("%d trailing bytes after reading all frames", cw.buf.Len())
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	// A frame bigger than the bufio buffer must still arrive intact.
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", map[uint32]string{1: a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := b.Send(wire.Message{Kind: wire.KindFetchReply, To: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Error("large payload corrupted in transit")
+	}
+}
 
 func TestTCPSendRecv(t *testing.T) {
 	a, err := ListenTCP(1, "127.0.0.1:0", nil)

@@ -122,21 +122,53 @@ func getArg(d *xdr.Decoder) (Arg, error) {
 	}
 }
 
+// Item flag bits. The flags word occupies the position the dirty boolean
+// held in earlier protocol revisions (XDR booleans are a full word), so a
+// full-body item encodes byte-identically to the old format.
+const (
+	// ItemDirty marks an item carrying an unwritten modification.
+	ItemDirty uint32 = 1 << 0
+	// ItemDelta marks an item whose Bytes hold a byte-range diff against
+	// the baseline the receiver recorded at crossing version BaseVer,
+	// instead of a full canonical encoding (delta-shipping coherency).
+	ItemDelta uint32 = 1 << 1
+
+	itemFlagsMask = ItemDirty | ItemDelta
+)
+
 // DataItem is one transferred object: its system-wide identity (a long
-// pointer to the original location) and its canonically encoded value.
-// Dirty propagates the modified bit with the data so that whichever space
-// holds the object knows it must eventually be written back (§3.4).
+// pointer to the original location) and its value. Dirty propagates the
+// modified bit with the data so that whichever space holds the object
+// knows it must eventually be written back (§3.4).
+//
+// For a full item (Delta == false), Bytes is the object's canonical
+// encoding. For a delta item, Bytes is an encoded run vector
+// (internal/delta) to be patched onto the baseline both sides recorded
+// for this datum at crossing version BaseVer; BaseVer is absent from the
+// wire when Delta is false.
 type DataItem struct {
-	LP    LongPtr
-	Dirty bool
-	Bytes []byte
+	LP      LongPtr
+	Dirty   bool
+	Delta   bool
+	BaseVer uint32
+	Bytes   []byte
 }
 
 func putItems(e *xdr.Encoder, items []DataItem) {
 	e.PutUint32(uint32(len(items)))
 	for _, it := range items {
 		putLongPtr(e, it.LP)
-		e.PutBool(it.Dirty)
+		var flags uint32
+		if it.Dirty {
+			flags |= ItemDirty
+		}
+		if it.Delta {
+			flags |= ItemDelta
+		}
+		e.PutUint32(flags)
+		if it.Delta {
+			e.PutUint32(it.BaseVer)
+		}
 		e.PutOpaque(it.Bytes)
 	}
 }
@@ -148,6 +180,9 @@ func itemsEncodedSize(items []DataItem) int {
 	n := 4
 	for _, it := range items {
 		n += EncodedLongPtrSize + 4 + 4 + (len(it.Bytes)+3)&^3
+		if it.Delta {
+			n += 4
+		}
 	}
 	return n
 }
@@ -172,8 +207,19 @@ func getItems(d *xdr.Decoder) ([]DataItem, error) {
 		if it.LP, err = getLongPtr(d); err != nil {
 			return nil, err
 		}
-		if it.Dirty, err = d.Bool(); err != nil {
+		flags, err := d.Uint32()
+		if err != nil {
 			return nil, err
+		}
+		if flags&^itemFlagsMask != 0 {
+			return nil, fmt.Errorf("wire: unknown item flags %#x", flags)
+		}
+		it.Dirty = flags&ItemDirty != 0
+		it.Delta = flags&ItemDelta != 0
+		if it.Delta {
+			if it.BaseVer, err = d.Uint32(); err != nil {
+				return nil, err
+			}
 		}
 		if it.Bytes, err = d.Opaque(); err != nil {
 			return nil, err

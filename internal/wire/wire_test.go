@@ -237,6 +237,53 @@ func TestItemsPayloadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDeltaItemRoundTrip(t *testing.T) {
+	p := ItemsPayload{Items: []DataItem{
+		{LP: LongPtr{Space: 1, Addr: 0x10, Type: 2}, Dirty: true, Delta: true, BaseVer: 7, Bytes: []byte{0, 0, 0, 1, 0, 0, 0, 4}},
+		{LP: LongPtr{Space: 1, Addr: 0x20, Type: 2}, Delta: true, BaseVer: 1, Bytes: []byte{0, 0, 0, 0}},
+		{LP: LongPtr{Space: 1, Addr: 0x30, Type: 2}, Dirty: true, Bytes: []byte{9}},
+	}}
+	enc := p.Encode()
+	if len(enc) != itemsEncodedSize(p.Items) {
+		t.Errorf("itemsEncodedSize = %d, encoded %d", itemsEncodedSize(p.Items), len(enc))
+	}
+	got, err := DecodeItemsPayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("delta items round trip mismatch: %+v", got)
+	}
+}
+
+// TestFullItemEncodingUnchanged pins the wire layout of a full-body item:
+// the flags word sits exactly where the dirty boolean used to, so
+// protocol revisions without delta shipping (and the committed benchmark
+// baselines) see byte-identical payloads.
+func TestFullItemEncodingUnchanged(t *testing.T) {
+	p := ItemsPayload{Items: []DataItem{
+		{LP: LongPtr{Space: 1, Addr: 0x10, Type: 2}, Dirty: true, Bytes: []byte{0xAB}},
+	}}
+	want := []byte{
+		0, 0, 0, 1, // item count
+		0, 0, 0, 1, 0, 0, 0, 0x10, 0, 0, 0, 2, // long pointer
+		0, 0, 0, 1, // flags word == old dirty bool
+		0, 0, 0, 1, 0xAB, 0, 0, 0, // opaque bytes + padding
+	}
+	if got := p.Encode(); !reflect.DeepEqual(got, want) {
+		t.Errorf("full item encoding changed:\ngot  %x\nwant %x", got, want)
+	}
+}
+
+func TestItemsRejectUnknownFlags(t *testing.T) {
+	p := ItemsPayload{Items: []DataItem{{LP: LongPtr{Space: 1, Addr: 4, Type: 2}, Bytes: []byte{}}}}
+	enc := p.Encode()
+	enc[4+EncodedLongPtrSize+3] = 0x40 // corrupt the flags word
+	if _, err := DecodeItemsPayload(enc); err == nil {
+		t.Fatal("unknown item flags decoded without error")
+	}
+}
+
 func TestAllocBatchRoundTrip(t *testing.T) {
 	p := AllocBatchPayload{
 		Allocs: []AllocReq{{Token: 1, Type: 5}, {Token: 2, Type: 6}},
