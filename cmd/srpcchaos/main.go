@@ -1,0 +1,126 @@
+// Command srpcchaos runs seeded fault-injection soaks against the smart
+// RPC runtime (internal/faultsim): randomized session workloads over a
+// chaos transport that drops, duplicates, delays, corrupts, and
+// partitions frames and crash-restarts spaces, with the coherency
+// invariant checker enabled throughout.
+//
+// Usage:
+//
+//	srpcchaos                        # 100 seeds, default fault mix
+//	srpcchaos -seeds 500 -start 1000
+//	srpcchaos -policy lazy -drop 80 -corrupt 40
+//	srpcchaos -seed 7                # one specific scenario, verbose
+//
+// On the first failing seed the runner shrinks the scenario to a minimal
+// reproducing configuration, prints the repro line and the injected
+// fault schedule, and exits nonzero.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"smartrpc/internal/core"
+	"smartrpc/internal/faultsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "srpcchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("srpcchaos", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 100, "number of consecutive seeds to soak")
+	start := fs.Uint64("start", 1, "first seed")
+	one := fs.Uint64("seed", 0, "run exactly this seed and print its result (overrides -seeds/-start)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-scenario deadline")
+	policy := fs.String("policy", "", "force a policy for every scenario: smart|eager|lazy (default: seed-derived mix)")
+	drop := fs.Int("drop", -1, "override drop probability, permille")
+	dup := fs.Int("dup", -1, "override duplicate probability, permille")
+	corrupt := fs.Int("corrupt", -1, "override corruption probability, permille")
+	delay := fs.Int("delay", -1, "override reply-delay probability, permille")
+	crash := fs.Int("crash", -1, "override per-op crash-restart probability, permille")
+	partition := fs.Int("partition", -1, "override per-op one-way-partition probability, permille")
+	noShrink := fs.Bool("noshrink", false, "skip shrinking on failure (faster triage)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	shape := func(seed uint64) (faultsim.Scenario, error) {
+		sc := faultsim.DefaultScenario(seed)
+		switch *policy {
+		case "":
+		case "smart":
+			sc.Policy = core.PolicySmart
+		case "eager":
+			sc.Policy = core.PolicyEager
+		case "lazy":
+			sc.Policy = core.PolicyLazy
+		default:
+			return sc, fmt.Errorf("unknown -policy %q", *policy)
+		}
+		if *drop >= 0 {
+			sc.Faults.DropPermille = *drop
+		}
+		if *dup >= 0 {
+			sc.Faults.DupPermille = *dup
+		}
+		if *corrupt >= 0 {
+			sc.Faults.CorruptPermille = *corrupt
+		}
+		if *delay >= 0 {
+			sc.Faults.DelayPermille = *delay
+		}
+		if *crash >= 0 {
+			sc.CrashPermille = *crash
+		}
+		if *partition >= 0 {
+			sc.PartitionPermille = *partition
+		}
+		return sc, nil
+	}
+
+	first, count := *start, *seeds
+	if *one != 0 {
+		first, count = *one, 1
+	}
+
+	var ops, errs, verified, crashes int
+	var faults uint64
+	began := time.Now()
+	for i := 0; i < count; i++ {
+		seed := first + uint64(i)
+		sc, err := shape(seed)
+		if err != nil {
+			return err
+		}
+		res, err := faultsim.RunWithTimeout(sc, *timeout)
+		if err != nil {
+			var fe *faultsim.FailureError
+			if errors.As(err, &fe) && !*noShrink {
+				fmt.Fprintf(os.Stderr, "seed %d FAILED, shrinking...\n", seed)
+				min, minErr := faultsim.Shrink(sc, *timeout)
+				return fmt.Errorf("seed %d failed: %w\n\nshrunk repro: srpcchaos -seed %d  with scenario %+v\nshrunk failure: %v",
+					seed, err, min.Seed, min, minErr)
+			}
+			return fmt.Errorf("seed %d failed: %w", seed, err)
+		}
+		ops += res.Ops
+		errs += res.Errors
+		verified += res.Verified
+		crashes += res.Crashes
+		faults += res.Faults
+		if *one != 0 {
+			fmt.Printf("seed %d: %+v\n", seed, res)
+		}
+	}
+	fmt.Printf("soak OK: %d seeds in %v — %d sessions, %d typed errors, %d value-verified, %d crash-restarts, %d faults injected\n",
+		count, time.Since(began).Round(time.Millisecond), ops, errs, verified, crashes, faults)
+	return nil
+}

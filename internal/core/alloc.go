@@ -204,9 +204,57 @@ func (rt *Runtime) flushAllocBatches(sess uint64) error {
 			if err := rt.table.Rebind(a.lp, real); err != nil {
 				return fmt.Errorf("rebind %v -> %v: %w", a.lp, real, err)
 			}
+			rt.allocMu.Lock()
+			rt.provMap[a.lp] = real
+			rt.allocMu.Unlock()
 		}
+		// The origin has now served this session even if no call ever
+		// reached it; it must be in the participant set so the
+		// end-of-session invalidation tears down whatever per-session
+		// state this exchange created there.
+		rt.mergeParts([]uint32{origin})
 	}
 	return nil
+}
+
+// resolveLP maps a possibly-provisional long pointer to its real,
+// origin-assigned identity. Provisional identities are a private naming
+// convention between ExtendedMalloc and flushAllocBatches; they must
+// never reach the wire, because the origin space has nothing mapped at a
+// provisional address. The smart/eager paths are immune (they ship
+// identities read from the data allocation table, which Rebind fixes
+// up), but lazy mode ships Value.LP by value, so any long pointer that
+// is still provisional here forces the batched allocation through now
+// and translates through the recorded rebinding.
+func (rt *Runtime) resolveLP(lp wire.LongPtr) (wire.LongPtr, error) {
+	if uint32(lp.Addr) < provisionalBase || lp.Space == rt.id {
+		return lp, nil
+	}
+	rt.allocMu.Lock()
+	real, ok := rt.provMap[lp]
+	rt.allocMu.Unlock()
+	if ok {
+		return real, nil
+	}
+	rt.sessMu.Lock()
+	sess := rt.sess
+	rt.sessMu.Unlock()
+	if sess == 0 {
+		return lp, fmt.Errorf("core: provisional pointer %v outside any session", lp)
+	}
+	if err := rt.flushAllocBatches(sess); err != nil {
+		return lp, fmt.Errorf("resolve provisional %v: %w", lp, err)
+	}
+	rt.allocMu.Lock()
+	real, ok = rt.provMap[lp]
+	rt.allocMu.Unlock()
+	if !ok {
+		// Flushing did not produce a rebinding: the provisional
+		// allocation was cancelled (ExtendedFree) or belongs to another
+		// runtime. Either way the pointer is dead.
+		return lp, fmt.Errorf("core: provisional pointer %v has no allocation", lp)
+	}
+	return real, nil
 }
 
 // serveAllocBatch performs the batched allocations and releases on the

@@ -76,7 +76,14 @@ func TestCallAfterCloseFails(t *testing.T) {
 	}
 }
 
-// rawNode attaches a bare transport node so tests can inject malformed
+// sealed stamps a hand-built frame's integrity checksum, as every
+// well-formed sender must.
+func sealed(m wire.Message) wire.Message {
+	m.Seal()
+	return m
+}
+
+// rawAttach attaches a bare transport node so tests can inject malformed
 // protocol messages at a runtime.
 func rawAttach(t *testing.T, rtNet *transport.Network, id uint32) transport.Node {
 	t.Helper()
@@ -107,14 +114,14 @@ func TestMalformedCallPayloadRejected(t *testing.T) {
 	rt := newRuntimeOnNet(t, net, 2)
 	_ = rt
 	raw := rawAttach(t, net, 7)
-	err = raw.Send(wire.Message{
+	err = raw.Send(sealed(wire.Message{
 		Kind:    wire.KindCall,
 		Session: 0x700000001,
 		Seq:     1,
 		To:      2,
 		Proc:    "anything",
 		Payload: []byte{0xde, 0xad}, // truncated garbage
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +149,7 @@ func TestFetchForForeignDataRejected(t *testing.T) {
 		Wants:  []wire.LongPtr{{Space: 3, Addr: 0x1000, Type: 1}}, // not owned by 2
 		Budget: 0,
 	}
-	if err := raw.Send(wire.Message{Kind: wire.KindFetch, Seq: 9, To: 2, Payload: p.Encode()}); err != nil {
+	if err := raw.Send(sealed(wire.Message{Kind: wire.KindFetch, Seq: 9, To: 2, Payload: p.Encode()})); err != nil {
 		t.Fatal(err)
 	}
 	reply, err := raw.Recv()
@@ -165,7 +172,7 @@ func TestFetchForBogusAddressRejected(t *testing.T) {
 	p := wire.FetchPayload{
 		Wants: []wire.LongPtr{{Space: 2, Addr: 0x3333_0000, Type: 1}}, // unmapped
 	}
-	if err := raw.Send(wire.Message{Kind: wire.KindFetch, Seq: 9, To: 2, Payload: p.Encode()}); err != nil {
+	if err := raw.Send(sealed(wire.Message{Kind: wire.KindFetch, Seq: 9, To: 2, Payload: p.Encode()})); err != nil {
 		t.Fatal(err)
 	}
 	reply, err := raw.Recv()
@@ -188,7 +195,7 @@ func TestWriteBackForForeignDataRejected(t *testing.T) {
 	p := wire.ItemsPayload{Items: []wire.DataItem{
 		{LP: wire.LongPtr{Space: 5, Addr: 0x100, Type: 1}, Bytes: make([]byte, 32)},
 	}}
-	if err := raw.Send(wire.Message{Kind: wire.KindWriteBack, Seq: 3, To: 2, Payload: p.Encode()}); err != nil {
+	if err := raw.Send(sealed(wire.Message{Kind: wire.KindWriteBack, Seq: 3, To: 2, Payload: p.Encode()})); err != nil {
 		t.Fatal(err)
 	}
 	reply, err := raw.Recv()
@@ -209,7 +216,7 @@ func TestAllocBatchFreeingForeignDataRejected(t *testing.T) {
 	_ = newRuntimeOnNet(t, net, 2)
 	raw := rawAttach(t, net, 7)
 	p := wire.AllocBatchPayload{Frees: []wire.LongPtr{{Space: 9, Addr: 0x100, Type: 1}}}
-	if err := raw.Send(wire.Message{Kind: wire.KindAllocBatch, Seq: 4, To: 2, Payload: p.Encode()}); err != nil {
+	if err := raw.Send(sealed(wire.Message{Kind: wire.KindAllocBatch, Seq: 4, To: 2, Payload: p.Encode()})); err != nil {
 		t.Fatal(err)
 	}
 	reply, err := raw.Recv()
@@ -230,7 +237,7 @@ func TestAllocBatchUnknownTypeRejected(t *testing.T) {
 	_ = newRuntimeOnNet(t, net, 2)
 	raw := rawAttach(t, net, 7)
 	p := wire.AllocBatchPayload{Allocs: []wire.AllocReq{{Token: 1, Type: 77}}}
-	if err := raw.Send(wire.Message{Kind: wire.KindAllocBatch, Seq: 5, To: 2, Payload: p.Encode()}); err != nil {
+	if err := raw.Send(sealed(wire.Message{Kind: wire.KindAllocBatch, Seq: 5, To: 2, Payload: p.Encode()})); err != nil {
 		t.Fatal(err)
 	}
 	reply, err := raw.Recv()
@@ -263,7 +270,7 @@ func TestInvalidateFromStrangerIsSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := rawAttach(t, net, 7)
-	if err := raw.Send(wire.Message{Kind: wire.KindInvalidate, Seq: 8, To: 2, Payload: []byte{}}); err != nil {
+	if err := raw.Send(sealed(wire.Message{Kind: wire.KindInvalidate, Seq: 8, To: 2, Payload: []byte{}})); err != nil {
 		t.Fatal(err)
 	}
 	reply, err := raw.Recv()
@@ -279,6 +286,41 @@ func TestInvalidateFromStrangerIsSafe(t *testing.T) {
 	}
 }
 
+func TestCorruptedFrameRejectedByChecksum(t *testing.T) {
+	// A frame whose payload was corrupted in flight fails checksum
+	// verification and is answered with a typed error — the receiver
+	// must never install bytes from it. The 500-seed chaos soak found
+	// the original hole: a single flipped bit in a call frame's shipped
+	// data installed cleanly and produced a silently wrong sum.
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	_ = newRuntimeOnNet(t, net, 2)
+	raw := rawAttach(t, net, 7)
+	p := wire.CallPayload{}
+	m := sealed(wire.Message{
+		Kind: wire.KindCall, Session: 0x700000001, Seq: 1,
+		To: 2, Proc: "anything", Payload: p.Encode(),
+	})
+	m.Payload[0] ^= 0x04 // in-flight bit flip, after sealing
+	if err := raw.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != wire.KindReturn || !strings.Contains(reply.Err, "checksum") {
+		t.Errorf("corrupted frame reply = %+v, want checksum error", reply)
+	}
+	// The reply itself carries a valid checksum.
+	if !reply.SumOK() {
+		t.Error("error reply is not sealed")
+	}
+}
+
 func TestUnsolicitedReplyIgnored(t *testing.T) {
 	// Replies with no matching pending request are dropped, not crashed on.
 	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
@@ -288,7 +330,7 @@ func TestUnsolicitedReplyIgnored(t *testing.T) {
 	t.Cleanup(func() { _ = net.Close() })
 	rt := newRuntimeOnNet(t, net, 2)
 	raw := rawAttach(t, net, 7)
-	if err := raw.Send(wire.Message{Kind: wire.KindReturn, Seq: 4242, To: 2, Payload: []byte{}}); err != nil {
+	if err := raw.Send(sealed(wire.Message{Kind: wire.KindReturn, Seq: 4242, To: 2, Payload: []byte{}})); err != nil {
 		t.Fatal(err)
 	}
 	// The runtime still works afterwards.

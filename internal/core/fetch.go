@@ -379,6 +379,10 @@ func (rt *Runtime) writeOne(lp wire.LongPtr, data []byte) error {
 	if sess == 0 {
 		return ErrNoSession
 	}
+	// Writing through to the origin makes it a session participant even
+	// if no call ever reaches it: the ship state this exchange records on
+	// both ends must be torn down by the end-of-session invalidation.
+	rt.mergeParts([]uint32{lp.Space})
 	// Repeated read-modify-write of the same datum is the lazy baseline's
 	// whole life; ship only what changed since the origin last saw it,
 	// and nothing at all when the value is unchanged.

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+// --- positive checks: the invariants hold through real sessions ---
+
+func TestInvariantsHoldThroughSession(t *testing.T) {
+	for _, pol := range []Policy{PolicySmart, PolicyEager, PolicyLazy} {
+		t.Run(pol.String(), func(t *testing.T) {
+			caller, callee := pair(t, func(id uint32, o *Options) {
+				o.Policy = pol
+				o.CheckInvariants = true
+			})
+			registerSumProc(t, callee)
+			root := buildTree(t, caller, 5)
+			res := sessionCall(t, caller, 2, "sumTree", root)
+			if got := res[0].Int64(); got != wantSum(5) {
+				t.Errorf("sum = %d, want %d", got, wantSum(5))
+			}
+			// Quiescent, no session: every space must satisfy the full
+			// network-level check with no thread of control anywhere.
+			if err := CheckNetworkInvariants(nil, []*Runtime{caller, callee}); err != nil {
+				t.Errorf("network invariants after clean session: %v", err)
+			}
+			for _, rt := range []*Runtime{caller, callee} {
+				if err := rt.CheckIdleInvariants(); err != nil {
+					t.Errorf("idle invariants space %d: %v", rt.ID(), err)
+				}
+			}
+		})
+	}
+}
+
+func TestInvariantsHoldMidSessionWithMutation(t *testing.T) {
+	caller, callee := pair(t, func(id uint32, o *Options) { o.CheckInvariants = true })
+	err := callee.Register("incAll", func(ctx *Ctx, args []Value) ([]Value, error) {
+		rt := ctx.Runtime()
+		var walk func(v Value) error
+		walk = func(v Value) error {
+			if v.IsNullPtr() {
+				return nil
+			}
+			ref, err := rt.Deref(v)
+			if err != nil {
+				return err
+			}
+			n, err := ref.Int("data", 0)
+			if err != nil {
+				return err
+			}
+			if err := ref.SetInt("data", 0, n+1); err != nil {
+				return err
+			}
+			for _, f := range []string{"left", "right"} {
+				c, err := ref.Ptr(f, 0)
+				if err != nil {
+					return err
+				}
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return nil, walk(args[0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := buildTree(t, caller, 4)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(2, "incAll", []Value{root}); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-session quiescent point: thread of control is back on the
+	// caller, so only the caller may hold dirty pages.
+	if err := CheckNetworkInvariants(caller, []*Runtime{caller, callee}); err != nil {
+		t.Errorf("network invariants mid-session: %v", err)
+	}
+	if err := caller.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sumTree(caller, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantSum(4) + (1<<4 - 1); got != want {
+		t.Errorf("sum after remote increment = %d, want %d", got, want)
+	}
+}
+
+// --- mutation tests: each deliberately broken invariant is caught ---
+
+func TestInvariantCatchesForeignModifiedEntry(t *testing.T) {
+	caller, _ := pair(t, nil)
+	if err := caller.CheckLocalInvariants(); err != nil {
+		t.Fatalf("clean runtime fails local check: %v", err)
+	}
+	caller.modMu.Lock()
+	caller.sessionModified[wire.LongPtr{Space: 99, Addr: 0x1_0000, Type: nodeType}] = true
+	caller.modMu.Unlock()
+	err := caller.CheckLocalInvariants()
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("foreign modified entry not caught, err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "foreign") {
+		t.Errorf("error %q does not name the violation", err)
+	}
+}
+
+func TestInvariantCatchesDanglingPointer(t *testing.T) {
+	caller, callee := pair(t, nil)
+	registerSumProc(t, callee)
+	errCh := make(chan error, 1)
+	err := callee.Register("corrupt", func(ctx *Ctx, args []Value) ([]Value, error) {
+		rt := ctx.Runtime()
+		// Walk the tree first so cached rows become resident.
+		if _, err := sumTree(rt, args[0]); err != nil {
+			return nil, err
+		}
+		if err := rt.CheckLocalInvariants(); err != nil {
+			errCh <- err
+			return nil, nil
+		}
+		// Smash a pointer word of a resident cached node with an address
+		// that is neither heap nor a table row.
+		for _, e := range rt.Table().Entries() {
+			if !e.Resident {
+				continue
+			}
+			if err := rt.Space().WritePtrRaw(e.Addr, vmem.VAddr(0x4242)); err != nil {
+				errCh <- err
+				return nil, nil
+			}
+			break
+		}
+		errCh <- rt.CheckLocalInvariants()
+		// Put nulls back so end-of-session teardown stays sane.
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := buildTree(t, caller, 3)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(2, "corrupt", []Value{root}); err != nil {
+		t.Fatal(err)
+	}
+	caller.AbortSession()
+	callee.AbortSession()
+	got := <-errCh
+	if !errors.Is(got, ErrInvariant) {
+		t.Fatalf("dangling pointer not caught, err = %v", got)
+	}
+	if !strings.Contains(got.Error(), "dangling") {
+		t.Errorf("error %q does not name the violation", got)
+	}
+}
+
+func TestInvariantCatchesVersionSplit(t *testing.T) {
+	caller, callee := pair(t, nil)
+	// A mutating call ships the modified set back on return, which is
+	// what records delta-shipping views on both ends of the edge (the
+	// read-only fetch path deliberately bypasses them).
+	err := callee.Register("bump", func(ctx *Ctx, args []Value) ([]Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := ref.Int("data", 0)
+		if err != nil {
+			return nil, err
+		}
+		return nil, ref.SetInt("data", 0, n+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := buildTree(t, caller, 3)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(2, "bump", []Value{root}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCohLockstep(caller, callee); err != nil {
+		t.Fatalf("lockstep broken after clean call: %v", err)
+	}
+	// Advance one datum's crossing version on the caller side only —
+	// exactly what a dropped or duplicated items frame would cause.
+	caller.coh.mu.Lock()
+	views := caller.coh.peers[callee.ID()]
+	if len(views) == 0 {
+		caller.coh.mu.Unlock()
+		t.Fatal("no delta-shipping views recorded on the edge")
+	}
+	for _, v := range views {
+		v.ver++
+		break
+	}
+	caller.coh.mu.Unlock()
+	err = CheckCohLockstep(caller, callee)
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("version split not caught, err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "version split") {
+		t.Errorf("error %q does not name the violation", err)
+	}
+	caller.AbortSession()
+	callee.AbortSession()
+}
+
+func TestIdleInvariantsCatchLeftoverState(t *testing.T) {
+	caller, callee := pair(t, nil)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 3)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(2, "sumTree", []Value{root}); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-session the callee holds cached rows; it must NOT pass the
+	// idle check — this is what a lost end-of-session invalidation
+	// leaves behind.
+	if err := callee.CheckIdleInvariants(); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("leftover cache rows not caught, err = %v", err)
+	}
+	if err := caller.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	if err := callee.CheckIdleInvariants(); err != nil {
+		t.Fatalf("callee not idle after clean end: %v", err)
+	}
+}
+
+// --- AbortSession recovery ---
+
+func TestAbortSessionRecoversBothSides(t *testing.T) {
+	caller, callee := pair(t, func(id uint32, o *Options) { o.CheckInvariants = true })
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 4)
+	if err := caller.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(2, "sumTree", []Value{root}); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon the session without the invalidation handshake, as a
+	// harness would after a fault wedged it.
+	caller.AbortSession()
+	callee.AbortSession()
+	for _, rt := range []*Runtime{caller, callee} {
+		if err := rt.CheckIdleInvariants(); err != nil {
+			t.Fatalf("space %d not idle after abort: %v", rt.ID(), err)
+		}
+	}
+	// A fresh session works end to end.
+	res := sessionCall(t, caller, 2, "sumTree", root)
+	if got := res[0].Int64(); got != wantSum(4) {
+		t.Errorf("sum after abort+restart = %d, want %d", got, wantSum(4))
+	}
+}
+
+// --- call deadline ---
+
+func TestCallTimeoutReturnsTypedError(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	node, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Options{
+		ID: 1, Node: node, Registry: newTestRegistry(t),
+		CallTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	// Space 7 is attached but never serves anything — a silent partition.
+	_ = rawAttach(t, net, 7)
+	if err := rt.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = rt.Call(7, "anything", nil)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("call to silent peer: err = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline took %v, want ~50ms", elapsed)
+	}
+	rt.AbortSession()
+	if err := rt.CheckIdleInvariants(); err != nil {
+		t.Errorf("caller not clean after deadline+abort: %v", err)
+	}
+}
+
+func TestNoTimeoutByDefault(t *testing.T) {
+	caller, callee := pair(t, nil)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 3)
+	res := sessionCall(t, caller, 2, "sumTree", root)
+	if got := res[0].Int64(); got != wantSum(3) {
+		t.Errorf("sum = %d, want %d", got, wantSum(3))
+	}
+}
+
+// --- duplicate request suppression ---
+
+func TestDuplicateRequestExecutesOnce(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	rt := newRuntimeOnNet(t, net, 2)
+	calls := 0
+	err = rt.Register("count", func(*Ctx, []Value) ([]Value, error) {
+		calls++
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := rawAttach(t, net, 7)
+	p := wire.CallPayload{}
+	msg := wire.Message{
+		Kind: wire.KindCall, Session: 0x700000001, Seq: 5,
+		From: 7, To: 2, Proc: "count", Payload: p.Encode(),
+	}
+	// Original plus a duplicated frame, then a distinct second request.
+	for i := 0; i < 2; i++ {
+		if err := raw.Send(sealed(msg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msg2 := msg
+	msg2.Seq = 6
+	if err := raw.Send(sealed(msg2)); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly two replies arrive: one per distinct request; none for the
+	// duplicate.
+	for i := 0; i < 2; i++ {
+		reply, err := raw.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Kind != wire.KindReturn || reply.Err != "" {
+			t.Fatalf("reply %d = %+v", i, reply)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("handler ran %d times, want 2 (duplicate must be suppressed)", calls)
+	}
+	select {
+	case m := <-recvChan(raw):
+		t.Fatalf("unexpected extra reply %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func recvChan(n transport.Node) <-chan wire.Message {
+	ch := make(chan wire.Message, 1)
+	go func() {
+		if m, err := n.Recv(); err == nil {
+			ch <- m
+		}
+	}()
+	return ch
+}

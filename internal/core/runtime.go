@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smartrpc/internal/arch"
 	"smartrpc/internal/swizzle"
@@ -83,6 +84,10 @@ var (
 	ErrUnknownProc = errors.New("core: unknown remote procedure")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("core: runtime closed")
+	// ErrDeadline is returned when a remote round trip exceeds the
+	// runtime's CallTimeout: the peer is partitioned, crashed, or the
+	// request or reply frame was lost. Match with errors.Is.
+	ErrDeadline = errors.New("core: remote call deadline exceeded")
 )
 
 // Handler is a remote procedure body. Arguments and results are Values;
@@ -136,6 +141,20 @@ type Options struct {
 	// multithreaded TCP server). The default relies on the protocol's
 	// single-active-thread property (§3.1, §3.4) and is lock-free.
 	Concurrent bool
+	// CallTimeout bounds every remote round trip this runtime issues:
+	// Call requests, fetches, write-backs, invalidations, and alloc-batch
+	// flushes. Zero (the default) waits forever, the seed protocol's
+	// behavior. With a timeout set, a lost frame or a partitioned or
+	// crashed peer fails the operation with an error matching ErrDeadline
+	// instead of blocking the session indefinitely.
+	CallTimeout time.Duration
+	// CheckInvariants runs the coherency invariant checker
+	// (invariant.go) after every address-space boundary crossing: on
+	// every outbound transfer payload, after every batch of installed
+	// items, and at session teardown. A violation surfaces as an error
+	// matching ErrInvariant on the operation that crossed the boundary.
+	// Intended for tests and chaos soaks; off by default.
+	CheckInvariants bool
 }
 
 func (o *Options) fill() error {
@@ -221,6 +240,8 @@ type Runtime struct {
 	coherence    Coherence
 	noFetchBatch bool
 	noDeltaShip  bool
+	callTimeout  time.Duration
+	checkInv     bool
 
 	hintMu sync.RWMutex
 	hints  map[types.ID]map[string]bool
@@ -232,6 +253,14 @@ type Runtime struct {
 	pendingMu sync.Mutex
 	pending   map[uint64]chan wire.Message
 
+	// dupMu guards the per-peer windows of recently seen request
+	// sequence numbers. Transports may duplicate frames (and the chaos
+	// transport does so deliberately); re-executing a Call or WriteBack
+	// would double its side effects and desynchronize the per-edge
+	// coherency versions, so the dispatcher drops exact duplicates.
+	dupMu sync.Mutex
+	dups  map[uint32]*seqWindow
+
 	sessMu sync.Mutex
 	sess   uint64
 	ground bool
@@ -240,6 +269,13 @@ type Runtime struct {
 	allocMu   sync.Mutex
 	batch     map[uint32]*originBatch // origin → pending allocs/frees
 	provCount uint32
+	// provMap remembers every provisional → real rebinding performed by
+	// flushAllocBatches. The smart/eager paths read rebound identities
+	// out of the data allocation table, but a lazy-mode Value captured
+	// from ExtendedMalloc carries the provisional long pointer by value,
+	// so resolveLP must be able to translate it long after the flush —
+	// including in later sessions, since the allocation itself persists.
+	provMap map[wire.LongPtr]wire.LongPtr
 
 	// sessionModified tracks locally owned data modified during the
 	// current session by other spaces. The paper's protocol keeps the
@@ -309,10 +345,14 @@ func New(opts Options) (*Runtime, error) {
 		coherence:       opts.Coherence,
 		noFetchBatch:    opts.DisableFetchBatch,
 		noDeltaShip:     opts.DisableDeltaShip,
+		callTimeout:     opts.CallTimeout,
+		checkInv:        opts.CheckInvariants,
 		procs:           make(map[string]Handler),
 		pending:         make(map[uint64]chan wire.Message),
+		dups:            make(map[uint32]*seqWindow),
 		parts:           make(map[uint32]bool),
 		batch:           make(map[uint32]*originBatch),
+		provMap:         make(map[wire.LongPtr]wire.LongPtr),
 		sessionModified: make(map[wire.LongPtr]bool),
 		stop:            make(chan struct{}),
 		done:            make(chan struct{}),
@@ -432,16 +472,88 @@ func (rt *Runtime) Close() error {
 	return nil
 }
 
+// seqWindowSize bounds how many request sequence numbers are remembered
+// per peer for duplicate suppression. Requests are issued one at a time
+// per edge (single thread of control), so even a deep fan-out session
+// never has more than a handful in flight; the window only needs to span
+// the horizon over which a transport could replay a frame.
+const seqWindowSize = 128
+
+// seqWindow remembers the most recent request identities seen from one
+// peer: a ring for eviction order plus a set for O(1) membership. The
+// identity is (session, seq), not seq alone: a crashed-and-restarted
+// peer restarts its sequence counter, and its fresh requests must not be
+// mistaken for replays of the old incarnation's. Sessions are minted by
+// the ground space and never reused, so the pair is unique for as long
+// as any transport could replay a frame.
+type seqKey struct {
+	sess uint64
+	seq  uint64
+}
+
+type seqWindow struct {
+	ring [seqWindowSize]seqKey
+	next int
+	set  map[seqKey]struct{}
+}
+
+// dupRequest records (from, session, seq) and reports whether it was
+// already seen. Seq 0 is never tracked: it marks messages outside the
+// request/reply protocol (handshakes, diagnostics).
+func (rt *Runtime) dupRequest(from uint32, sess, seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	rt.dupMu.Lock()
+	defer rt.dupMu.Unlock()
+	w := rt.dups[from]
+	if w == nil {
+		w = &seqWindow{set: make(map[seqKey]struct{}, seqWindowSize)}
+		rt.dups[from] = w
+	}
+	k := seqKey{sess: sess, seq: seq}
+	if _, ok := w.set[k]; ok {
+		return true
+	}
+	if old := w.ring[w.next]; old != (seqKey{}) {
+		delete(w.set, old)
+	}
+	w.ring[w.next] = k
+	w.next = (w.next + 1) % seqWindowSize
+	w.set[k] = struct{}{}
+	return false
+}
+
 // loop is the dispatcher: it routes replies to waiting requesters and
 // dispatches requests to their servers. Call servers run in their own
 // goroutine (their handlers may block in nested calls or callbacks); the
-// bookkeeping servers are non-blocking and run inline.
+// bookkeeping servers are non-blocking and run inline. Duplicated
+// request frames are dropped (at-most-once execution); duplicated reply
+// frames are harmless — the first one consumes the pending entry and the
+// rest find no requester.
 func (rt *Runtime) loop() {
 	defer close(rt.done)
 	for {
 		m, err := rt.node.Recv()
 		if err != nil {
 			return
+		}
+		if !m.SumOK() {
+			// A frame corrupted in flight. For a reply, surface the
+			// corruption to the waiting requester as an ordinary remote
+			// error (the payload cannot be trusted, so none is kept).
+			// For a request, answer with an error so the sender is not
+			// left to its deadline — its frame's identity fields are
+			// covered by the checksum too, but a reply keyed on a
+			// corrupted Seq simply finds no requester and is dropped.
+			rt.trace(Event{Kind: EvChecksumReject, Target: m.From})
+			if m.Kind.IsReply() {
+				m.Err = "wire: frame checksum mismatch (corrupted in flight)"
+				m.Payload = nil
+			} else {
+				rt.reply(m, m.Kind.ReplyKind(), nil, "wire: frame checksum mismatch (corrupted in flight)")
+				continue
+			}
 		}
 		if m.Kind.IsReply() {
 			rt.pendingMu.Lock()
@@ -453,6 +565,9 @@ func (rt *Runtime) loop() {
 			if ok {
 				ch <- m
 			}
+			continue
+		}
+		if rt.dupRequest(m.From, m.Session, m.Seq) {
 			continue
 		}
 		switch m.Kind {
@@ -478,10 +593,12 @@ var replyChans = sync.Pool{
 	New: func() any { return make(chan wire.Message, 1) },
 }
 
-// sendAndWait sends a request and blocks for its reply.
+// sendAndWait sends a request and blocks for its reply, or until the
+// runtime closes or the configured call deadline expires.
 func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
 	seq := rt.seq.Add(1)
 	m.Seq = seq
+	m.Seal()
 	ch := replyChans.Get().(chan wire.Message)
 	rt.pendingMu.Lock()
 	rt.pending[seq] = ch
@@ -495,6 +612,12 @@ func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
 		cleanup()
 		return wire.Message{}, fmt.Errorf("send %v to space %d: %w", m.Kind, m.To, err)
 	}
+	var deadline <-chan time.Time
+	if rt.callTimeout > 0 {
+		timer := time.NewTimer(rt.callTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
 	select {
 	case r, ok := <-ch:
 		if !ok {
@@ -504,6 +627,13 @@ func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
 		}
 		replyChans.Put(ch)
 		return r, nil
+	case <-deadline:
+		// A late reply finds no pending entry and is dropped; the channel
+		// may still receive a racing delivery (it is buffered), so it
+		// cannot be pooled.
+		cleanup()
+		return wire.Message{}, fmt.Errorf("%v to space %d after %v: %w",
+			m.Kind, m.To, rt.callTimeout, ErrDeadline)
 	case <-rt.stop:
 		// The dispatcher may have plucked the channel from the pending map
 		// and be about to deliver into it, so it cannot be pooled either.
@@ -525,6 +655,7 @@ func (rt *Runtime) reply(m wire.Message, kind wire.Kind, payload []byte, errStr 
 		Err:     errStr,
 		Payload: payload,
 	}
+	resp.Seal()
 	_ = rt.node.Send(resp)
 }
 

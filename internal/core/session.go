@@ -77,17 +77,12 @@ func (rt *Runtime) EndSession() error {
 		return errors.New("core: EndSession on a non-ground runtime")
 	}
 	sess := rt.sess
-	parts := make([]uint32, 0, len(rt.parts))
-	for p := range rt.parts {
-		if p != rt.id {
-			parts = append(parts, p)
-		}
-	}
-	slices.Sort(parts)
 	rt.sessMu.Unlock()
 
 	// Any allocations still batched must reach their origins first, so
-	// that dirty data mentions only real addresses.
+	// that dirty data mentions only real addresses. (This may enlarge the
+	// participant set — an origin reached only by its alloc batch still
+	// needs the invalidation — so the set is snapshotted afterwards.)
 	if err := rt.flushAllocBatches(sess); err != nil {
 		return fmt.Errorf("end session: %w", err)
 	}
@@ -149,6 +144,19 @@ func (rt *Runtime) EndSession() error {
 	if err := fanOut(sends, writeBack); err != nil {
 		return err
 	}
+	// Write-back targets are participants too: the exchange above
+	// recorded ship state on their side of the edge.
+	rt.mergeParts(origins)
+
+	rt.sessMu.Lock()
+	parts := make([]uint32, 0, len(rt.parts))
+	for p := range rt.parts {
+		if p != rt.id {
+			parts = append(parts, p)
+		}
+	}
+	slices.Sort(parts)
+	rt.sessMu.Unlock()
 
 	// 2. Multicast the invalidation to the participating spaces.
 	invalidate := func(p uint32) error {
@@ -182,7 +190,36 @@ func (rt *Runtime) EndSession() error {
 	rt.ground = false
 	rt.parts = make(map[uint32]bool)
 	rt.sessMu.Unlock()
+	if rt.checkInv {
+		return rt.CheckIdleInvariants()
+	}
 	return nil
+}
+
+// AbortSession unconditionally tears down this runtime's session state
+// without any network traffic: the cache and data allocation table are
+// invalidated, the modified set, ship state, and batched allocations are
+// dropped, and the session identifier is cleared. It is the failure
+// recovery path for a session that can no longer complete its protocol —
+// a partitioned or crashed peer left EndSession unable to deliver its
+// write-backs or invalidations — and mirrors what serveInvalidate does
+// when the invalidation does arrive. Modifications to remote data that
+// were not yet written home are lost; locally owned heap data is
+// untouched.
+func (rt *Runtime) AbortSession() {
+	rt.space.InvalidateCache()
+	rt.table.Invalidate()
+	rt.sessMu.Lock()
+	rt.sess = 0
+	rt.ground = false
+	rt.parts = make(map[uint32]bool)
+	rt.sessMu.Unlock()
+	rt.allocMu.Lock()
+	rt.batch = make(map[uint32]*originBatch)
+	rt.allocMu.Unlock()
+	rt.clearModified()
+	rt.coh.clear()
+	rt.trace(Event{Kind: EvSessionEnd})
 }
 
 // fanOut runs f once per target concurrently and waits for all of them,
@@ -352,6 +389,11 @@ func (rt *Runtime) buildTransferPayload(sess uint64, peer uint32, args []Value) 
 		items = append(items, closure...)
 	}
 	items = rt.deltaShipItems(peer, items, false)
+	if rt.checkInv {
+		if err := rt.CheckLocalInvariants(); err != nil {
+			return nil, err
+		}
+	}
 	return &wire.CallPayload{Args: wireArgs, Items: items, Parts: rt.partsList()}, nil
 }
 
@@ -531,6 +573,12 @@ func (rt *Runtime) serveInvalidate(m wire.Message) {
 	rt.allocMu.Unlock()
 	rt.clearModified()
 	rt.coh.clear()
+	if rt.checkInv {
+		if err := rt.CheckIdleInvariants(); err != nil {
+			rt.reply(m, wire.KindInvalidateAck, nil, err.Error())
+			return
+		}
+	}
 	rt.reply(m, wire.KindInvalidateAck, nil, "")
 }
 
@@ -771,6 +819,9 @@ func (rt *Runtime) installItems(from uint32, items []wire.DataItem, coh bool) er
 			return err
 		}
 		rt.table.Seal(pn)
+	}
+	if rt.checkInv {
+		return rt.CheckLocalInvariants()
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ const (
 	EvWriteBackSent
 	EvInvalidateSent
 	EvAllocFlush
+	EvChecksumReject
 )
 
 var eventNames = map[EventKind]string{
@@ -33,7 +34,7 @@ var eventNames = map[EventKind]string{
 	EvFault: "fault", EvFetchSent: "fetch-sent", EvFetchServed: "fetch-served",
 	EvInstall: "install", EvDirtyCollected: "dirty-collected",
 	EvWriteBackSent: "write-back-sent", EvInvalidateSent: "invalidate-sent",
-	EvAllocFlush: "alloc-flush",
+	EvAllocFlush: "alloc-flush", EvChecksumReject: "checksum-reject",
 }
 
 // String names the event kind.

@@ -126,7 +126,11 @@ func (rt *Runtime) valueToArg(v Value) (wire.Arg, error) {
 		return wire.ScalarArg(v.Kind, v.Word), nil
 	}
 	if rt.policy == PolicyLazy {
-		return wire.PtrArg(v.LP), nil
+		lp, err := rt.resolveLP(v.LP)
+		if err != nil {
+			return wire.Arg{}, err
+		}
+		return wire.PtrArg(lp), nil
 	}
 	lp, err := rt.table.Unswizzle(v.Addr, v.Elem)
 	if err != nil {
@@ -199,7 +203,10 @@ func (rt *Runtime) Deref(v Value) (Ref, error) {
 	}
 	r := Ref{rt: rt, desc: rv.Desc}
 	if rt.policy == PolicyLazy {
-		r.lp = v.LP
+		r.lp, err = rt.resolveLP(v.LP)
+		if err != nil {
+			return Ref{}, err
+		}
 		r.data, err = rt.fetchOne(r.lp)
 		if err != nil {
 			return Ref{}, err
@@ -412,12 +419,19 @@ func (r *Ref) lazyPtr(i int, f types.Field, idx int) (Value, error) {
 }
 
 func (r *Ref) lazySetPtr(i int, f types.Field, idx int, v Value) error {
+	lp := v.LP
+	if v.Kind == types.Ptr && !v.IsNullPtr() {
+		var err error
+		if lp, err = r.rt.resolveLP(v.LP); err != nil {
+			return err
+		}
+	}
 	buf := make([]byte, len(r.data))
 	copy(buf, r.data)
 	enc := xdr.NewEncoder(12)
-	enc.PutUint32(v.LP.Space)
-	enc.PutUint32(uint32(v.LP.Addr))
-	enc.PutUint32(uint32(v.LP.Type))
+	enc.PutUint32(lp.Space)
+	enc.PutUint32(uint32(lp.Addr))
+	enc.PutUint32(uint32(lp.Type))
 	off := r.canonicalElemOffset(i, idx)
 	if off+12 > len(buf) {
 		return fmt.Errorf("core: lazy pointer write beyond object")

@@ -124,6 +124,12 @@ func Decode(b []byte) ([]Run, error) {
 	if n > maxRuns {
 		return nil, fmt.Errorf("delta: run count %d out of range", n)
 	}
+	// A run encodes to at least 8 bytes (offset word + opaque length), so
+	// a count exceeding the bytes remaining is corrupt; rejecting it here
+	// also keeps a hostile count from forcing a giant preallocation.
+	if int(n) > d.Remaining()/runOverhead {
+		return nil, fmt.Errorf("delta: run count %d exceeds the %d bytes remaining", n, d.Remaining())
+	}
 	runs := make([]Run, 0, n)
 	prevEnd := -1
 	for i := uint32(0); i < n; i++ {

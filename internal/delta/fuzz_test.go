@@ -1,0 +1,62 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDeltaPatch: arbitrary bytes fed to Decode either error out or
+// yield runs that Apply cleanly rejects or patches within bounds —
+// never a panic, never an out-of-range write.
+func FuzzDeltaPatch(f *testing.F) {
+	base := bytes.Repeat([]byte{0xAB}, 64)
+	cur := append([]byte(nil), base...)
+	cur[5] = 1
+	cur[40] = 2
+	f.Add(Encode(Diff(base, cur, DefaultGap)), base)
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 200, 0, 0, 0, 4, 1, 2, 3, 4}, base)
+	f.Fuzz(func(t *testing.T, enc, baseline []byte) {
+		runs, err := Decode(enc)
+		if err != nil {
+			return
+		}
+		out, err := Apply(baseline, runs)
+		if err != nil {
+			return
+		}
+		if len(out) != len(baseline) {
+			t.Fatalf("patched length %d != baseline length %d", len(out), len(baseline))
+		}
+	})
+}
+
+// FuzzDeltaRoundTrip: for any two equal-length buffers, the diff must
+// encode, decode, and apply back to exactly the target buffer.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), []byte("the quick brown fix"))
+	f.Add(make([]byte, 128), bytes.Repeat([]byte{7}, 128))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, base, cur []byte) {
+		if len(base) != len(cur) {
+			if Diff(base, cur, DefaultGap) != nil {
+				t.Fatal("Diff returned runs for unequal lengths")
+			}
+			return
+		}
+		runs := Diff(base, cur, DefaultGap)
+		if runs == nil {
+			t.Fatal("Diff returned nil for equal lengths")
+		}
+		decoded, err := Decode(Encode(runs))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		out, err := Apply(base, decoded)
+		if err != nil {
+			t.Fatalf("apply of own diff failed: %v", err)
+		}
+		if !bytes.Equal(out, cur) {
+			t.Fatalf("diff round trip lost data:\nbase %x\ncur  %x\ngot  %x", base, cur, out)
+		}
+	})
+}

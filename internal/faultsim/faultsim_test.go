@@ -1,0 +1,284 @@
+package faultsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/wire"
+)
+
+// chaosPair builds a two-node network behind a chaos wrapper.
+func chaosPair(t *testing.T, cfg Config) (*Chaos, transport.Node, transport.Node) {
+	t.Helper()
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { net.Close() })
+	c := New(net, cfg)
+	a, err := c.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, a, b
+}
+
+// pump drains a node into a channel so tests can count and inspect
+// arrivals without leaking a blocked Recv between assertions. The
+// goroutine exits when the node is closed at cleanup.
+func pump(n transport.Node) <-chan wire.Message {
+	ch := make(chan wire.Message, 64)
+	go func() {
+		defer close(ch)
+		for {
+			m, err := n.Recv()
+			if err != nil {
+				return
+			}
+			ch <- m
+		}
+	}()
+	return ch
+}
+
+// recvOrTimeout receives one frame or fails the test.
+func recvOrTimeout(t *testing.T, ch <-chan wire.Message) wire.Message {
+	t.Helper()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			t.Fatal("node closed")
+		}
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv timed out")
+		return wire.Message{}
+	}
+}
+
+// countArrivals counts everything that shows up within a settle window.
+func countArrivals(ch <-chan wire.Message, window time.Duration) int {
+	got := 0
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return got
+			}
+			got++
+		case <-time.After(window):
+			return got
+		}
+	}
+}
+
+func frame(to uint32, seq uint64, payload []byte) wire.Message {
+	return wire.Message{Kind: wire.KindCall, Session: 1, Seq: seq, To: to, Payload: payload}
+}
+
+// TestChaosDeterministicSchedule: the same seed over the same frame
+// sequence must produce the identical event schedule — the harness's
+// repro guarantee.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	run := func() []Event {
+		cfg := Config{Seed: 99, DropPermille: 300, DupPermille: 300, CorruptPermille: 300}
+		c, a, b := chaosPair(t, cfg)
+		bc := pump(b)
+		for seq := uint64(1); seq <= 40; seq++ {
+			if err := a.Send(frame(2, seq, []byte{1, 2, 3, 4})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		countArrivals(bc, 100*time.Millisecond)
+		return c.Events()
+	}
+	e1 := run()
+	e2 := run()
+	if len(e1) == 0 {
+		t.Fatal("no faults injected at 300 permille over 40 frames")
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("schedule diverges at %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+// TestChaosDropLosesFrames: at 1000 permille every frame is dropped and
+// recorded.
+func TestChaosDropLosesFrames(t *testing.T) {
+	c, a, b := chaosPair(t, Config{Seed: 1, DropPermille: 1000})
+	bc := pump(b)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := a.Send(frame(2, seq, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := countArrivals(bc, 100*time.Millisecond); got != 0 {
+		t.Errorf("%d frames arrived through a total drop", got)
+	}
+	if c.Count(FaultDrop) != 5 {
+		t.Errorf("recorded %d drops, want 5", c.Count(FaultDrop))
+	}
+}
+
+// TestChaosDupDelivers: at 1000 permille every frame arrives twice.
+func TestChaosDupDelivers(t *testing.T) {
+	c, a, b := chaosPair(t, Config{Seed: 1, DupPermille: 1000})
+	bc := pump(b)
+	if err := a.Send(frame(2, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := countArrivals(bc, 100*time.Millisecond); got != 2 {
+		t.Errorf("%d arrivals of a duplicated frame, want 2", got)
+	}
+	if c.Count(FaultDup) != 1 {
+		t.Errorf("recorded %d dups, want 1", c.Count(FaultDup))
+	}
+}
+
+// TestChaosCorruptCopiesPayload: corruption must flip bits in the
+// delivered frame while leaving the sender's buffer untouched — mutating
+// the shared buffer would corrupt the sender's delta-shipping baseline
+// identically and mask desynchronization.
+func TestChaosCorruptCopiesPayload(t *testing.T) {
+	c, a, b := chaosPair(t, Config{Seed: 1, CorruptPermille: 1000})
+	bc := pump(b)
+	orig := []byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF}
+	sent := append([]byte(nil), orig...)
+	if err := a.Send(frame(2, 1, sent)); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOrTimeout(t, bc)
+	if bytes.Equal(got.Payload, orig) {
+		t.Error("payload arrived uncorrupted at 1000 permille")
+	}
+	if !bytes.Equal(sent, orig) {
+		t.Error("corruption mutated the sender's buffer")
+	}
+	if c.Count(FaultCorrupt) != 1 {
+		t.Errorf("recorded %d corruptions, want 1", c.Count(FaultCorrupt))
+	}
+}
+
+// TestChaosDelayReordersReplies: a delayed reply is held until later
+// traffic passes, then delivered — and only reply kinds are ever held.
+func TestChaosDelayReordersReplies(t *testing.T) {
+	c, a, b := chaosPair(t, Config{Seed: 1, DelayPermille: 1000})
+	bc := pump(b)
+
+	// Requests are never delayed even at 1000 permille.
+	if err := a.Send(frame(2, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOrTimeout(t, bc); got.Seq != 1 {
+		t.Fatalf("request arrived with seq %d, want 1", got.Seq)
+	}
+	if c.Count(FaultDelay) != 0 {
+		t.Fatal("a request frame was delayed")
+	}
+
+	// A reply is held, then released by subsequent traffic on its edge.
+	reply := wire.Message{Kind: wire.KindReturn, Session: 1, Seq: 2, To: 2}
+	if err := a.Send(reply); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count(FaultDelay) != 1 {
+		t.Fatalf("reply was not delayed: %d delay events", c.Count(FaultDelay))
+	}
+	// Push non-reply traffic until the held frame comes due (distance ≤ 3).
+	for seq := uint64(10); seq < 14; seq++ {
+		if err := a.Send(frame(2, seq, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := countArrivals(bc, 100*time.Millisecond)
+	if got != 5 { // 4 pushes + the released reply
+		t.Errorf("%d arrivals after releasing the held reply, want 5", got)
+	}
+}
+
+// TestChaosPartitionOneWay: a one-way partition blocks exactly one
+// direction and heals cleanly.
+func TestChaosPartitionOneWay(t *testing.T) {
+	c, a, b := chaosPair(t, Config{Seed: 1})
+	ac, bc := pump(a), pump(b)
+	c.PartitionOneWay(1, 2, true)
+
+	if err := a.Send(frame(2, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := countArrivals(bc, 100*time.Millisecond); got != 0 {
+		t.Error("frame crossed a partitioned edge")
+	}
+	// Reverse direction unaffected.
+	if err := b.Send(frame(1, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOrTimeout(t, ac); got.From != 2 {
+		t.Errorf("reverse frame arrived from %d, want 2", got.From)
+	}
+	if c.Count(FaultPartition) != 1 {
+		t.Errorf("recorded %d partition events, want 1", c.Count(FaultPartition))
+	}
+
+	c.PartitionOneWay(1, 2, false)
+	if err := a.Send(frame(2, 2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOrTimeout(t, bc); got.Seq != 2 {
+		t.Errorf("post-heal frame has seq %d, want 2", got.Seq)
+	}
+}
+
+// TestChaosDisabledIsTransparent: SetEnabled(false) passes everything
+// through even with a saturated fault config.
+func TestChaosDisabledIsTransparent(t *testing.T) {
+	c, a, b := chaosPair(t, Config{Seed: 1, DropPermille: 1000})
+	bc := pump(b)
+	c.SetEnabled(false)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := a.Send(frame(2, seq, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := countArrivals(bc, 100*time.Millisecond); got != 5 {
+		t.Errorf("%d of 5 frames arrived while disabled", got)
+	}
+	if c.Total() != 0 {
+		t.Errorf("%d faults recorded while disabled", c.Total())
+	}
+}
+
+// TestChaosDrainDiscardsHeld: Drain clears held frames so they cannot
+// leak into a later scenario.
+func TestChaosDrainDiscardsHeld(t *testing.T) {
+	c, a, b := chaosPair(t, Config{Seed: 1, DelayPermille: 1000})
+	bc := pump(b)
+	if err := a.Send(wire.Message{Kind: wire.KindReturn, Session: 1, Seq: 1, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count(FaultDelay) != 1 {
+		t.Fatal("reply was not held")
+	}
+	c.Drain()
+	c.SetEnabled(false)
+	for seq := uint64(2); seq <= 5; seq++ {
+		if err := a.Send(frame(2, seq, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := countArrivals(bc, 100*time.Millisecond); got != 4 {
+		t.Errorf("%d arrivals after drain, want exactly the 4 new frames", got)
+	}
+}

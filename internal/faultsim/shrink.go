@@ -1,0 +1,100 @@
+package faultsim
+
+import (
+	"time"
+)
+
+// Shrink minimizes a failing scenario: fewer sessions, fewer fault
+// classes, fewer spaces — while the scenario keeps failing. The result
+// is the smallest schedule found plus its failure, which is what a
+// debugging session wants to start from (a 2-space, 1-session, one-
+// fault-class repro instead of a 4-space storm).
+//
+// Each candidate is re-run for real, so shrinking is only meaningful for
+// deterministically reproducing failures; a candidate that stops failing
+// is simply not taken. timeout bounds each candidate run (a shrink
+// candidate can hang in ways the original did not).
+func Shrink(sc Scenario, timeout time.Duration) (Scenario, error) {
+	fails := func(c Scenario) error {
+		_, err := RunWithTimeout(c, timeout)
+		return err
+	}
+	best := sc
+	bestErr := fails(best)
+	if bestErr == nil {
+		// Not reproducible under the timeout — nothing to shrink.
+		return sc, nil
+	}
+	try := func(c Scenario) bool {
+		if err := fails(c); err != nil {
+			best, bestErr = c, err
+			return true
+		}
+		return false
+	}
+
+	// 1. Halve the session count while the failure persists, then step
+	// down linearly.
+	for best.Ops > 1 {
+		c := best
+		c.Ops /= 2
+		if !try(c) {
+			break
+		}
+	}
+	for best.Ops > 1 {
+		c := best
+		c.Ops--
+		if !try(c) {
+			break
+		}
+	}
+
+	// 2. Remove whole fault classes one at a time.
+	zero := []func(*Scenario){
+		func(c *Scenario) { c.Faults.DropPermille = 0 },
+		func(c *Scenario) { c.Faults.DupPermille = 0 },
+		func(c *Scenario) { c.Faults.CorruptPermille = 0 },
+		func(c *Scenario) { c.Faults.DelayPermille = 0 },
+		func(c *Scenario) { c.CrashPermille = 0 },
+		func(c *Scenario) { c.PartitionPermille = 0 },
+	}
+	for _, z := range zero {
+		c := best
+		z(&c)
+		try(c)
+	}
+
+	// 3. Fewer spaces.
+	for best.Spaces > 2 {
+		c := best
+		c.Spaces--
+		if !try(c) {
+			break
+		}
+	}
+	return best, bestErr
+}
+
+// RunWithTimeout runs a scenario with a wall-clock bound; exceeding it is
+// itself a failure (a hang is as real a bug as a corruption).
+func RunWithTimeout(sc Scenario, timeout time.Duration) (Result, error) {
+	type outcome struct {
+		res Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(sc)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(timeout):
+		return Result{}, &FailureError{
+			Seed:   sc.Seed,
+			Reason: "scenario did not complete within " + timeout.String() + " (deadlock or livelock)",
+		}
+	}
+}

@@ -194,7 +194,19 @@ func (n *TCPNode) Send(m wire.Message) error {
 		// The connection dropped between connTo and the send.
 		return fmt.Errorf("transport: connection to space %d lost", m.To)
 	}
-	return writeFrameFlush(bw, &m)
+	if err := writeFrameFlush(bw, &m); err != nil {
+		// A failed (possibly partial) write leaves the stream mid-frame:
+		// the peer's reader and this writer no longer agree on frame
+		// boundaries, so every later frame on this connection would be
+		// garbage. Tear it down; the next Send redials cleanly.
+		if c, ok := n.conns[m.To]; ok {
+			_ = c.Close()
+			delete(n.conns, m.To)
+			delete(n.bufs, m.To)
+		}
+		return fmt.Errorf("transport: send to space %d: %w", m.To, err)
+	}
+	return nil
 }
 
 // Recv blocks until a message arrives or the node closes.

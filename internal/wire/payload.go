@@ -54,6 +54,21 @@ func getLongPtr(d *xdr.Decoder) (LongPtr, error) {
 	return LongPtr{Space: sp, Addr: vmem.VAddr(ad), Type: types.ID(ty)}, nil
 }
 
+// boundCount validates a decoded element count against a hard cap and
+// against the bytes actually remaining in the buffer (minSize is the
+// smallest possible encoding of one element). Without the second check a
+// corrupt or hostile count in a few-byte input could force a multi-
+// hundred-megabyte preallocation before the first element fails to parse.
+func boundCount(d *xdr.Decoder, n uint32, minSize int, what string) (int, error) {
+	if n > 1<<22 {
+		return 0, fmt.Errorf("wire: %s count %d out of range", what, n)
+	}
+	if int(n) > d.Remaining()/minSize {
+		return 0, fmt.Errorf("wire: %s count %d exceeds the %d bytes remaining", what, n, d.Remaining())
+	}
+	return int(n), nil
+}
+
 // Arg is one RPC argument or result: a scalar (canonical 64-bit
 // representation plus its kind), a long pointer, or a remote function
 // pointer (a capability naming a procedure in some address space).
@@ -194,15 +209,16 @@ func itemsEncodedSize(items []DataItem) int {
 // allocation churn on the hottest path in the system. Callers must treat
 // the bytes as read-only.
 func getItems(d *xdr.Decoder) ([]DataItem, error) {
-	n, err := d.Uint32()
+	nw, err := d.Uint32()
 	if err != nil {
 		return nil, err
 	}
-	if n > 1<<22 {
-		return nil, fmt.Errorf("wire: item count %d out of range", n)
+	n, err := boundCount(d, nw, 20, "item")
+	if err != nil {
+		return nil, err
 	}
 	items := make([]DataItem, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		var it DataItem
 		if it.LP, err = getLongPtr(d); err != nil {
 			return nil, err
@@ -259,15 +275,16 @@ func (p *CallPayload) Encode() []byte {
 func DecodeCallPayload(b []byte) (CallPayload, error) {
 	d := xdr.NewDecoder(b)
 	var p CallPayload
-	n, err := d.Uint32()
+	nw, err := d.Uint32()
 	if err != nil {
 		return p, err
 	}
-	if n > 1<<16 {
-		return p, fmt.Errorf("wire: arg count %d out of range", n)
+	n, err := boundCount(d, nw, 12, "arg")
+	if err != nil {
+		return p, err
 	}
 	p.Args = make([]Arg, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		a, err := getArg(d)
 		if err != nil {
 			return p, err
@@ -277,15 +294,16 @@ func DecodeCallPayload(b []byte) (CallPayload, error) {
 	if p.Items, err = getItems(d); err != nil {
 		return p, err
 	}
-	np, err := d.Uint32()
+	npw, err := d.Uint32()
 	if err != nil {
 		return p, err
 	}
-	if np > 1<<16 {
-		return p, fmt.Errorf("wire: participant count %d out of range", np)
+	np, err := boundCount(d, npw, 4, "participant")
+	if err != nil {
+		return p, err
 	}
 	p.Parts = make([]uint32, 0, np)
-	for i := uint32(0); i < np; i++ {
+	for i := 0; i < np; i++ {
 		v, err := d.Uint32()
 		if err != nil {
 			return p, err
@@ -325,15 +343,16 @@ func (p *FetchPayload) Encode() []byte {
 func DecodeFetchPayload(b []byte) (FetchPayload, error) {
 	d := xdr.NewDecoder(b)
 	var p FetchPayload
-	n, err := d.Uint32()
+	nw, err := d.Uint32()
 	if err != nil {
 		return p, err
 	}
-	if n > 1<<22 {
-		return p, fmt.Errorf("wire: want count %d out of range", n)
+	n, err := boundCount(d, nw, EncodedLongPtrSize, "want")
+	if err != nil {
+		return p, err
 	}
 	p.Wants = make([]LongPtr, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		lp, err := getLongPtr(d)
 		if err != nil {
 			return p, err
@@ -346,7 +365,7 @@ func DecodeFetchPayload(b []byte) (FetchPayload, error) {
 	if p.Primary, err = d.Uint32(); err != nil {
 		return p, err
 	}
-	if p.Primary > n {
+	if int(p.Primary) > n {
 		return p, fmt.Errorf("wire: primary count %d exceeds want count %d", p.Primary, n)
 	}
 	return p, nil
@@ -404,15 +423,16 @@ func (p *AllocBatchPayload) Encode() []byte {
 func DecodeAllocBatchPayload(b []byte) (AllocBatchPayload, error) {
 	d := xdr.NewDecoder(b)
 	var p AllocBatchPayload
-	n, err := d.Uint32()
+	nw, err := d.Uint32()
 	if err != nil {
 		return p, err
 	}
-	if n > 1<<22 {
-		return p, fmt.Errorf("wire: alloc count %d out of range", n)
+	n, err := boundCount(d, nw, 12, "alloc")
+	if err != nil {
+		return p, err
 	}
 	p.Allocs = make([]AllocReq, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		var a AllocReq
 		if a.Token, err = d.Uint64(); err != nil {
 			return p, err
@@ -424,15 +444,16 @@ func DecodeAllocBatchPayload(b []byte) (AllocBatchPayload, error) {
 		a.Type = types.ID(t)
 		p.Allocs = append(p.Allocs, a)
 	}
-	m, err := d.Uint32()
+	mw, err := d.Uint32()
 	if err != nil {
 		return p, err
 	}
-	if m > 1<<22 {
-		return p, fmt.Errorf("wire: free count %d out of range", m)
+	m, err := boundCount(d, mw, EncodedLongPtrSize, "free")
+	if err != nil {
+		return p, err
 	}
 	p.Frees = make([]LongPtr, 0, m)
-	for i := uint32(0); i < m; i++ {
+	for i := 0; i < m; i++ {
 		lp, err := getLongPtr(d)
 		if err != nil {
 			return p, err
@@ -462,15 +483,16 @@ func (p *AllocReplyPayload) Encode() []byte {
 func DecodeAllocReplyPayload(b []byte) (AllocReplyPayload, error) {
 	d := xdr.NewDecoder(b)
 	var p AllocReplyPayload
-	n, err := d.Uint32()
+	nw, err := d.Uint32()
 	if err != nil {
 		return p, err
 	}
-	if n > 1<<22 {
-		return p, fmt.Errorf("wire: addr count %d out of range", n)
+	n, err := boundCount(d, nw, 4, "addr")
+	if err != nil {
+		return p, err
 	}
 	p.Addrs = make([]vmem.VAddr, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		a, err := d.Uint32()
 		if err != nil {
 			return p, err

@@ -73,6 +73,25 @@ func (k Kind) IsReply() bool {
 	}
 }
 
+// ReplyKind returns the response kind paired with a request kind (zero
+// for reply kinds and unknown kinds).
+func (k Kind) ReplyKind() Kind {
+	switch k {
+	case KindCall:
+		return KindReturn
+	case KindFetch:
+		return KindFetchReply
+	case KindWriteBack:
+		return KindWriteBackAck
+	case KindInvalidate:
+		return KindInvalidateAck
+	case KindAllocBatch:
+		return KindAllocReply
+	default:
+		return 0
+	}
+}
+
 // Message is one unit of communication between address spaces.
 type Message struct {
 	// Kind discriminates the payload.
@@ -89,12 +108,61 @@ type Message struct {
 	Err string
 	// Payload is the kind-specific body, already XDR-encoded.
 	Payload []byte
+	// Sum is the sender-stamped integrity checksum (Checksum over the
+	// message's stable fields). The runtime verifies it on receipt so a
+	// frame corrupted in flight surfaces as a typed error instead of
+	// silently installing wrong bytes.
+	Sum uint32
 }
+
+// Checksum computes the integrity checksum over the message's stable
+// fields: everything except From (stamped by the transport after the
+// sender's runtime has sealed the message) and Sum itself. FNV-1a: no
+// table, one multiply per byte, deterministic across platforms.
+func (m *Message) Checksum() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	step := func(b byte) {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	word := func(v uint64, n int) {
+		for i := n - 1; i >= 0; i-- {
+			step(byte(v >> (8 * i)))
+		}
+	}
+	word(uint64(m.Kind), 4)
+	word(m.Session, 8)
+	word(m.Seq, 8)
+	word(uint64(m.To), 4)
+	word(uint64(len(m.Proc)), 4)
+	for i := 0; i < len(m.Proc); i++ {
+		step(m.Proc[i])
+	}
+	word(uint64(len(m.Err)), 4)
+	for i := 0; i < len(m.Err); i++ {
+		step(m.Err[i])
+	}
+	for _, b := range m.Payload {
+		step(b)
+	}
+	return h
+}
+
+// Seal stamps the integrity checksum; call after every other field
+// except From is final.
+func (m *Message) Seal() { m.Sum = m.Checksum() }
+
+// SumOK verifies the integrity checksum.
+func (m *Message) SumOK() bool { return m.Sum == m.Checksum() }
 
 // WireSize returns the encoded size of the message, used by the network
 // cost model.
 func (m *Message) WireSize() int {
-	return 7*4 +
+	return 8*4 +
 		4 + len(m.Proc) + pad4(len(m.Proc)) +
 		4 + len(m.Err) + pad4(len(m.Err)) +
 		4 + len(m.Payload) + pad4(len(m.Payload))
@@ -112,6 +180,7 @@ func (m *Message) Encode(enc *xdr.Encoder) {
 	enc.PutString(m.Proc)
 	enc.PutString(m.Err)
 	enc.PutOpaque(m.Payload)
+	enc.PutUint32(m.Sum)
 }
 
 // Decode parses one message from dec.
@@ -149,6 +218,9 @@ func Decode(dec *xdr.Decoder) (Message, error) {
 	}
 	m.Payload = make([]byte, len(p))
 	copy(m.Payload, p)
+	if m.Sum, err = dec.Uint32(); err != nil {
+		return m, fmt.Errorf("wire: sum: %w", err)
+	}
 	return m, nil
 }
 

@@ -1,0 +1,57 @@
+package xdr
+
+import "testing"
+
+// FuzzXDRDecode drives a decoder through an operation script drawn from
+// the first input while decoding the second. Every primitive must either
+// return a value or an error — no panics, no negative Remaining, no
+// consuming past the buffer — whatever order the operations arrive in.
+func FuzzXDRDecode(f *testing.F) {
+	enc := NewEncoder(64)
+	enc.PutUint32(7)
+	enc.PutUint64(1 << 40)
+	enc.PutString("hello")
+	enc.PutOpaque([]byte{1, 2, 3})
+	enc.PutBool(true)
+	enc.PutFloat64(3.25)
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, enc.Bytes())
+	f.Add([]byte{3, 3, 3}, []byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	f.Fuzz(func(t *testing.T, script, data []byte) {
+		d := NewDecoder(data)
+		for _, op := range script {
+			before := d.Remaining()
+			var err error
+			switch op % 10 {
+			case 0:
+				_, err = d.Uint32()
+			case 1:
+				_, err = d.Uint64()
+			case 2:
+				_, err = d.Int32()
+			case 3:
+				_, err = d.Int64()
+			case 4:
+				_, err = d.Bool()
+			case 5:
+				_, err = d.Float32()
+			case 6:
+				_, err = d.Float64()
+			case 7:
+				_, err = d.Opaque()
+			case 8:
+				_, err = d.String()
+			case 9:
+				_, err = d.FixedOpaque(int(op) * 3)
+			}
+			if d.Remaining() < 0 {
+				t.Fatalf("Remaining went negative after op %d", op)
+			}
+			if d.Remaining() > before {
+				t.Fatalf("op %d grew the buffer", op)
+			}
+			if err != nil && d.Offset() > len(data) {
+				t.Fatalf("offset %d past end %d after error", d.Offset(), len(data))
+			}
+		}
+	})
+}

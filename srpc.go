@@ -65,6 +65,12 @@ var (
 	ErrSessionBusy = core.ErrSessionBusy
 	// ErrUnknownProc reports a call to an unregistered procedure.
 	ErrUnknownProc = core.ErrUnknownProc
+	// ErrDeadline reports a remote round trip that exceeded
+	// Options.CallTimeout (a crashed or partitioned peer).
+	ErrDeadline = core.ErrDeadline
+	// ErrInvariant reports a coherency invariant violation detected by
+	// the runtime's self-checks (enabled with Options.CheckInvariants).
+	ErrInvariant = core.ErrInvariant
 )
 
 // New creates and starts a runtime attached to a transport node.
@@ -234,6 +240,7 @@ const (
 	EvWriteBackSent  = core.EvWriteBackSent
 	EvInvalidateSent = core.EvInvalidateSent
 	EvAllocFlush     = core.EvAllocFlush
+	EvChecksumReject = core.EvChecksumReject
 )
 
 // NewWriterTracer builds a line-per-event tracer writing to w.
