@@ -34,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("srpcbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|all")
+	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|all")
 	nodes := fs.Int("nodes", 32767, "tree size (2^k - 1 nodes)")
 	closure := fs.Int("closure", 8192, "closure size in bytes")
 	repeats := fs.Int("repeats", 10, "repeated searches for fig6")
@@ -68,12 +68,14 @@ func run(args []string) error {
 			return table1()
 		case "ablations":
 			return ablations(model)
+		case "warm":
+			return warm(model, *nodes, *closure)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations"} {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
@@ -224,6 +226,64 @@ func fig7(model netsim.Model, nodes, closure int) error {
 			ratio = float64(r.Updated) / float64(r.NotUpdated)
 		}
 		fmt.Printf("%-8.2f %-12.3f %-12.3f %-8.2f\n", r.Ratio, sec(r.Updated), sec(r.NotUpdated), ratio)
+	}
+	return nil
+}
+
+// warm prints the repeated-session workload: K back-to-back sessions
+// over the same pair of spaces, with a fraction of the tree mutated at
+// the origin between sessions. Session 1 is the cold start; the later
+// rows show what the warm cross-session cache actually re-ships.
+func warm(model netsim.Model, nodes, closure int) error {
+	const sessions = 4
+	if csv {
+		fmt.Println("warm.config,mutation_ratio,session,time_s,item_body_bytes,reval_hits,reval_misses,reval_bytes,messages,net_bytes")
+	} else {
+		fmt.Printf("\n== Warm cross-session cache: %d sessions, tree %d nodes, closure %d bytes ==\n",
+			sessions, nodes, closure)
+	}
+	for _, pt := range []struct {
+		name   string
+		ratio  float64
+		noWarm bool
+	}{
+		{"smart-warm", 0, false},
+		{"smart-warm", 0.05, false},
+		{"smart-warm", 0.25, false},
+		{"smart-coldstart", 0, true},
+	} {
+		res, err := bench.RunWarmSessions(bench.WarmConfig{
+			Nodes:            nodes,
+			ClosureSize:      closure,
+			Sessions:         sessions,
+			MutationRatio:    pt.ratio,
+			Model:            model,
+			DisableWarmCache: pt.noWarm,
+		})
+		if err != nil {
+			return err
+		}
+		if !csv {
+			fmt.Printf("\n-- %s, mutation ratio %.2f --\n", pt.name, pt.ratio)
+			fmt.Printf("%-9s %-10s %-16s %-11s %-13s %-12s %-10s %-12s\n",
+				"session", "time(s)", "item-body-bytes", "reval-hits", "reval-misses", "reval-bytes", "messages", "net-bytes")
+		}
+		cold := res.Sessions[0].ItemBodyBytes
+		for i, s := range res.Sessions {
+			if csv {
+				fmt.Printf("%s,%.2f,%d,%.6f,%d,%d,%d,%d,%d,%d\n",
+					pt.name, pt.ratio, i+1, sec(s.Time), s.ItemBodyBytes,
+					s.RevalidateHits, s.RevalidateMisses, s.RevalidateBytes, s.Messages, s.Bytes)
+				continue
+			}
+			note := ""
+			if i > 0 && cold > 0 {
+				note = fmt.Sprintf("  (%.1f%% of cold)", 100*float64(s.ItemBodyBytes)/float64(cold))
+			}
+			fmt.Printf("%-9d %-10.3f %-16d %-11d %-13d %-12d %-10d %-12d%s\n",
+				i+1, sec(s.Time), s.ItemBodyBytes, s.RevalidateHits, s.RevalidateMisses,
+				s.RevalidateBytes, s.Messages, s.Bytes, note)
+		}
 	}
 	return nil
 }

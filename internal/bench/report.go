@@ -32,13 +32,16 @@ type Report struct {
 
 // ReportRow is one benchmark point.
 type ReportRow struct {
-	// Figure tags the experiment family: fig4, fig6, fetch-batch, or
-	// coh-delta.
+	// Figure tags the experiment family: fig4, fig6, fetch-batch,
+	// coh-delta, or warm-sessions.
 	Figure string `json:"figure"`
 	// Config identifies the point within the family.
 	Policy  string  `json:"policy"`
 	Ratio   float64 `json:"ratio"`
 	Closure int     `json:"closure_bytes"`
+	// Session numbers the rows of a repeated-session family (1 = cold
+	// start); zero for single-session families (schema 3).
+	Session int `json:"session,omitempty"`
 
 	// Deterministic outputs (must be identical between snapshots).
 	ModelSec  float64 `json:"model_sec"`
@@ -56,6 +59,14 @@ type ReportRow struct {
 	CohItemsShipped uint64  `json:"coh_items_shipped"`
 	CohDeltaItems   uint64  `json:"coh_delta_items"`
 	CohItemsSkipped uint64  `json:"coh_items_skipped"`
+	// ItemBodyBytes is the combined per-session coherency/data item-body
+	// wire bytes (fetch bodies + coherency items + revalidation bodies,
+	// tokens = 0) and the CohRevalidate columns are the warm-cache
+	// revalidation outcomes (schema 3, warm-sessions rows only).
+	ItemBodyBytes       uint64 `json:"item_body_bytes,omitempty"`
+	CohRevalidateHits   uint64 `json:"coh_revalidate_hits,omitempty"`
+	CohRevalidateMisses uint64 `json:"coh_revalidate_misses,omitempty"`
+	CohRevalidateBytes  uint64 `json:"coh_revalidate_bytes,omitempty"`
 
 	// Host-dependent outputs (regression-checked with slack).
 	WallSec         float64 `json:"wall_sec"`
@@ -85,7 +96,7 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	rep := Report{Schema: 2, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
+	rep := Report{Schema: 3, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
 
 	var points []reportPoint
 	for _, pol := range []struct {
@@ -139,7 +150,90 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
+
+	// The repeated-session family (schema 3): per-session traffic of the
+	// warm cross-session cache over a mutation-ratio sweep, with the
+	// discard-on-invalidate ablation at ratio 0 as the control.
+	warmPoints := []struct {
+		name   string
+		ratio  float64
+		noWarm bool
+	}{
+		{"smart-warm", 0, false},
+		{"smart-warm", 0.05, false},
+		{"smart-warm", 0.25, false},
+		{"smart-coldstart", 0, true},
+	}
+	for _, wp := range warmPoints {
+		rows, err := measureWarmPoint(model, nodes, closure, runs, wp.name, wp.ratio, wp.noWarm)
+		if err != nil {
+			return Report{}, fmt.Errorf("report warm-sessions/%s/%.2f: %w", wp.name, wp.ratio, err)
+		}
+		rep.Rows = append(rep.Rows, rows...)
+	}
 	return rep, nil
+}
+
+// measureWarmPoint runs one repeated-session configuration and returns a
+// row per session. Wall time and allocations are whole-run averages
+// spread evenly over the sessions; the modeled columns are per-session.
+func measureWarmPoint(model netsim.Model, nodes, closure, runs int, name string, ratio float64, noWarm bool) ([]ReportRow, error) {
+	const sessions = 4
+	cfg := WarmConfig{
+		Nodes:            nodes,
+		ClosureSize:      closure,
+		Sessions:         sessions,
+		MutationRatio:    ratio,
+		Model:            model,
+		DisableWarmCache: noWarm,
+	}
+	if _, err := RunWarmSessions(cfg); err != nil { // warm-up
+		return nil, err
+	}
+	var last WarmResult
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		res, err := RunWarmSessions(cfg)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms2)
+	ops := uint64(runs) * sessions
+	rows := make([]ReportRow, 0, sessions)
+	for i, s := range last.Sessions {
+		perCrossing := 0.0
+		if s.Crossings > 0 {
+			perCrossing = float64(s.Messages) / float64(s.Crossings)
+		}
+		rows = append(rows, ReportRow{
+			Figure:              "warm-sessions",
+			Policy:              name,
+			Ratio:               ratio,
+			Closure:             closure,
+			Session:             i + 1,
+			ModelSec:            s.Time.Seconds(),
+			Callbacks:           s.Callbacks,
+			Messages:            s.Messages,
+			NetBytes:            s.Bytes,
+			Faults:              s.Faults,
+			Crossings:           s.Crossings,
+			MsgsPerCrossing:     perCrossing,
+			ItemBodyBytes:       s.ItemBodyBytes,
+			CohRevalidateHits:   s.RevalidateHits,
+			CohRevalidateMisses: s.RevalidateMisses,
+			CohRevalidateBytes:  s.RevalidateBytes,
+			WallSec:             wall.Seconds() / float64(ops),
+			AllocsPerOp:         (ms2.Mallocs - ms1.Mallocs) / ops,
+			AllocBytesPerOp:     (ms2.TotalAlloc - ms1.TotalAlloc) / ops,
+		})
+	}
+	return rows, nil
 }
 
 // Check compares the deterministic modeled columns of cur against a
@@ -183,6 +277,12 @@ func Check(baseline, cur Report) error {
 			check("coh_delta_items", float64(want.CohDeltaItems), float64(got.CohDeltaItems))
 			check("coh_items_skipped", float64(want.CohItemsSkipped), float64(got.CohItemsSkipped))
 		}
+		if baseline.Schema >= 3 {
+			check("item_body_bytes", float64(want.ItemBodyBytes), float64(got.ItemBodyBytes))
+			check("coh_revalidate_hits", float64(want.CohRevalidateHits), float64(got.CohRevalidateHits))
+			check("coh_revalidate_misses", float64(want.CohRevalidateMisses), float64(got.CohRevalidateMisses))
+			check("coh_revalidate_bytes", float64(want.CohRevalidateBytes), float64(got.CohRevalidateBytes))
+		}
 	}
 	if len(drifts) > 0 {
 		return fmt.Errorf("modeled columns drifted from baseline:\n  %s", strings.Join(drifts, "\n  "))
@@ -191,7 +291,7 @@ func Check(baseline, cur Report) error {
 }
 
 func rowKey(r ReportRow) string {
-	return fmt.Sprintf("%s/%s/%.4f/%d", r.Figure, r.Policy, r.Ratio, r.Closure)
+	return fmt.Sprintf("%s/%s/%.4f/%d/%d", r.Figure, r.Policy, r.Ratio, r.Closure, r.Session)
 }
 
 func measurePoint(model netsim.Model, nodes, runs int, pt reportPoint) (ReportRow, error) {

@@ -204,8 +204,20 @@ func (rt *Runtime) flushAllocBatches(sess uint64) error {
 			if err := rt.table.Rebind(a.lp, real); err != nil {
 				return fmt.Errorf("rebind %v -> %v: %w", a.lp, real, err)
 			}
+		}
+		if len(b.allocs) > 0 {
+			// Publish all of this batch's rebindings in one copy-on-write
+			// step; resolveLP readers never take allocMu.
 			rt.allocMu.Lock()
-			rt.provMap[a.lp] = real
+			old := *rt.provMap.Load()
+			next := make(map[wire.LongPtr]wire.LongPtr, len(old)+len(b.allocs))
+			for k, v := range old {
+				next[k] = v
+			}
+			for i, a := range b.allocs {
+				next[a.lp] = wire.LongPtr{Space: origin, Addr: rp.Addrs[i], Type: a.lp.Type}
+			}
+			rt.provMap.Store(&next)
 			rt.allocMu.Unlock()
 		}
 		// The origin has now served this session even if no call ever
@@ -230,10 +242,7 @@ func (rt *Runtime) resolveLP(lp wire.LongPtr) (wire.LongPtr, error) {
 	if uint32(lp.Addr) < provisionalBase || lp.Space == rt.id {
 		return lp, nil
 	}
-	rt.allocMu.Lock()
-	real, ok := rt.provMap[lp]
-	rt.allocMu.Unlock()
-	if ok {
+	if real, ok := (*rt.provMap.Load())[lp]; ok {
 		return real, nil
 	}
 	rt.sessMu.Lock()
@@ -245,9 +254,7 @@ func (rt *Runtime) resolveLP(lp wire.LongPtr) (wire.LongPtr, error) {
 	if err := rt.flushAllocBatches(sess); err != nil {
 		return lp, fmt.Errorf("resolve provisional %v: %w", lp, err)
 	}
-	rt.allocMu.Lock()
-	real, ok = rt.provMap[lp]
-	rt.allocMu.Unlock()
+	real, ok := (*rt.provMap.Load())[lp]
 	if !ok {
 		// Flushing did not produce a rebinding: the provisional
 		// allocation was cancelled (ExtendedFree) or belongs to another

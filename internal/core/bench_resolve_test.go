@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+// BenchmarkResolveLP measures the provisional-pointer translation that
+// sits on the lazy-mode argument and dereference hot paths. The map is
+// published copy-on-write, so readers take no lock; the companion to
+// BenchmarkVmemAccess for the allocation bookkeeping. Run with
+// -benchmem: the steady state must be zero allocations.
+//
+//   - parallel: concurrent readers over a settled map (the common case —
+//     every allocation long since flushed).
+//   - churn: the same readers while a writer keeps republishing the map,
+//     the worst case the old allocMu-guarded design serialized on.
+func BenchmarkResolveLP(b *testing.B) {
+	seed := func(rt *Runtime, n int) []wire.LongPtr {
+		m := make(map[wire.LongPtr]wire.LongPtr, n)
+		lps := make([]wire.LongPtr, n)
+		for i := 0; i < n; i++ {
+			prov := wire.LongPtr{Space: 2, Addr: vmem.VAddr(provisionalBase | uint32(i+1)), Type: 1}
+			m[prov] = wire.LongPtr{Space: 2, Addr: vmem.VAddr(0x10000 + 64*i), Type: 1}
+			lps[i] = prov
+		}
+		rt.provMap.Store(&m)
+		return lps
+	}
+	b.Run("parallel", func(b *testing.B) {
+		rt, _ := pair(b, nil)
+		lps := seed(rt, 1024)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := rt.resolveLP(lps[i&1023]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+	b.Run("churn", func(b *testing.B) {
+		rt, _ := pair(b, nil)
+		lps := seed(rt, 1024)
+		stop := make(chan struct{})
+		var published atomic.Uint64
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				old := *rt.provMap.Load()
+				next := make(map[wire.LongPtr]wire.LongPtr, len(old))
+				for k, v := range old {
+					next[k] = v
+				}
+				rt.provMap.Store(&next)
+				published.Add(1)
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := rt.resolveLP(lps[i&1023]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		close(stop)
+	})
+}

@@ -526,13 +526,31 @@ func TestInvalidationClearsCalleeCache(t *testing.T) {
 	registerSumProc(t, callee)
 	root := buildTree(t, caller, 4)
 	sessionCall(t, caller, 2, "sumTree", root)
-	if callee.Table().Len() != 0 {
-		t.Errorf("callee table has %d entries after session end", callee.Table().Len())
+	// The end-of-session invalidation demotes the callee's cache: rows
+	// may survive as warm stale copies, but nothing stays resident.
+	if cs := callee.CacheStats(); cs.ResidentEntries != 0 || cs.ResidentBytes != 0 {
+		t.Errorf("callee cache still resident after session end: %+v", cs)
 	}
 	if callee.Session() != 0 {
 		t.Errorf("callee still in session %#x", callee.Session())
 	}
 	// A fresh session works end to end after invalidation.
+	res := sessionCall(t, caller, 2, "sumTree", root)
+	if res[0].Int64() != wantSum(4) {
+		t.Errorf("second session sum = %d", res[0].Int64())
+	}
+}
+
+func TestInvalidationDiscardsCacheWhenWarmDisabled(t *testing.T) {
+	// With the warm cache off, session-end invalidation is the seed
+	// behavior: the callee's table empties outright.
+	caller, callee := pair(t, func(id uint32, o *Options) { o.DisableWarmCache = true })
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 4)
+	sessionCall(t, caller, 2, "sumTree", root)
+	if callee.Table().Len() != 0 {
+		t.Errorf("callee table has %d entries after session end", callee.Table().Len())
+	}
 	res := sessionCall(t, caller, 2, "sumTree", root)
 	if res[0].Int64() != wantSum(4) {
 		t.Errorf("second session sum = %d", res[0].Int64())
@@ -1097,10 +1115,11 @@ func TestDeepNestedChainAcrossFiveSpaces(t *testing.T) {
 	if d != spaces-1 {
 		t.Errorf("owner sees %d after session, want %d", d, spaces-1)
 	}
-	// The invalidation multicast reached everyone: no stale cache entries.
+	// The invalidation multicast reached everyone: nothing resident
+	// anywhere (warm stale rows may remain for revalidation).
 	for i, rt := range rts {
-		if rt.Table().Len() != 0 {
-			t.Errorf("space %d retains %d cache entries after session end", i+1, rt.Table().Len())
+		if cs := rt.CacheStats(); cs.ResidentEntries != 0 {
+			t.Errorf("space %d retains %d resident cache entries after session end", i+1, cs.ResidentEntries)
 		}
 	}
 }
@@ -1357,9 +1376,10 @@ func TestCacheStatsWorkingSet(t *testing.T) {
 	if err := caller.EndSession(); err != nil {
 		t.Fatal(err)
 	}
-	// After the session the working set is gone.
+	// After the session nothing is resident: the rows survive only as
+	// warm stale copies awaiting revalidation.
 	cs = callee.CacheStats()
-	if cs.Entries != 0 || cs.ResidentBytes != 0 {
+	if cs.ResidentEntries != 0 || cs.ResidentBytes != 0 || cs.DirtyPages != 0 {
 		t.Errorf("working set survives session end: %+v", cs)
 	}
 }

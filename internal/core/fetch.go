@@ -66,21 +66,58 @@ func (rt *Runtime) fetchPage(pn uint32) error {
 		if pass == 0 && len(entries) == 0 {
 			return fmt.Errorf("core: fault on cache page %d with no allocation table entries", pn)
 		}
-		// Collect non-resident wants in offset order. Under the paper's
-		// allocation heuristic there is exactly one origin per page, so the
-		// common path is a single pass with no per-origin grouping;
-		// PolicyMixed exercises the multi-origin worst case below.
-		var wants []wire.LongPtr
-		sameOrigin := true
+		// Collect non-resident wants in offset order, splitting off stale
+		// warm-cache entries: those are revalidated (one batched Validate
+		// round trip, warmcache.go) before anything is fetched in full.
+		// Under the paper's allocation heuristic there is exactly one
+		// origin per page, so the common path is a single pass with no
+		// per-origin grouping; PolicyMixed exercises the multi-origin
+		// worst case below.
+		var wants, stale []wire.LongPtr
+		sameOrigin, staleSame := true, true
+		warm := rt.warmEnabled()
 		for i := range entries {
 			e := &entries[i]
 			if e.Resident {
+				continue
+			}
+			if warm && e.Stale {
+				if len(stale) > 0 && e.LP.Space != stale[0].Space {
+					staleSame = false
+				}
+				stale = append(stale, e.LP)
 				continue
 			}
 			if len(wants) > 0 && e.LP.Space != wants[0].Space {
 				sameOrigin = false
 			}
 			wants = append(wants, e.LP)
+		}
+		if len(stale) > 0 {
+			// Every offered entry ends the exchange either resident (token,
+			// delta, or full body) or degraded to a plain want, so the loop
+			// always makes progress.
+			if staleSame {
+				if err := rt.validateFrom(sess, pn, stale[0].Space, stale); err != nil {
+					return err
+				}
+			} else {
+				byOrigin := make(map[uint32][]wire.LongPtr)
+				for _, lp := range stale {
+					byOrigin[lp.Space] = append(byOrigin[lp.Space], lp)
+				}
+				origins := make([]uint32, 0, len(byOrigin))
+				for o := range byOrigin {
+					origins = append(origins, o)
+				}
+				slices.Sort(origins)
+				for _, origin := range origins {
+					if err := rt.validateFrom(sess, pn, origin, byOrigin[origin]); err != nil {
+						return err
+					}
+				}
+			}
+			continue
 		}
 		if len(wants) == 0 {
 			return nil
@@ -113,6 +150,7 @@ func (rt *Runtime) fetchPage(pn uint32) error {
 // batching because its own wants are already in the message.
 func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr) error {
 	primary := len(wants)
+	budget := rt.budgetFor(origin)
 	if !rt.noFetchBatch {
 		// Coalesce outstanding wants: non-resident entries from the
 		// same origin stranded on partially resident pages ride
@@ -124,12 +162,12 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 		// stays fully available for the faulting page's own
 		// frontier. Charging or expanding them starves the
 		// productive closure and causes MORE faults, not fewer.
-		extra, _ := rt.table.OutstandingWants(origin, pn, rt.closure)
+		extra, _ := rt.table.OutstandingWants(origin, pn, budget)
 		wants = append(wants, extra...)
 	}
 	p := wire.FetchPayload{
 		Wants:   wants,
-		Budget:  uint32(rt.closure),
+		Budget:  uint32(budget),
 		Primary: uint32(primary),
 	}
 	rt.stats.fetchesSent.Add(1)
@@ -173,6 +211,11 @@ func (rt *Runtime) serveFetch(m wire.Message) {
 	if err != nil {
 		rt.reply(m, wire.KindFetchReply, nil, err.Error())
 		return
+	}
+	if rt.warmEnabled() {
+		// Remember what this peer now holds: the delta base for future
+		// cross-session revalidations. Memory-only; nothing on the wire.
+		rt.recordServed(m.From, items)
 	}
 	out := wire.ItemsPayload{Items: items}
 	rt.reply(m, wire.KindFetchReply, out.Encode(), "")

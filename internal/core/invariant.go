@@ -158,16 +158,62 @@ func (rt *Runtime) CheckLocalInvariants() error {
 }
 
 // CheckIdleInvariants verifies that this runtime's cache is fully torn
-// down: no data allocation table rows, no dirty pages, no delta-shipping
-// state, and no batched allocation work. This is the state every space
-// must reach after EndSession, AbortSession, or a received end-of-session
-// invalidation — whatever faults occurred during the session.
+// down: no resident data allocation table rows (stale warm-cache rows
+// may remain, but every page they span must still be protected and
+// their bytes must agree with the recorded revalidation baseline), no
+// dirty pages, no delta-shipping state, and no batched allocation work.
+// This is the state every space must reach after EndSession,
+// AbortSession, or a received end-of-session invalidation — whatever
+// faults occurred during the session.
 func (rt *Runtime) CheckIdleInvariants() error {
 	if err := rt.CheckLocalInvariants(); err != nil {
 		return err
 	}
-	if n := rt.table.Len(); n != 0 {
-		return invariantErr(rt.id, "idle with %d data allocation table rows", n)
+	// Idle cache rule: nothing resident. With the warm cache disabled the
+	// table must be empty outright (the seed invariant); with it enabled,
+	// demotion leaves stale rows whose pages the release rule (local
+	// invariant 2) already forces to ProtNone.
+	for _, e := range rt.table.Entries() {
+		if e.Resident {
+			return invariantErr(rt.id, "idle with resident datum %v", e.LP)
+		}
+		if !e.Stale {
+			continue
+		}
+		if !rt.warmEnabled() {
+			return invariantErr(rt.id, "stale datum %v with the warm cache disabled", e.LP)
+		}
+		// Baseline consistency — the token-safety invariant: the bytes a
+		// later revalidation token would promote (the page contents, whose
+		// canonical encoding the offered hash describes) must be exactly
+		// what this space recorded at demotion. A divergence here means a
+		// token could resurrect data older than the origin's committed
+		// version.
+		rv, err := rt.res.Resolve(e.LP.Type)
+		if err != nil {
+			return invariantErr(rt.id, "stale datum %v has unresolvable type: %v", e.LP, err)
+		}
+		enc, err := encodeObject(rt.space, rt.table, rt.res, rv.Desc, e.Addr)
+		if err != nil {
+			return invariantErr(rt.id, "re-encode stale datum %v: %v", e.LP, err)
+		}
+		rt.warm.mu.Lock()
+		v := rt.warm.views[e.LP]
+		rt.warm.mu.Unlock()
+		if v == nil {
+			return invariantErr(rt.id, "stale datum %v has no revalidation baseline", e.LP)
+		}
+		if !bytes.Equal(v.bytes, enc) {
+			return invariantErr(rt.id, "stale datum %v: page bytes diverge from the revalidation baseline", e.LP)
+		}
+		if v.sum != wire.Sum64(v.bytes) {
+			return invariantErr(rt.id, "stale datum %v: baseline hash out of date", e.LP)
+		}
+	}
+	if !rt.warmEnabled() {
+		if n := rt.table.Len(); n != 0 {
+			return invariantErr(rt.id, "idle with %d data allocation table rows", n)
+		}
 	}
 	if pages := rt.space.DirtyPages(); len(pages) != 0 {
 		return invariantErr(rt.id, "idle with dirty pages %v", pages)
@@ -251,6 +297,9 @@ func CheckCohLockstep(a, b *Runtime) error {
 //     pages; every other space shipped its modifications out when the
 //     thread left it.
 //   - Delta-shipping lockstep holds on every edge.
+//   - Warm revalidation soundness: no stale warm-cache copy could be
+//     token-promoted into bytes differing from its origin's current
+//     committed value.
 func CheckNetworkInvariants(ground *Runtime, all []*Runtime) error {
 	for _, rt := range all {
 		if err := rt.CheckLocalInvariants(); err != nil {
@@ -267,6 +316,44 @@ func CheckNetworkInvariants(ground *Runtime, all []*Runtime) error {
 		for j := i + 1; j < len(all); j++ {
 			if err := CheckCohLockstep(all[i], all[j]); err != nil {
 				return err
+			}
+		}
+	}
+	byID := make(map[uint32]*Runtime, len(all))
+	for _, rt := range all {
+		byID[rt.id] = rt
+	}
+	for _, rt := range all {
+		for _, e := range rt.table.Entries() {
+			if !e.Stale {
+				continue
+			}
+			rt.warm.mu.Lock()
+			v := rt.warm.views[e.LP]
+			rt.warm.mu.Unlock()
+			if v == nil {
+				return invariantErr(rt.id, "stale datum %v has no revalidation baseline", e.LP)
+			}
+			origin := byID[e.LP.Space]
+			if origin == nil {
+				continue // origin outside the checked set
+			}
+			rv, err := origin.res.Resolve(e.LP.Type)
+			if err != nil {
+				continue // origin cannot serve it; revalidation will degrade
+			}
+			cur, err := encodeObject(origin.space, origin.table, origin.res, rv.Desc, e.LP.Addr)
+			if err != nil {
+				continue // freed at origin; revalidation will degrade
+			}
+			// The warm baseline may legitimately lag the origin (that is
+			// what revalidation is for). What must NEVER hold is a token
+			// match — origin's current hash equal to the offered one —
+			// against differing bytes: that token would promote a copy
+			// older than the origin's committed version.
+			if wire.Sum64(cur) == v.sum && !bytes.Equal(cur, v.bytes) {
+				return invariantErr(rt.id,
+					"warm baseline for %v would token-promote bytes differing from the origin's committed value", e.LP)
 			}
 		}
 	}

@@ -155,6 +155,18 @@ type Options struct {
 	// matching ErrInvariant on the operation that crossed the boundary.
 	// Intended for tests and chaos soaks; off by default.
 	CheckInvariants bool
+	// DisableWarmCache restores the seed teardown behavior for the smart
+	// policy: session-end invalidation discards cached pages outright
+	// instead of demoting them to revalidatable stale copies
+	// (warmcache.go). Used by benchmarks and regression tests to measure
+	// the warm-cache win; the other policies never cache across sessions
+	// either way.
+	DisableWarmCache bool
+	// AdaptiveEagerness lets the runtime adjust its per-origin closure
+	// fetch budget between sessions from the measured hit/waste ratio of
+	// shipped closures (eager.go). Off by default: the budget stays at
+	// ClosureSize, the paper's fixed setting.
+	AdaptiveEagerness bool
 }
 
 func (o *Options) fill() error {
@@ -202,7 +214,10 @@ type Stats struct {
 	FetchesServed uint64
 	// Faults counts access violations delivered by the simulated MMU.
 	Faults uint64
-	// ItemsInstalled and BytesInstalled count objects cached locally.
+	// ItemsInstalled and BytesInstalled count objects cached locally via
+	// the fetch/transfer path, where wire bytes equal body bytes. Data
+	// re-installed through revalidation is counted by the CohRevalidate
+	// family instead, so the two byte columns sum without double counting.
 	ItemsInstalled, BytesInstalled uint64
 	// DirtyItemsSent counts modified objects shipped on control transfer.
 	DirtyItemsSent uint64
@@ -224,24 +239,40 @@ type Stats struct {
 	// With DisableDeltaShip it sums full bodies, making the two modes
 	// directly comparable.
 	CohItemBytes uint64
+	// CohRevalidateMsgs counts Validate messages: batched revalidation
+	// requests sent (client side) plus requests answered (server side).
+	CohRevalidateMsgs uint64
+	// CohRevalidateHits counts stale cached data promoted by a zero-byte
+	// "still current" token — pages reused across sessions without
+	// re-shipping their bytes.
+	CohRevalidateHits uint64
+	// CohRevalidateMisses counts stale cached data whose revalidation
+	// came back as a delta or full body.
+	CohRevalidateMisses uint64
+	// CohRevalidateBytes sums the item-body bytes received on the
+	// revalidation path (delta items contribute their delta size, tokens
+	// contribute zero) — directly comparable to CohItemBytes.
+	CohRevalidateBytes uint64
 }
 
 // Runtime is one address space's Smart RPC runtime system.
 type Runtime struct {
-	id           uint32
-	node         transport.Node
-	reg          *types.Registry
-	res          *types.Resolver // per-profile Lookup+Layout cache
-	space        *vmem.Space
-	table        *swizzle.Table
-	policy       Policy
-	closure      int
-	traversal    Traversal
-	coherence    Coherence
-	noFetchBatch bool
-	noDeltaShip  bool
-	callTimeout  time.Duration
-	checkInv     bool
+	id            uint32
+	node          transport.Node
+	reg           *types.Registry
+	res           *types.Resolver // per-profile Lookup+Layout cache
+	space         *vmem.Space
+	table         *swizzle.Table
+	policy        Policy
+	closure       int
+	traversal     Traversal
+	coherence     Coherence
+	noFetchBatch  bool
+	noDeltaShip   bool
+	noWarmCache   bool
+	adaptiveEager bool
+	callTimeout   time.Duration
+	checkInv      bool
 
 	hintMu sync.RWMutex
 	hints  map[types.ID]map[string]bool
@@ -275,7 +306,11 @@ type Runtime struct {
 	// from ExtendedMalloc carries the provisional long pointer by value,
 	// so resolveLP must be able to translate it long after the flush —
 	// including in later sessions, since the allocation itself persists.
-	provMap map[wire.LongPtr]wire.LongPtr
+	// The map is published copy-on-write: resolveLP sits on the argument
+	// and dereference hot paths and loads it without taking allocMu;
+	// flushAllocBatches builds the successor map under allocMu (one copy
+	// per batch, not per allocation) and stores it here.
+	provMap atomic.Pointer[map[wire.LongPtr]wire.LongPtr]
 
 	// sessionModified tracks locally owned data modified during the
 	// current session by other spaces. The paper's protocol keeps the
@@ -292,6 +327,14 @@ type Runtime struct {
 	// coh is the delta-shipping ship state (cohstate.go).
 	coh cohState
 
+	// warm is the cross-session warm-cache state: client revalidation
+	// baselines and per-peer served records (warmcache.go).
+	warm warmCache
+
+	// eager is the closure usage accounting and, when enabled, the
+	// adaptive per-origin fetch budgets (eager.go).
+	eager eagerState
+
 	tracer atomic.Pointer[tracerBox]
 
 	stats struct {
@@ -302,6 +345,9 @@ type Runtime struct {
 		allocBatches                   atomic.Uint64
 		cohItemsShipped, cohDeltaItems atomic.Uint64
 		cohItemsSkipped, cohItemBytes  atomic.Uint64
+
+		cohRevalidateMsgs, cohRevalidateHits    atomic.Uint64
+		cohRevalidateMisses, cohRevalidateBytes atomic.Uint64
 	}
 
 	closeOnce sync.Once
@@ -345,6 +391,8 @@ func New(opts Options) (*Runtime, error) {
 		coherence:       opts.Coherence,
 		noFetchBatch:    opts.DisableFetchBatch,
 		noDeltaShip:     opts.DisableDeltaShip,
+		noWarmCache:     opts.DisableWarmCache,
+		adaptiveEager:   opts.AdaptiveEagerness,
 		callTimeout:     opts.CallTimeout,
 		checkInv:        opts.CheckInvariants,
 		procs:           make(map[string]Handler),
@@ -352,11 +400,12 @@ func New(opts Options) (*Runtime, error) {
 		dups:            make(map[uint32]*seqWindow),
 		parts:           make(map[uint32]bool),
 		batch:           make(map[uint32]*originBatch),
-		provMap:         make(map[wire.LongPtr]wire.LongPtr),
 		sessionModified: make(map[wire.LongPtr]bool),
 		stop:            make(chan struct{}),
 		done:            make(chan struct{}),
 	}
+	empty := make(map[wire.LongPtr]wire.LongPtr)
+	rt.provMap.Store(&empty)
 	for ty, fields := range opts.ClosureHints {
 		if err := rt.SetClosureHint(ty, fields); err != nil {
 			return nil, err
@@ -452,6 +501,11 @@ func (rt *Runtime) Stats() Stats {
 		CohDeltaItems:   rt.stats.cohDeltaItems.Load(),
 		CohItemsSkipped: rt.stats.cohItemsSkipped.Load(),
 		CohItemBytes:    rt.stats.cohItemBytes.Load(),
+
+		CohRevalidateMsgs:   rt.stats.cohRevalidateMsgs.Load(),
+		CohRevalidateHits:   rt.stats.cohRevalidateHits.Load(),
+		CohRevalidateMisses: rt.stats.cohRevalidateMisses.Load(),
+		CohRevalidateBytes:  rt.stats.cohRevalidateBytes.Load(),
 	}
 }
 
@@ -581,6 +635,8 @@ func (rt *Runtime) loop() {
 			rt.serveInvalidate(m)
 		case wire.KindAllocBatch:
 			rt.serveAllocBatch(m)
+		case wire.KindValidate:
+			rt.serveValidate(m)
 		}
 	}
 }

@@ -179,9 +179,15 @@ func (rt *Runtime) EndSession() error {
 		return err
 	}
 
-	// Local invalidation and session teardown.
-	rt.space.InvalidateCache()
-	rt.table.Invalidate()
+	// Local invalidation and session teardown. With the warm cache the
+	// invalidation is a demotion: bytes and table rows survive as stale
+	// copies revalidated on first use next session (warmcache.go).
+	if rt.warmEnabled() {
+		rt.demoteWarm()
+	} else {
+		rt.space.InvalidateCache()
+		rt.table.Invalidate()
+	}
 	rt.clearModified()
 	rt.coh.clear()
 	rt.trace(Event{Kind: EvSessionEnd})
@@ -206,7 +212,12 @@ func (rt *Runtime) EndSession() error {
 // when the invalidation does arrive. Modifications to remote data that
 // were not yet written home are lost; locally owned heap data is
 // untouched.
+//
+// The abort path never demotes: cached modifications that were not
+// written home must not become revalidation baselines, so the warm
+// views are cleared along with the cache.
 func (rt *Runtime) AbortSession() {
+	rt.warm.clearViews()
 	rt.space.InvalidateCache()
 	rt.table.Invalidate()
 	rt.sessMu.Lock()
@@ -557,10 +568,17 @@ func (rt *Runtime) serveCall(m wire.Message) {
 }
 
 // serveInvalidate implements the end-of-session invalidation on a
-// participant: drop every cached page and table entry (§3.4).
+// participant (§3.4). With the warm cache enabled the cached pages and
+// table rows are demoted to revalidatable stale copies instead of being
+// dropped; the seed behavior (discard outright) remains for the other
+// policies and for DisableWarmCache.
 func (rt *Runtime) serveInvalidate(m wire.Message) {
-	rt.space.InvalidateCache()
-	rt.table.Invalidate()
+	if rt.warmEnabled() {
+		rt.demoteWarm()
+	} else {
+		rt.space.InvalidateCache()
+		rt.table.Invalidate()
+	}
 	rt.sessMu.Lock()
 	if rt.sess == m.Session {
 		rt.sess = 0

@@ -26,6 +26,9 @@ const (
 	EvInvalidateSent
 	EvAllocFlush
 	EvChecksumReject
+	EvValidateSent
+	EvValidateHit
+	EvValidateMiss
 )
 
 var eventNames = map[EventKind]string{
@@ -35,6 +38,8 @@ var eventNames = map[EventKind]string{
 	EvInstall: "install", EvDirtyCollected: "dirty-collected",
 	EvWriteBackSent: "write-back-sent", EvInvalidateSent: "invalidate-sent",
 	EvAllocFlush: "alloc-flush", EvChecksumReject: "checksum-reject",
+	EvValidateSent: "validate-sent", EvValidateHit: "validate-hit",
+	EvValidateMiss: "validate-miss",
 }
 
 // String names the event kind.
@@ -65,10 +70,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d] %v %s peer=%d", e.Space, e.Kind, e.Proc, e.Target)
 	case EvFault:
 		return fmt.Sprintf("[%d] %v page=%d", e.Space, e.Kind, e.Page)
-	case EvFetchSent, EvWriteBackSent, EvInvalidateSent, EvAllocFlush:
+	case EvFetchSent, EvWriteBackSent, EvInvalidateSent, EvAllocFlush, EvValidateSent:
 		return fmt.Sprintf("[%d] %v peer=%d count=%d", e.Space, e.Kind, e.Target, e.Count)
 	case EvFetchServed, EvInstall, EvDirtyCollected:
 		return fmt.Sprintf("[%d] %v count=%d", e.Space, e.Kind, e.Count)
+	case EvValidateHit, EvValidateMiss:
+		return fmt.Sprintf("[%d] %v %v", e.Space, e.Kind, e.LP)
 	default:
 		return fmt.Sprintf("[%d] %v", e.Space, e.Kind)
 	}

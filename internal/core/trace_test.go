@@ -129,3 +129,55 @@ func TestTraceAllocFlush(t *testing.T) {
 		t.Errorf("alloc-flush events = %d, want 1", calleeTr.Count(EvAllocFlush))
 	}
 }
+
+func TestTraceWarmHitSessionSequence(t *testing.T) {
+	// Pin the event shape of a warm second session: the callee faults on
+	// its demoted page, sends exactly one batched Validate, and every
+	// stale node promotes as a hit — no fetches, no installs.
+	caller, callee := pair(t, nil)
+	calleeTr := &RecordingTracer{}
+	callee.SetTracer(calleeTr)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 4) // 15 nodes, one cache page
+	sessionCall(t, caller, 2, "sumTree", root)
+	calleeTr.Reset()
+
+	sessionCall(t, caller, 2, "sumTree", root)
+	if n := calleeTr.Count(EvValidateSent); n != 1 {
+		t.Errorf("validate-sent = %d, want 1", n)
+	}
+	if n := calleeTr.Count(EvValidateHit); n != 15 {
+		t.Errorf("validate-hit = %d, want 15", n)
+	}
+	for _, k := range []EventKind{EvValidateMiss, EvFetchSent, EvInstall} {
+		if n := calleeTr.Count(k); n != 0 {
+			t.Errorf("warm session emitted %d %v events, want 0", n, k)
+		}
+	}
+	// Ordering: fault, then the batched validate, then its hits.
+	evs := calleeTr.Events()
+	seq := make([]EventKind, 0, 4)
+	for _, e := range evs {
+		switch e.Kind {
+		case EvFault, EvValidateSent, EvValidateHit:
+			if len(seq) == 0 || seq[len(seq)-1] != e.Kind {
+				seq = append(seq, e.Kind)
+			}
+		}
+	}
+	want := []EventKind{EvFault, EvValidateSent, EvValidateHit}
+	if len(seq) != len(want) {
+		t.Fatalf("warm event shape = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("warm event shape = %v, want %v", seq, want)
+		}
+	}
+	// The validate-sent event carries the batch size.
+	for _, e := range evs {
+		if e.Kind == EvValidateSent && e.Count != 15 {
+			t.Errorf("validate-sent count = %d, want 15", e.Count)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"testing"
+
+	"smartrpc/internal/wire"
+)
+
+// warmPair builds a caller/callee pair with invariant checking on, so
+// every warm-cache exchange is also validated by the checker.
+func warmPair(t *testing.T, mut func(id uint32, o *Options)) (*Runtime, *Runtime) {
+	t.Helper()
+	return pair(t, func(id uint32, o *Options) {
+		o.CheckInvariants = true
+		if mut != nil {
+			mut(id, o)
+		}
+	})
+}
+
+func TestWarmSecondSessionAllTokens(t *testing.T) {
+	caller, callee := warmPair(t, nil)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 4) // 15 nodes
+
+	if got := sessionCall(t, caller, 2, "sumTree", root)[0].Int64(); got != wantSum(4) {
+		t.Fatalf("first session sum = %d, want %d", got, wantSum(4))
+	}
+	cold := callee.Stats()
+	if cold.CohRevalidateHits != 0 || cold.CohRevalidateMisses != 0 {
+		t.Fatalf("revalidation counters nonzero after first session: %+v", cold)
+	}
+	if cold.ItemsInstalled != 15 {
+		t.Fatalf("first session installed %d items, want 15", cold.ItemsInstalled)
+	}
+
+	// Nothing changed: the second session must promote every cached node
+	// with zero-byte tokens and install nothing new.
+	if got := sessionCall(t, caller, 2, "sumTree", root)[0].Int64(); got != wantSum(4) {
+		t.Fatalf("second session sum = %d, want %d", got, wantSum(4))
+	}
+	warm := callee.Stats()
+	if warm.CohRevalidateHits != 15 {
+		t.Errorf("revalidate hits = %d, want 15", warm.CohRevalidateHits)
+	}
+	if warm.CohRevalidateMisses != 0 {
+		t.Errorf("revalidate misses = %d, want 0", warm.CohRevalidateMisses)
+	}
+	if warm.CohRevalidateBytes != 0 {
+		t.Errorf("revalidate bytes = %d, want 0 (tokens only)", warm.CohRevalidateBytes)
+	}
+	if warm.ItemsInstalled != cold.ItemsInstalled {
+		t.Errorf("second session re-installed items: %d -> %d (want no full refetches of unchanged data)",
+			cold.ItemsInstalled, warm.ItemsInstalled)
+	}
+}
+
+func TestWarmMutationShipsOnlyChangedData(t *testing.T) {
+	caller, callee := warmPair(t, nil)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 4)
+	sessionCall(t, caller, 2, "sumTree", root)
+
+	// Mutate one node in the owner's heap between sessions.
+	ref, err := caller.Deref(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetInt("data", 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+
+	want := wantSum(4) - 1 + 1000
+	if got := sessionCall(t, caller, 2, "sumTree", root)[0].Int64(); got != want {
+		t.Fatalf("post-mutation sum = %d, want %d", got, want)
+	}
+	s := callee.Stats()
+	if s.CohRevalidateMisses != 1 {
+		t.Errorf("revalidate misses = %d, want 1 (only the mutated node)", s.CohRevalidateMisses)
+	}
+	if s.CohRevalidateHits != 14 {
+		t.Errorf("revalidate hits = %d, want 14", s.CohRevalidateHits)
+	}
+	if s.CohRevalidateBytes == 0 {
+		t.Error("mutated node shipped zero bytes")
+	}
+	// The changed node should travel as a range delta, far below its
+	// 40-byte canonical encoding.
+	if s.CohRevalidateBytes >= 40 {
+		t.Errorf("mutated node shipped %d bytes; expected a delta smaller than the full body", s.CohRevalidateBytes)
+	}
+}
+
+func TestWarmRepeatedSessionsStayCoherent(t *testing.T) {
+	caller, callee := warmPair(t, nil)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 4)
+	ref, err := caller.Deref(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := wantSum(4) - 1
+	for i := int64(0); i < 5; i++ {
+		if err := ref.SetInt("data", 0, 100+i); err != nil {
+			t.Fatal(err)
+		}
+		want := base + 100 + i
+		if got := sessionCall(t, caller, 2, "sumTree", root)[0].Int64(); got != want {
+			t.Fatalf("session %d sum = %d, want %d", i, got, want)
+		}
+	}
+	s := callee.Stats()
+	// Sessions 2..5: each revalidates 15 nodes, 14 unchanged + 1 changed.
+	if s.CohRevalidateHits != 4*14 {
+		t.Errorf("revalidate hits = %d, want %d", s.CohRevalidateHits, 4*14)
+	}
+	if s.CohRevalidateMisses != 4 {
+		t.Errorf("revalidate misses = %d, want 4", s.CohRevalidateMisses)
+	}
+}
+
+func TestWarmCalleeModificationTokensAfterWriteBack(t *testing.T) {
+	// The callee modifies cached data; the write-back makes the origin's
+	// heap equal to the callee's cache, so the next session must still be
+	// all tokens — the hash check sees through the round trip.
+	caller, callee := warmPair(t, nil)
+	err := callee.Register("bump", func(ctx *Ctx, args []Value) ([]Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := ref.Int("data", 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := ref.SetInt("data", 0, v+1); err != nil {
+			return nil, err
+		}
+		return []Value{Int64Value(v + 1)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := buildTree(t, caller, 1)
+	if got := sessionCall(t, caller, 2, "bump", root)[0].Int64(); got != 2 {
+		t.Fatalf("first bump = %d, want 2", got)
+	}
+	if got := sessionCall(t, caller, 2, "bump", root)[0].Int64(); got != 3 {
+		t.Fatalf("second bump = %d, want 3", got)
+	}
+	s := callee.Stats()
+	if s.CohRevalidateHits != 1 || s.CohRevalidateMisses != 0 {
+		t.Errorf("callee-modified datum revalidated as hits=%d misses=%d, want 1/0",
+			s.CohRevalidateHits, s.CohRevalidateMisses)
+	}
+}
+
+func TestWarmAbortClearsBaselines(t *testing.T) {
+	caller, callee := warmPair(t, nil)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 3)
+	sessionCall(t, caller, 2, "sumTree", root)
+
+	// An abort must drop the warm state: the next session pays full
+	// fetches again, and still computes the right answer.
+	callee.AbortSession()
+	if got := sessionCall(t, caller, 2, "sumTree", root)[0].Int64(); got != wantSum(3) {
+		t.Fatalf("post-abort sum = %d, want %d", got, wantSum(3))
+	}
+	if s := callee.Stats(); s.CohRevalidateHits != 0 || s.CohRevalidateMisses != 0 {
+		t.Errorf("aborted cache still revalidated: hits=%d misses=%d",
+			s.CohRevalidateHits, s.CohRevalidateMisses)
+	}
+}
+
+func TestWarmDisabledNeverValidates(t *testing.T) {
+	caller, callee := warmPair(t, func(id uint32, o *Options) { o.DisableWarmCache = true })
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 4)
+	sessionCall(t, caller, 2, "sumTree", root)
+	sessionCall(t, caller, 2, "sumTree", root)
+	s := callee.Stats()
+	if s.CohRevalidateMsgs != 0 || s.CohRevalidateHits != 0 {
+		t.Errorf("warm-disabled runtime revalidated: %+v", s)
+	}
+	if s.ItemsInstalled != 30 {
+		t.Errorf("items installed = %d, want 30 (two full sessions)", s.ItemsInstalled)
+	}
+}
+
+func TestWarmFreedDatumDegradesCleanly(t *testing.T) {
+	// Free a cached-and-demoted datum at its origin between sessions; the
+	// revalidation must degrade (server-side encode error) without
+	// poisoning the session.
+	caller, callee := warmPair(t, nil)
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 1) // a single node
+	sessionCall(t, caller, 2, "sumTree", root)
+
+	if err := caller.ExtendedFree(root); err != nil {
+		t.Fatal(err)
+	}
+	// The callee's stale row now points at freed origin memory. A fresh
+	// tree reuses the heap; the old row's revalidation (if its page is
+	// faulted) must not serve stale bytes. Build a new tree and sum it.
+	root2 := buildTree(t, caller, 2)
+	if got := sessionCall(t, caller, 2, "sumTree", root2)[0].Int64(); got != wantSum(2) {
+		t.Fatalf("post-free sum = %d, want %d", got, wantSum(2))
+	}
+}
+
+func TestAdaptiveEagernessCountersAccumulate(t *testing.T) {
+	caller, callee := warmPair(t, func(id uint32, o *Options) { o.AdaptiveEagerness = true })
+	registerSumProc(t, callee)
+	root := buildTree(t, caller, 5)
+	sessionCall(t, caller, 2, "sumTree", root)
+	usage := callee.EagerUsageStats()
+	if len(usage) == 0 {
+		t.Fatal("no eagerness usage recorded after a session")
+	}
+	var hits, waste uint64
+	for _, u := range usage {
+		if u.Origin != caller.ID() {
+			t.Errorf("usage recorded for unexpected origin %d", u.Origin)
+		}
+		hits += u.Hits
+		waste += u.Waste
+	}
+	// The tree walk touches every node, so the closure was all hit.
+	if hits != 31 || waste != 0 {
+		t.Errorf("usage hits=%d waste=%d, want 31/0", hits, waste)
+	}
+	// A second, identical session doubles the counters and stays correct.
+	if got := sessionCall(t, caller, 2, "sumTree", root)[0].Int64(); got != wantSum(5) {
+		t.Fatalf("adaptive second session sum = %d", got)
+	}
+}
+
+func TestAdaptiveEagernessShrinksOnWaste(t *testing.T) {
+	// A handler that touches only the root of a large shipped closure
+	// wastes most of it; with adaptation on, the callee's budget for the
+	// origin must shrink below the configured closure size. Small pages
+	// spread the closure out so the page-granular accounting can see the
+	// untouched remainder.
+	caller, callee := warmPair(t, func(id uint32, o *Options) {
+		o.AdaptiveEagerness = true
+		o.PageSize = 256
+	})
+	err := callee.Register("peek", func(ctx *Ctx, args []Value) ([]Value, error) {
+		ref, err := ctx.Runtime().Deref(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := ref.Int("data", 0)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{Int64Value(v)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := buildTree(t, caller, 6) // big closure, mostly unread
+	if got := sessionCall(t, caller, 2, "peek", root)[0].Int64(); got != 1 {
+		t.Fatalf("peek = %d, want 1", got)
+	}
+	if b := callee.budgetFor(caller.ID()); b >= callee.ClosureSize() {
+		t.Errorf("budget for origin = %d, want < %d after a wasted closure", b, callee.ClosureSize())
+	}
+	// Still correct with the shrunken budget.
+	if got := sessionCall(t, caller, 2, "peek", root)[0].Int64(); got != 1 {
+		t.Fatalf("second peek = %d, want 1", got)
+	}
+}
+
+func TestValidateWireRoundTrip(t *testing.T) {
+	// The request/reply payloads used by the warm path survive a codec
+	// round trip with hash fidelity (belt over the fuzz targets).
+	p := wire.ValidatePayload{Tuples: []wire.ValidateTuple{
+		{LP: wire.LongPtr{Space: 1, Addr: 0x10000, Type: 1}, Ver: 7, Sum: wire.Sum64([]byte("abc"))},
+	}}
+	q, err := wire.DecodeValidatePayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tuples) != 1 || q.Tuples[0] != p.Tuples[0] {
+		t.Fatalf("round trip changed tuples: %+v vs %+v", p.Tuples, q.Tuples)
+	}
+	r := wire.ValidateReplyPayload{Items: []wire.ValidateItem{
+		{LP: p.Tuples[0].LP, Form: wire.ValidateCurrent},
+		{LP: wire.LongPtr{Space: 1, Addr: 0x10040, Type: 1}, Form: wire.ValidateFull, Bytes: []byte{1, 2, 3, 4}},
+	}}
+	rr, err := wire.DecodeValidateReplyPayload(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Items) != 2 || rr.Items[0].Form != wire.ValidateCurrent || len(rr.Items[1].Bytes) != 4 {
+		t.Fatalf("reply round trip changed items: %+v", rr.Items)
+	}
+}

@@ -77,6 +77,26 @@ type Config struct {
 	// DelayPermille is the chance a reply frame is held back and
 	// re-delivered after 1–3 subsequent frames on its edge.
 	DelayPermille int
+	// OnlyKinds, when non-empty, restricts drop/dup/corrupt/delay to
+	// frames of the listed kinds; everything else passes through clean.
+	// Partitions are unaffected — a dead link does not read headers.
+	// Used by targeted oracles (e.g. "every Validate reply is lost")
+	// that must fault one exchange while the recovery path's own
+	// traffic stays reliable.
+	OnlyKinds []wire.Kind
+}
+
+// targets reports whether the config's kind filter admits k.
+func (cfg *Config) targets(k wire.Kind) bool {
+	if len(cfg.OnlyKinds) == 0 {
+		return true
+	}
+	for _, only := range cfg.OnlyKinds {
+		if k == only {
+			return true
+		}
+	}
+	return false
 }
 
 // Event records one injected fault, in injection order. The sequence of
@@ -280,6 +300,9 @@ func (c *Chaos) inject(from uint32, m wire.Message) []wire.Message {
 	if c.partitions[edgeKey(m.From, m.To)] {
 		c.record(FaultPartition, m, "")
 		return out
+	}
+	if !c.cfg.targets(m.Kind) {
+		return append(out, m)
 	}
 
 	h := c.frameHash(m.From, m.To, m.Kind, m.Seq)

@@ -69,6 +69,11 @@ type Entry struct {
 	// resident — otherwise the first access to a neighbor could no longer
 	// be detected (§3.2).
 	Resident bool
+	// Stale marks a warm-cache entry: the datum was resident in an earlier
+	// session and its bytes survive on the (re-protected) page as a
+	// revalidation baseline. A stale entry is non-resident — touching its
+	// page faults — but the fault is served by Validate instead of Fetch.
+	Stale bool
 }
 
 // area is an open protected page area accepting new data from one origin.
@@ -260,6 +265,7 @@ func (t *Table) MarkResident(addr vmem.VAddr) {
 	defer t.mu.Unlock()
 	if i, ok := t.byAddr[addr]; ok {
 		t.rows[i].Resident = true
+		t.rows[i].Stale = false
 	}
 }
 
@@ -508,6 +514,92 @@ func (t *Table) Invalidate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.reset()
+}
+
+// DemoteAll is the warm-cache alternative to Invalidate: every resident
+// row becomes stale (non-resident, bytes kept on the page as the
+// revalidation baseline) and all open areas close, so no future entry can
+// land on a page whose bytes must stay frozen. Rows that never became
+// resident are untouched — they stay plain wants. The caller re-protects
+// the cache pages through vmem.DemoteCache.
+func (t *Table) DemoteAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, i := range t.byAddr {
+		if t.rows[i].Resident {
+			t.rows[i].Resident = false
+			t.rows[i].Stale = true
+		}
+	}
+	for _, a := range t.areas {
+		a.size = 0
+		a.off = 0
+	}
+}
+
+// ClearStale strips the stale mark from the given long pointers, turning
+// them back into plain non-resident wants that the next fault fetches in
+// full. The revalidation path degrades through it when a Validate exchange
+// fails: correctness never depends on a warm baseline.
+func (t *Table) ClearStale(lps []wire.LongPtr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, lp := range lps {
+		if i, ok := t.byLP[lp]; ok {
+			t.rows[i].Stale = false
+		}
+	}
+}
+
+// StaleWants returns the long pointers of stale entries originating from
+// origin on pages other than excludePN, in (page, offset) order, stopping
+// once their accumulated canonical sizes would exceed budget bytes. It
+// mirrors OutstandingWants for the revalidation path: every selected
+// entry's page is certain to fault on first touch, so offering its tuple
+// on the current Validate message trades a guaranteed future round-trip
+// for a few tuple bytes now.
+func (t *Table) StaleWants(origin uint32, excludePN uint32, budget int) ([]wire.LongPtr, int) {
+	if budget <= 0 {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var pages []uint32
+	for pn, idxs := range t.byPage {
+		if pn == excludePN {
+			continue
+		}
+		for _, i := range idxs {
+			if t.rows[i].Stale && t.rows[i].LP.Space == origin {
+				pages = append(pages, pn)
+				break
+			}
+		}
+	}
+	if len(pages) == 0 {
+		return nil, 0
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	var out []wire.LongPtr
+	left := budget
+	for _, pn := range pages {
+		for _, i := range t.byPage[pn] {
+			e := &t.rows[i]
+			if !e.Stale || e.LP.Space != origin {
+				continue
+			}
+			size := e.Size
+			if rv, err := t.res.Resolve(e.LP.Type); err == nil {
+				size = rv.Canon
+			}
+			if size > left {
+				return out, budget - left
+			}
+			left -= size
+			out = append(out, e.LP)
+		}
+	}
+	return out, budget - left
 }
 
 func alignUp(n, a int) int {

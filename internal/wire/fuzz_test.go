@@ -115,6 +115,58 @@ func FuzzItemsPayloadDecode(f *testing.F) {
 	})
 }
 
+func FuzzValidatePayloadDecode(f *testing.F) {
+	p := ValidatePayload{Tuples: []ValidateTuple{
+		{LP: LongPtr{Space: 2, Addr: 0x10000, Type: 1}, Ver: 3, Sum: 0xdeadbeefcafef00d},
+		{LP: LongPtr{Space: 2, Addr: 0x10020, Type: 1}, Ver: 1, Sum: 1},
+	}}
+	f.Add(p.Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeValidatePayload(data)
+		if err != nil {
+			return
+		}
+		enc := q.Encode()
+		q2, err := DecodeValidatePayload(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(q2.Tuples) != len(q.Tuples) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", q, q2)
+		}
+		for i := range q.Tuples {
+			if q.Tuples[i] != q2.Tuples[i] {
+				t.Fatalf("round trip changed tuple %d: %+v vs %+v", i, q.Tuples[i], q2.Tuples[i])
+			}
+		}
+	})
+}
+
+func FuzzValidateReplyPayloadDecode(f *testing.F) {
+	p := ValidateReplyPayload{Items: []ValidateItem{
+		{LP: LongPtr{Space: 2, Addr: 0x10000, Type: 1}, Form: ValidateCurrent},
+		{LP: LongPtr{Space: 2, Addr: 0x10020, Type: 1}, Form: ValidateDelta, Bytes: []byte{0, 0, 0, 1, 0, 0, 0, 8, 0, 0, 0, 2, 9, 9}},
+		{LP: LongPtr{Space: 2, Addr: 0x10040, Type: 1}, Form: ValidateFull, Bytes: make([]byte, 16)},
+	}}
+	f.Add(p.Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeValidateReplyPayload(data)
+		if err != nil {
+			return
+		}
+		for _, it := range q.Items {
+			if it.Form < ValidateCurrent || it.Form > ValidateFull {
+				t.Fatalf("decoder admitted form %d", it.Form)
+			}
+			if it.Form == ValidateCurrent && len(it.Bytes) != 0 {
+				t.Fatalf("decoder admitted current item with %d bytes", len(it.Bytes))
+			}
+		}
+	})
+}
+
 func FuzzAllocPayloadDecode(f *testing.F) {
 	ab := AllocBatchPayload{
 		Allocs: []AllocReq{{Token: 0xF0000001, Type: 1}},

@@ -463,6 +463,171 @@ func DecodeAllocBatchPayload(b []byte) (AllocBatchPayload, error) {
 	return p, nil
 }
 
+// Sum64 returns the FNV-1a 64-bit hash of b. The warm-cache revalidation
+// protocol uses it as the content identity of a canonical encoding: the
+// client offers the hash of its cached baseline and the origin compares it
+// against the hash of the current encoding, so a "still current" token can
+// never validate bytes that differ from the origin's — even after dropped
+// replies have desynchronized the version counters.
+func Sum64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Validate reply forms: how the origin answered one offered tuple.
+const (
+	// ValidateCurrent: the cached baseline matches the origin's current
+	// encoding; the reply carries no bytes and the client promotes its
+	// stale copy in place.
+	ValidateCurrent uint32 = 1
+	// ValidateDelta: Bytes is an encoded run vector (internal/delta) to be
+	// patched onto the client's cached baseline.
+	ValidateDelta uint32 = 2
+	// ValidateFull: Bytes is the object's full canonical encoding; the
+	// cached copy was unusable as a delta base.
+	ValidateFull uint32 = 3
+)
+
+// ValidateTuple offers one stale cached datum for revalidation: its wire
+// identity, the crossing version the cache recorded (diagnostic — the
+// content hash is authoritative), and the FNV-1a 64 hash of the cached
+// canonical encoding.
+type ValidateTuple struct {
+	LP  LongPtr
+	Ver uint32
+	Sum uint64
+}
+
+// encodedValidateTupleSize is the exact encoding of one tuple: long
+// pointer, version word, and the two hash words.
+const encodedValidateTupleSize = EncodedLongPtrSize + 4 + 8
+
+// ValidatePayload is the body of a Validate message: the batched set of
+// stale tuples the faulting client wants revalidated in one round-trip —
+// the faulting page's entries plus the stale ride-alongs in its closure
+// neighborhood.
+type ValidatePayload struct {
+	Tuples []ValidateTuple
+}
+
+// Encode returns the canonical encoding of p.
+func (p *ValidatePayload) Encode() []byte {
+	e := xdr.NewEncoder(4 + encodedValidateTupleSize*len(p.Tuples))
+	e.PutUint32(uint32(len(p.Tuples)))
+	for _, t := range p.Tuples {
+		putLongPtr(e, t.LP)
+		e.PutUint32(t.Ver)
+		e.PutUint64(t.Sum)
+	}
+	return e.Bytes()
+}
+
+// DecodeValidatePayload parses a Validate body.
+func DecodeValidatePayload(b []byte) (ValidatePayload, error) {
+	d := xdr.NewDecoder(b)
+	var p ValidatePayload
+	nw, err := d.Uint32()
+	if err != nil {
+		return p, err
+	}
+	n, err := boundCount(d, nw, encodedValidateTupleSize, "validate tuple")
+	if err != nil {
+		return p, err
+	}
+	p.Tuples = make([]ValidateTuple, 0, n)
+	for i := 0; i < n; i++ {
+		var t ValidateTuple
+		if t.LP, err = getLongPtr(d); err != nil {
+			return p, err
+		}
+		if t.Ver, err = d.Uint32(); err != nil {
+			return p, err
+		}
+		if t.Sum, err = d.Uint64(); err != nil {
+			return p, err
+		}
+		p.Tuples = append(p.Tuples, t)
+	}
+	return p, nil
+}
+
+// ValidateItem is the origin's answer for one offered tuple. Form selects
+// among the three reply forms; Bytes is empty for ValidateCurrent, an
+// encoded run vector for ValidateDelta, and the full canonical encoding
+// for ValidateFull.
+type ValidateItem struct {
+	LP    LongPtr
+	Form  uint32
+	Bytes []byte
+}
+
+// ValidateReplyPayload is the body of a ValidateReply message, parallel to
+// the request's tuple vector (the origin answers every offered tuple).
+type ValidateReplyPayload struct {
+	Items []ValidateItem
+}
+
+// Encode returns the canonical encoding of p.
+func (p *ValidateReplyPayload) Encode() []byte {
+	n := 4
+	for _, it := range p.Items {
+		n += EncodedLongPtrSize + 4 + 4 + (len(it.Bytes)+3)&^3
+	}
+	e := xdr.NewEncoder(n)
+	e.PutUint32(uint32(len(p.Items)))
+	for _, it := range p.Items {
+		putLongPtr(e, it.LP)
+		e.PutUint32(it.Form)
+		e.PutOpaque(it.Bytes)
+	}
+	return e.Bytes()
+}
+
+// DecodeValidateReplyPayload parses a ValidateReply body. Item bytes alias
+// the decoder's buffer (see getItems); a caller retaining them past the
+// frame's lifetime must copy.
+func DecodeValidateReplyPayload(b []byte) (ValidateReplyPayload, error) {
+	d := xdr.NewDecoder(b)
+	var p ValidateReplyPayload
+	nw, err := d.Uint32()
+	if err != nil {
+		return p, err
+	}
+	n, err := boundCount(d, nw, EncodedLongPtrSize+4+4, "validate item")
+	if err != nil {
+		return p, err
+	}
+	p.Items = make([]ValidateItem, 0, n)
+	for i := 0; i < n; i++ {
+		var it ValidateItem
+		if it.LP, err = getLongPtr(d); err != nil {
+			return p, err
+		}
+		if it.Form, err = d.Uint32(); err != nil {
+			return p, err
+		}
+		if it.Form < ValidateCurrent || it.Form > ValidateFull {
+			return p, fmt.Errorf("wire: unknown validate form %d", it.Form)
+		}
+		if it.Bytes, err = d.Opaque(); err != nil {
+			return p, err
+		}
+		if it.Form == ValidateCurrent && len(it.Bytes) != 0 {
+			return p, fmt.Errorf("wire: validate current item carries %d bytes", len(it.Bytes))
+		}
+		p.Items = append(p.Items, it)
+	}
+	return p, nil
+}
+
 // AllocReplyPayload returns the real addresses for a batch of allocation
 // requests, parallel to AllocBatchPayload.Allocs.
 type AllocReplyPayload struct {

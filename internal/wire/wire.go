@@ -13,6 +13,10 @@
 //     ground runtime (§3.4).
 //   - AllocBatch / AllocReply carry the batched extended_malloc and
 //     extended_free requests (§3.5).
+//   - Validate / ValidateReply revalidate stale pages kept warm across
+//     sessions: the client offers (pointer, version, content hash) tuples
+//     and the origin answers per item with a zero-byte "still current"
+//     token, a range delta against the cached baseline, or a full body.
 package wire
 
 import (
@@ -38,6 +42,8 @@ const (
 	KindInvalidateAck
 	KindAllocBatch
 	KindAllocReply
+	KindValidate
+	KindValidateReply
 )
 
 var kindNames = map[Kind]string{
@@ -46,6 +52,7 @@ var kindNames = map[Kind]string{
 	KindWriteBack: "write-back", KindWriteBackAck: "write-back-ack",
 	KindInvalidate: "invalidate", KindInvalidateAck: "invalidate-ack",
 	KindAllocBatch: "alloc-batch", KindAllocReply: "alloc-reply",
+	KindValidate: "validate", KindValidateReply: "validate-reply",
 }
 
 // String names the kind.
@@ -66,7 +73,7 @@ func (k Kind) Valid() bool {
 // requester rather than dispatched to a handler).
 func (k Kind) IsReply() bool {
 	switch k {
-	case KindReturn, KindFetchReply, KindWriteBackAck, KindInvalidateAck, KindAllocReply:
+	case KindReturn, KindFetchReply, KindWriteBackAck, KindInvalidateAck, KindAllocReply, KindValidateReply:
 		return true
 	default:
 		return false
@@ -87,6 +94,8 @@ func (k Kind) ReplyKind() Kind {
 		return KindInvalidateAck
 	case KindAllocBatch:
 		return KindAllocReply
+	case KindValidate:
+		return KindValidateReply
 	default:
 		return 0
 	}
