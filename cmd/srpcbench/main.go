@@ -34,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("srpcbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|all")
+	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|all")
 	nodes := fs.Int("nodes", 32767, "tree size (2^k - 1 nodes)")
 	closure := fs.Int("closure", 8192, "closure size in bytes")
 	repeats := fs.Int("repeats", 10, "repeated searches for fig6")
@@ -70,12 +70,14 @@ func run(args []string) error {
 			return ablations(model)
 		case "warm":
 			return warm(model, *nodes, *closure)
+		case "pipeline":
+			return pipeline(model, *nodes, *closure)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm"} {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
@@ -284,6 +286,79 @@ func warm(model netsim.Model, nodes, closure int) error {
 				i+1, sec(s.Time), s.ItemBodyBytes, s.RevalidateHits, s.RevalidateMisses,
 				s.RevalidateBytes, s.Messages, s.Bytes, note)
 		}
+	}
+	return nil
+}
+
+// pipeline prints the asynchronous fetch pipeline workload: a pointer
+// chase built to defeat the eager closure (every shipment ends at a cold
+// page). The first block is the deterministic comparison (one client,
+// synchronous speculation) whose rows the BENCH_5 snapshot checks; the
+// second is a wall-clock demonstration on a real 1 ms link delay, where
+// asynchronous speculation physically overlaps fetch round trips with the
+// application's own chewing.
+func pipeline(model netsim.Model, nodes, closure int) error {
+	type pt struct {
+		name string
+		cfg  bench.PipelineConfig
+	}
+	det := []pt{
+		{"smart-demand", bench.PipelineConfig{ChainNodes: nodes, ClosureSize: closure, Model: model}},
+		{"smart-prefetch", bench.PipelineConfig{ChainNodes: nodes, ClosureSize: closure, Model: model,
+			Prefetch: true, SyncPrefetch: true}},
+	}
+	if csv {
+		fmt.Println("pipeline.config,time_s,messages,net_bytes,fetches,blocking_fetches,pf_issued,pf_hits,pf_wasted")
+	} else {
+		fmt.Printf("\n== Fetch pipeline: pointer chase, chain %d nodes, closure %d bytes ==\n", nodes, closure)
+		fmt.Printf("%-16s %-10s %-10s %-12s %-9s %-10s %-10s %-8s %-8s\n",
+			"config", "time(s)", "messages", "bytes", "fetches", "blocking", "pf-issued", "pf-hits", "pf-waste")
+	}
+	for _, p := range det {
+		res, err := bench.RunPipeline(p.cfg)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Printf("%s,%.6f,%d,%d,%d,%d,%d,%d,%d\n", p.name, sec(res.Time), res.Messages,
+				res.Bytes, res.Fetches, res.BlockingFetches, res.PfIssued, res.PfHits, res.PfWasted)
+			continue
+		}
+		fmt.Printf("%-16s %-10.3f %-10d %-12d %-9d %-10d %-10d %-8d %-8d\n",
+			p.name, sec(res.Time), res.Messages, res.Bytes, res.Fetches,
+			res.BlockingFetches, res.PfIssued, res.PfHits, res.PfWasted)
+	}
+	if csv {
+		return nil
+	}
+	// A 5 ms one-way delay (10 ms round trip) against ~13 ms of per-closure
+	// application think time: enough computation that asynchronous
+	// speculation can hide the round trips behind it, as real clients do.
+	const (
+		demoClients = 2
+		demoDelay   = 5 * time.Millisecond
+		demoThink   = time.Millisecond
+		demoEvery   = 20 // nodes per think pause
+	)
+	demoNodes := nodes / 4
+	fmt.Printf("\n-- wall-clock overlap: %d clients, chain %d nodes, %s link delay, %s think per %d nodes --\n",
+		demoClients, demoNodes, demoDelay, demoThink, demoEvery)
+	fmt.Printf("%-16s %-12s %-9s %-10s %-10s %-10s\n",
+		"config", "wall(s)", "fetches", "blocking", "pf-issued", "coalesced")
+	for _, p := range []pt{
+		{"smart-demand", bench.PipelineConfig{ChainNodes: demoNodes, Clients: demoClients,
+			ClosureSize: closure, LinkDelay: demoDelay, Think: demoThink, ThinkEvery: demoEvery}},
+		{"smart-prefetch", bench.PipelineConfig{ChainNodes: demoNodes, Clients: demoClients,
+			ClosureSize: closure, LinkDelay: demoDelay, Think: demoThink, ThinkEvery: demoEvery,
+			Prefetch: true}},
+	} {
+		res, err := bench.RunPipeline(p.cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-12.3f %-9d %-10d %-10d %-10d\n",
+			p.name, res.WallTime.Seconds(), res.Fetches, res.BlockingFetches,
+			res.PfIssued, res.PfCoalesced)
 	}
 	return nil
 }

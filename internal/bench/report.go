@@ -33,7 +33,7 @@ type Report struct {
 // ReportRow is one benchmark point.
 type ReportRow struct {
 	// Figure tags the experiment family: fig4, fig6, fetch-batch,
-	// coh-delta, or warm-sessions.
+	// coh-delta, warm-sessions, or pipeline.
 	Figure string `json:"figure"`
 	// Config identifies the point within the family.
 	Policy  string  `json:"policy"`
@@ -67,6 +67,17 @@ type ReportRow struct {
 	CohRevalidateHits   uint64 `json:"coh_revalidate_hits,omitempty"`
 	CohRevalidateMisses uint64 `json:"coh_revalidate_misses,omitempty"`
 	CohRevalidateBytes  uint64 `json:"coh_revalidate_bytes,omitempty"`
+	// Fetch-pipeline columns (schema 4, pipeline rows only): Fetches is
+	// the total FETCH count, BlockingFetches the subset the application
+	// actually stalled on (total minus speculative), and the Pf columns
+	// are the speculative prefetcher's own accounting.
+	Fetches         uint64 `json:"fetches,omitempty"`
+	BlockingFetches uint64 `json:"blocking_fetches,omitempty"`
+	PfIssued        uint64 `json:"pf_issued,omitempty"`
+	PfCoalesced     uint64 `json:"pf_coalesced,omitempty"`
+	PfHits          uint64 `json:"pf_hits,omitempty"`
+	PfWasted        uint64 `json:"pf_wasted,omitempty"`
+	PfBytes         uint64 `json:"pf_bytes,omitempty"`
 
 	// Host-dependent outputs (regression-checked with slack).
 	WallSec         float64 `json:"wall_sec"`
@@ -96,7 +107,7 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	rep := Report{Schema: 3, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
+	rep := Report{Schema: 4, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
 
 	var points []reportPoint
 	for _, pol := range []struct {
@@ -171,7 +182,73 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 		}
 		rep.Rows = append(rep.Rows, rows...)
 	}
+
+	// The fetch-pipeline family (schema 4): the pointer-chase workload with
+	// the speculative prefetcher off (the demand baseline) and on. One
+	// client with synchronous speculation keeps every modeled column —
+	// including the prefetch counters — deterministic.
+	for _, pp := range []struct {
+		name     string
+		prefetch bool
+	}{
+		{"smart-demand", false},
+		{"smart-prefetch", true},
+	} {
+		row, err := measurePipelinePoint(model, nodes, closure, runs, pp.name, pp.prefetch)
+		if err != nil {
+			return Report{}, fmt.Errorf("report pipeline/%s: %w", pp.name, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
 	return rep, nil
+}
+
+// measurePipelinePoint runs one deterministic pointer-chase configuration
+// (single client, synchronous speculation) and fills a pipeline row.
+func measurePipelinePoint(model netsim.Model, nodes, closure, runs int, name string, prefetch bool) (ReportRow, error) {
+	cfg := PipelineConfig{
+		ChainNodes:   nodes,
+		ClosureSize:  closure,
+		Prefetch:     prefetch,
+		SyncPrefetch: true,
+		Model:        model,
+	}
+	if _, err := RunPipeline(cfg); err != nil { // warm-up
+		return ReportRow{}, err
+	}
+	var last PipelineResult
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		res, err := RunPipeline(cfg)
+		if err != nil {
+			return ReportRow{}, err
+		}
+		last = res
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms2)
+	return ReportRow{
+		Figure:          "pipeline",
+		Policy:          name,
+		Closure:         closure,
+		ModelSec:        last.Time.Seconds(),
+		Messages:        last.Messages,
+		NetBytes:        last.Bytes,
+		Faults:          last.Faults,
+		Fetches:         last.Fetches,
+		BlockingFetches: last.BlockingFetches,
+		PfIssued:        last.PfIssued,
+		PfCoalesced:     last.PfCoalesced,
+		PfHits:          last.PfHits,
+		PfWasted:        last.PfWasted,
+		PfBytes:         last.PfBytes,
+		WallSec:         wall.Seconds() / float64(runs),
+		AllocsPerOp:     (ms2.Mallocs - ms1.Mallocs) / uint64(runs),
+		AllocBytesPerOp: (ms2.TotalAlloc - ms1.TotalAlloc) / uint64(runs),
+	}, nil
 }
 
 // measureWarmPoint runs one repeated-session configuration and returns a
@@ -282,6 +359,15 @@ func Check(baseline, cur Report) error {
 			check("coh_revalidate_hits", float64(want.CohRevalidateHits), float64(got.CohRevalidateHits))
 			check("coh_revalidate_misses", float64(want.CohRevalidateMisses), float64(got.CohRevalidateMisses))
 			check("coh_revalidate_bytes", float64(want.CohRevalidateBytes), float64(got.CohRevalidateBytes))
+		}
+		if baseline.Schema >= 4 {
+			check("fetches", float64(want.Fetches), float64(got.Fetches))
+			check("blocking_fetches", float64(want.BlockingFetches), float64(got.BlockingFetches))
+			check("pf_issued", float64(want.PfIssued), float64(got.PfIssued))
+			check("pf_coalesced", float64(want.PfCoalesced), float64(got.PfCoalesced))
+			check("pf_hits", float64(want.PfHits), float64(got.PfHits))
+			check("pf_wasted", float64(want.PfWasted), float64(got.PfWasted))
+			check("pf_bytes", float64(want.PfBytes), float64(got.PfBytes))
 		}
 	}
 	if len(drifts) > 0 {

@@ -272,6 +272,10 @@ func (rt *Runtime) serveAllocBatch(m wire.Message) {
 		rt.reply(m, wire.KindAllocReply, nil, fmt.Sprintf("decode: %v", err))
 		return
 	}
+	// Allocation and free mutate the heap region concurrently served
+	// fetches encode from: take the write side of the serve lock.
+	rt.serveMu.Lock()
+	defer rt.serveMu.Unlock()
 	var out wire.AllocReplyPayload
 	for _, req := range p.Allocs {
 		rv, err := rt.res.Resolve(req.Type)

@@ -128,6 +128,38 @@ func (rt *Runtime) recordEagerUsage(entries []swizzle.Entry) {
 	}
 }
 
+// prefetchDepthFor scales the configured speculative prefetch depth for
+// one origin by the same closure-usage evidence the adaptive budget uses:
+// the cumulative per-(origin, type) hit/waste counters recorded at
+// demotion time. An origin whose shipped data is mostly wasted gets its
+// speculation shut off entirely (waste above eagerShrinkRatio → depth 0);
+// one whose data is almost always used prefetches twice as deep (waste
+// below eagerGrowRatio). With less than eagerAdaptMin of evidence the
+// configured depth stands.
+func (rt *Runtime) prefetchDepthFor(origin uint32, depth int) int {
+	rt.eager.mu.Lock()
+	defer rt.eager.mu.Unlock()
+	var hits, waste uint64
+	for k, u := range rt.eager.usage {
+		if k.Origin == origin {
+			hits += u.Hits
+			waste += u.Waste
+		}
+	}
+	total := hits + waste
+	if total < eagerAdaptMin {
+		return depth
+	}
+	switch ratio := float64(waste) / float64(total); {
+	case ratio > eagerShrinkRatio:
+		return 0
+	case ratio < eagerGrowRatio:
+		return depth * 2
+	default:
+		return depth
+	}
+}
+
 // EagerUsageStats returns the cumulative per-(origin, type) closure
 // usage counters, sorted by origin then type.
 func (rt *Runtime) EagerUsageStats() []EagerUsage {

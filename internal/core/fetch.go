@@ -47,13 +47,25 @@ func (rt *Runtime) onFault(f vmem.Fault) error {
 	return nil
 }
 
-// fetchPage requests the data for every non-resident entry on page pn from
-// the owning address spaces and installs the replies. Installing an object
-// swizzles the pointers inside it, which can reserve fresh slots on this
-// very page while it still has room — so the fetch iterates until every
-// entry allocated to the page is resident, upholding §3.2's rule that all
-// data allocated to a page is transferred before its protection is
-// released.
+// fetchKey identifies one unit of in-flight completion work: one cache
+// page's exchange (FETCH or VALIDATE) with one origin.
+type fetchKey struct {
+	pn     uint32
+	origin uint32
+}
+
+// inflightFetch is one registry entry. done closes after the exchange
+// finishes AND the entry has been removed from the registry, so a joiner
+// that wakes and still finds the page incomplete re-enters the loop and
+// issues its own request — a failed speculative fetch can park a demand
+// fault only for the duration of the failure, never indefinitely.
+type inflightFetch struct {
+	spec bool
+	done chan struct{}
+}
+
+// fetchPage is the demand entry point: it completes page pn on behalf of
+// the faulting application thread.
 func (rt *Runtime) fetchPage(pn uint32) error {
 	rt.sessMu.Lock()
 	sess := rt.sess
@@ -61,18 +73,44 @@ func (rt *Runtime) fetchPage(pn uint32) error {
 	if sess == 0 {
 		return fmt.Errorf("core: page fault on cached data outside a session (page %d)", pn)
 	}
+	return rt.completePage(sess, pn, false)
+}
+
+// completePage makes every entry allocated to page pn resident, from
+// however many origins the page spans. Installing an object swizzles the
+// pointers inside it, which can reserve fresh slots on this very page
+// while it still has room — so the fetch iterates until every entry
+// allocated to the page is resident, upholding §3.2's rule that all data
+// allocated to a page is transferred before its protection is released.
+//
+// Per pass, the page's non-resident entries group by origin; stale
+// warm-cache entries are revalidated (one batched Validate round trip,
+// warmcache.go) before anything is fetched in full. All per-origin
+// exchanges of a pass are issued concurrently and joined — a PolicyMixed
+// page spanning N origins pays one round-trip time, not N — and each
+// exchange routes through the in-flight registry, so concurrent
+// completions of the same (page, origin) — a demand fault overtaking a
+// speculative prefetch, or two application threads faulting together —
+// coalesce onto one pending reply instead of re-requesting.
+//
+// spec marks a speculative (prefetcher-issued) completion: its fetches
+// carry the accounting flag, a missing page is not an error (the row may
+// have been invalidated since prediction), and it never steals a demand
+// fault's place in the registry.
+func (rt *Runtime) completePage(sess uint64, pn uint32, spec bool) error {
 	for pass := 0; ; pass++ {
 		entries := rt.table.PageEntries(pn)
 		if pass == 0 && len(entries) == 0 {
+			if spec {
+				return nil
+			}
 			return fmt.Errorf("core: fault on cache page %d with no allocation table entries", pn)
 		}
-		// Collect non-resident wants in offset order, splitting off stale
-		// warm-cache entries: those are revalidated (one batched Validate
-		// round trip, warmcache.go) before anything is fetched in full.
-		// Under the paper's allocation heuristic there is exactly one
-		// origin per page, so the common path is a single pass with no
-		// per-origin grouping; PolicyMixed exercises the multi-origin
-		// worst case below.
+		// Collect non-resident wants in offset order, splitting off the
+		// stale entries. Under the paper's allocation heuristic there is
+		// exactly one origin per page, so the common path is a single
+		// group with no map allocation; PolicyMixed exercises the
+		// multi-origin fan-out below.
 		var wants, stale []wire.LongPtr
 		sameOrigin, staleSame := true, true
 		warm := rt.warmEnabled()
@@ -98,24 +136,13 @@ func (rt *Runtime) fetchPage(pn uint32) error {
 			// delta, or full body) or degraded to a plain want, so the loop
 			// always makes progress.
 			if staleSame {
-				if err := rt.validateFrom(sess, pn, stale[0].Space, stale); err != nil {
+				if err := rt.completeFrom(sess, pn, stale[0].Space, stale, spec, true); err != nil {
 					return err
 				}
-			} else {
-				byOrigin := make(map[uint32][]wire.LongPtr)
-				for _, lp := range stale {
-					byOrigin[lp.Space] = append(byOrigin[lp.Space], lp)
-				}
-				origins := make([]uint32, 0, len(byOrigin))
-				for o := range byOrigin {
-					origins = append(origins, o)
-				}
-				slices.Sort(origins)
-				for _, origin := range origins {
-					if err := rt.validateFrom(sess, pn, origin, byOrigin[origin]); err != nil {
-						return err
-					}
-				}
+			} else if err := fanOut(groupByOrigin(stale), func(g originGroup) error {
+				return rt.completeFrom(sess, pn, g.origin, g.lps, spec, true)
+			}); err != nil {
+				return err
 			}
 			continue
 		}
@@ -123,32 +150,97 @@ func (rt *Runtime) fetchPage(pn uint32) error {
 			return nil
 		}
 		if sameOrigin {
-			if err := rt.fetchFrom(sess, pn, wants[0].Space, wants); err != nil {
+			if err := rt.completeFrom(sess, pn, wants[0].Space, wants, spec, false); err != nil {
 				return err
 			}
 			continue
 		}
-		byOrigin := make(map[uint32][]wire.LongPtr)
-		for _, lp := range wants {
-			byOrigin[lp.Space] = append(byOrigin[lp.Space], lp)
-		}
-		origins := make([]uint32, 0, len(byOrigin))
-		for o := range byOrigin {
-			origins = append(origins, o)
-		}
-		slices.Sort(origins)
-		for _, origin := range origins {
-			if err := rt.fetchFrom(sess, pn, origin, byOrigin[origin]); err != nil {
-				return err
-			}
+		if err := fanOut(groupByOrigin(wants), func(g originGroup) error {
+			return rt.completeFrom(sess, pn, g.origin, g.lps, spec, false)
+		}); err != nil {
+			return err
 		}
 	}
 }
 
+// originGroup is one origin's slice of a page's wants.
+type originGroup struct {
+	origin uint32
+	lps    []wire.LongPtr
+}
+
+// groupByOrigin splits a want list by owning space, origins sorted.
+func groupByOrigin(lps []wire.LongPtr) []originGroup {
+	byOrigin := make(map[uint32][]wire.LongPtr)
+	for _, lp := range lps {
+		byOrigin[lp.Space] = append(byOrigin[lp.Space], lp)
+	}
+	groups := make([]originGroup, 0, len(byOrigin))
+	for o, g := range byOrigin {
+		groups = append(groups, originGroup{origin: o, lps: g})
+	}
+	slices.SortFunc(groups, func(a, b originGroup) int { return int(a.origin) - int(b.origin) })
+	return groups
+}
+
+// completeFrom runs one (page, origin) exchange through the in-flight
+// registry: if the pair is already outstanding — typically a speculative
+// prefetch the application has now caught up with — the caller parks on
+// the pending completion instead of re-requesting; otherwise it registers
+// the exchange and performs it. Either way the caller's completion loop
+// re-scans the page afterwards, so a joiner whose fetch failed on the
+// other goroutine simply issues its own (a demand fault never inherits a
+// speculative failure — it degrades to a plain demand fetch).
+func (rt *Runtime) completeFrom(sess uint64, pn, origin uint32, lps []wire.LongPtr, spec, stale bool) error {
+	key := fetchKey{pn: pn, origin: origin}
+	rt.inflightMu.Lock()
+	if f := rt.inflight[key]; f != nil {
+		rt.inflightMu.Unlock()
+		if !spec {
+			rt.stats.pfCoalesced.Add(1)
+			if f.spec {
+				rt.trace(Event{Kind: EvPrefetchHit, Page: pn, Target: origin})
+			}
+		}
+		select {
+		case <-f.done:
+			return nil
+		case <-rt.stop:
+			return ErrClosed
+		}
+	}
+	f := &inflightFetch{spec: spec, done: make(chan struct{})}
+	rt.inflight[key] = f
+	rt.inflightMu.Unlock()
+	defer func() {
+		// Remove before closing: a woken joiner that still finds work must
+		// be able to register its own exchange immediately.
+		rt.inflightMu.Lock()
+		delete(rt.inflight, key)
+		rt.inflightMu.Unlock()
+		close(f.done)
+	}()
+	if stale {
+		return rt.validateFrom(sess, pn, origin, lps)
+	}
+	return rt.fetchFrom(sess, pn, origin, lps, spec)
+}
+
+// InflightFetches reports how many (page, origin) exchanges are currently
+// registered as outstanding. Zero on an idle runtime; the chaos oracle
+// uses it to prove failed speculative fetches never wedge the registry.
+func (rt *Runtime) InflightFetches() int {
+	rt.inflightMu.Lock()
+	defer rt.inflightMu.Unlock()
+	return len(rt.inflight)
+}
+
 // fetchFrom sends one FETCH for the given wants (all owned by origin) and
 // installs the reply. pn is the faulting page, excluded from ride-along
-// batching because its own wants are already in the message.
-func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr) error {
+// batching because its own wants are already in the message. spec marks
+// prefetcher-issued fetches: the wire flag and the pf counters are the
+// only differences — the origin serves both identically.
+func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr, spec bool) error {
 	primary := len(wants)
 	budget := rt.budgetFor(origin)
 	if !rt.noFetchBatch {
@@ -166,12 +258,18 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 		wants = append(wants, extra...)
 	}
 	p := wire.FetchPayload{
-		Wants:   wants,
-		Budget:  uint32(budget),
-		Primary: uint32(primary),
+		Wants:       wants,
+		Budget:      uint32(budget),
+		Primary:     uint32(primary),
+		Speculative: spec,
 	}
 	rt.stats.fetchesSent.Add(1)
-	rt.trace(Event{Kind: EvFetchSent, Target: origin, Count: len(wants)})
+	if spec {
+		rt.stats.pfIssued.Add(1)
+		rt.trace(Event{Kind: EvPrefetchIssued, Page: pn, Target: origin, Count: len(wants)})
+	} else {
+		rt.trace(Event{Kind: EvFetchSent, Target: origin, Count: len(wants)})
+	}
 	reply, err := rt.sendAndWait(wire.Message{
 		Kind:    wire.KindFetch,
 		Session: sess,
@@ -194,17 +292,35 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 	if err := rt.installItems(origin, rp.Items, false); err != nil {
 		return fmt.Errorf("fetch from space %d: install: %w", origin, err)
 	}
+	if spec {
+		var n uint64
+		for _, it := range rp.Items {
+			n += uint64(len(it.Bytes))
+		}
+		rt.stats.pfBytes.Add(n)
+	} else {
+		// The install above may have swizzled a fresh cold frontier; give
+		// the prefetcher a chance to run ahead of the application.
+		// (Speculative completions chain through pfRun instead, after
+		// their in-flight slot is released.)
+		rt.pfPoke(origin)
+	}
 	return nil
 }
 
 // serveFetch answers a data request: it sends the wanted objects plus a
-// transitive closure bounded by the requested budget (§3.3).
+// transitive closure bounded by the requested budget (§3.3). A
+// speculative request is served identically — the flag is accounting on
+// the requester. Closure encoding reads the heap, so the serve holds the
+// read side of serveMu against concurrently applied write-backs.
 func (rt *Runtime) serveFetch(m wire.Message) {
 	p, err := wire.DecodeFetchPayload(m.Payload)
 	if err != nil {
 		rt.reply(m, wire.KindFetchReply, nil, fmt.Sprintf("decode: %v", err))
 		return
 	}
+	rt.serveMu.RLock()
+	defer rt.serveMu.RUnlock()
 	rt.stats.fetchesServed.Add(1)
 	rt.trace(Event{Kind: EvFetchServed, Target: m.From, Count: len(p.Wants)})
 	items, err := rt.buildClosureItems(p.Wants, int(p.Primary), int(p.Budget))

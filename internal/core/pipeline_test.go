@@ -1,0 +1,247 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/wire"
+)
+
+// pipelineNet builds a server (id 1) plus n client runtimes (ids 100+i)
+// on one in-memory network and returns the network for link-delay
+// control. Clients run PolicySmart with the options mutation applied.
+func pipelineNet(t testing.TB, n int, mut func(o *Options)) (*transport.Network, *Runtime, []*Runtime) {
+	t.Helper()
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	reg := newTestRegistry(t)
+	mk := func(id uint32, client bool) *Runtime {
+		node, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{ID: id, Node: node, Registry: reg, Policy: PolicySmart}
+		if client && mut != nil {
+			mut(&o)
+		}
+		rt, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = rt.Close() })
+		return rt
+	}
+	server := mk(1, false)
+	clients := make([]*Runtime, n)
+	for i := range clients {
+		clients[i] = mk(100+uint32(i), true)
+	}
+	return net, server, clients
+}
+
+// buildChain links n nodes through their left pointers in rt's heap and
+// returns the head's long pointer plus the expected data sum.
+func buildChain(t testing.TB, rt *Runtime, n int, base int64) (wire.LongPtr, int64) {
+	t.Helper()
+	next := NullPtr(nodeType)
+	var sum int64
+	for i := n; i >= 1; i-- {
+		v, err := rt.NewObject(nodeType)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := rt.Deref(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SetInt("data", 0, base+int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SetPtr("left", 0, next); err != nil {
+			t.Fatal(err)
+		}
+		sum += base + int64(i)
+		next = v
+	}
+	return next.LP, sum
+}
+
+// chase walks a chain by dereference inside its own session.
+func chase(rt *Runtime, root wire.LongPtr) (int64, error) {
+	v, err := rt.ImportPtr(root)
+	if err != nil {
+		return 0, err
+	}
+	if err := rt.BeginSession(); err != nil {
+		return 0, err
+	}
+	var sum int64
+	for !v.IsNullPtr() {
+		ref, err := rt.Deref(v)
+		if err != nil {
+			return 0, err
+		}
+		d, err := ref.Int("data", 0)
+		if err != nil {
+			return 0, err
+		}
+		sum += d
+		if v, err = ref.Ptr("left", 0); err != nil {
+			return 0, err
+		}
+	}
+	if err := rt.EndSession(); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// TestDemandFaultCoalescesWithPrefetch: with a real link delay widening
+// the window, the application's demand fault must land while the
+// speculative exchange for the same page is still in flight, and join it
+// through the registry instead of re-requesting — the pf_coalesced
+// counter proves the join, and the equal fetch counts on both ends prove
+// no duplicate request ever went out.
+func TestDemandFaultCoalescesWithPrefetch(t *testing.T) {
+	net, server, clients := pipelineNet(t, 1, func(o *Options) {
+		o.Prefetch = true
+		o.ClosureSize = 2048
+	})
+	cl := clients[0]
+	root, want := buildChain(t, server, 1024, 0)
+
+	net.SetLinkDelay(2 * time.Millisecond)
+	defer net.SetLinkDelay(0)
+	got, err := chase(cl, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("chase sum = %d, want %d", got, want)
+	}
+	st := cl.Stats()
+	if st.PfCoalesced == 0 {
+		t.Errorf("no demand fault coalesced onto an in-flight prefetch: %+v", st)
+	}
+	if st.PfIssued == 0 {
+		t.Errorf("prefetcher issued no speculative fetches: %+v", st)
+	}
+	if sent, served := st.FetchesSent, server.Stats().FetchesServed; sent != served {
+		t.Errorf("client sent %d fetches, server served %d", sent, served)
+	}
+	if n := cl.InflightFetches(); n != 0 {
+		t.Errorf("%d in-flight registry entries leaked after session end", n)
+	}
+}
+
+// TestConcurrentClientFetch drives several Call-free client spaces, each
+// chasing its own chain in its own session against one server — the
+// server's bounded worker pool serves their FETCH streams concurrently.
+// Run under -race this is the serve-pool concurrency check.
+func TestConcurrentClientFetch(t *testing.T) {
+	const nClients = 4
+	_, server, clients := pipelineNet(t, nClients, func(o *Options) {
+		o.Prefetch = true
+		o.ClosureSize = 1024
+	})
+	roots := make([]wire.LongPtr, nClients)
+	wants := make([]int64, nClients)
+	for i := range clients {
+		roots[i], wants[i] = buildChain(t, server, 512, int64(i)*1000)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nClients)
+	sums := make([]int64, nClients)
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *Runtime) {
+			defer wg.Done()
+			sums[i], errs[i] = chase(cl, roots[i])
+		}(i, cl)
+	}
+	wg.Wait()
+
+	var sent uint64
+	for i := range clients {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if sums[i] != wants[i] {
+			t.Errorf("client %d sum = %d, want %d", i, sums[i], wants[i])
+		}
+		if n := clients[i].InflightFetches(); n != 0 {
+			t.Errorf("client %d leaked %d in-flight registry entries", i, n)
+		}
+		sent += clients[i].Stats().FetchesSent
+	}
+	if served := server.Stats().FetchesServed; served != sent {
+		t.Errorf("clients sent %d fetches, server served %d", sent, served)
+	}
+}
+
+// singleLockPending is the pre-sharding pending table: one mutex, one
+// map. Kept here solely as the benchmark baseline for the lock-striped
+// replacement.
+type singleLockPending struct {
+	mu sync.Mutex
+	m  map[uint64]chan wire.Message
+}
+
+func (t *singleLockPending) put(seq uint64, ch chan wire.Message) {
+	t.mu.Lock()
+	t.m[seq] = ch
+	t.mu.Unlock()
+}
+
+func (t *singleLockPending) take(seq uint64) (chan wire.Message, bool) {
+	t.mu.Lock()
+	ch, ok := t.m[seq]
+	if ok {
+		delete(t.m, seq)
+	}
+	t.mu.Unlock()
+	return ch, ok
+}
+
+// BenchmarkPendingTable measures put/take pairs under parallel load for
+// the sharded table against the single-mutex map it replaced. The
+// workload mirrors sendAndWait: consecutive sequence numbers from one
+// atomic counter, registered and then claimed.
+func BenchmarkPendingTable(b *testing.B) {
+	b.Run("sharded", func(b *testing.B) {
+		tab := newPendingTable()
+		var seq atomic.Uint64
+		ch := make(chan wire.Message, 1)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				s := seq.Add(1)
+				tab.put(s, ch)
+				if _, ok := tab.take(s); !ok {
+					b.Fatal("lost pending entry")
+				}
+			}
+		})
+	})
+	b.Run("single-lock", func(b *testing.B) {
+		tab := &singleLockPending{m: make(map[uint64]chan wire.Message)}
+		var seq atomic.Uint64
+		ch := make(chan wire.Message, 1)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				s := seq.Add(1)
+				tab.put(s, ch)
+				if _, ok := tab.take(s); !ok {
+					b.Fatal("lost pending entry")
+				}
+			}
+		})
+	})
+}

@@ -167,6 +167,29 @@ type Options struct {
 	// shipped closures (eager.go). Off by default: the budget stays at
 	// ClosureSize, the paper's fixed setting.
 	AdaptiveEagerness bool
+	// Prefetch enables the speculative pointer-graph prefetcher
+	// (prefetch.go): when installs swizzle pointers into fully
+	// non-resident pages, bounded background fetches complete the
+	// predicted-next pages before the application faults on them.
+	// Speculation is never load-bearing — a failed or dropped prefetch
+	// degrades silently to the ordinary demand fetch — and a demand fault
+	// on a page whose prefetch is in flight joins it instead of
+	// re-requesting. Off by default: the demand path's message counts and
+	// wire bytes are exactly the seed protocol's.
+	Prefetch bool
+	// PrefetchDepth bounds how many speculative page fetches may be in
+	// flight per origin (default 2 when Prefetch is set). The adaptive
+	// usage statistics scale the effective depth per origin: mostly-wasted
+	// speculation shrinks it to zero, mostly-used speculation runs at the
+	// configured depth.
+	PrefetchDepth int
+	// SyncPrefetch runs speculative completions inline on the goroutine
+	// that triggered them instead of in the background. Latency no longer
+	// overlaps computation — the mode exists for the deterministic
+	// benchmark rows and for tests, where background timing would make
+	// message counts race-dependent. The protocol on the wire is
+	// identical either way.
+	SyncPrefetch bool
 }
 
 func (o *Options) fill() error {
@@ -199,6 +222,9 @@ func (o *Options) fill() error {
 	}
 	if o.Coherence == 0 {
 		o.Coherence = CoherencePiggyback
+	}
+	if o.Prefetch && o.PrefetchDepth <= 0 {
+		o.PrefetchDepth = defaultPrefetchDepth
 	}
 	return nil
 }
@@ -253,6 +279,22 @@ type Stats struct {
 	// revalidation path (delta items contribute their delta size, tokens
 	// contribute zero) — directly comparable to CohItemBytes.
 	CohRevalidateBytes uint64
+	// PfIssued counts speculative FETCH messages issued by the
+	// prefetcher. FetchesSent counts demand and speculative fetches alike,
+	// so FetchesSent - PfIssued is the number of fetch round trips the
+	// application actually blocked on.
+	PfIssued uint64
+	// PfCoalesced counts demand faults that found their page's fetch
+	// already in flight and joined the pending reply instead of
+	// re-requesting (prefetch overlap plus concurrent-fault dedup).
+	PfCoalesced uint64
+	// PfHits and PfWasted classify prefetch-completed pages at session
+	// teardown: a page the session touched through a checked access was a
+	// hit, one it never touched was wasted speculation.
+	PfHits, PfWasted uint64
+	// PfBytes sums the body bytes installed from speculative fetch
+	// replies (a subset of BytesInstalled).
+	PfBytes uint64
 }
 
 // Runtime is one address space's Smart RPC runtime system.
@@ -280,9 +322,44 @@ type Runtime struct {
 	procsMu sync.RWMutex
 	procs   map[string]Handler
 
-	seq       atomic.Uint64
-	pendingMu sync.Mutex
-	pending   map[uint64]chan wire.Message
+	seq atomic.Uint64
+	// pending maps in-flight request sequence numbers to their waiters'
+	// reply channels, lock-striped (pending.go) so the fan-out fetch
+	// path, the prefetcher, and concurrent application goroutines do not
+	// contend on one mutex.
+	pending *pendingTable
+
+	// installMu serializes cache installs (installItems and the
+	// revalidation install path): the page-protection discipline — every
+	// entry resident before protection is released — is checked and acted
+	// on per install batch, and concurrent batches may share pages through
+	// ride-along wants, so install order must be total.
+	installMu sync.Mutex
+
+	// serveMu orders server-side heap access now that requests are served
+	// concurrently off the receive loop: fetch/validate serves encode heap
+	// objects under the read lock, write-back/alloc/invalidate serves
+	// mutate state under the write lock. The protocol's single thread of
+	// control makes contention impossible in a healthy session; the lock
+	// matters when a chaos transport delays a write-back into a window
+	// where another space's fetch is being served.
+	serveMu sync.RWMutex
+
+	// inflight is the in-flight fetch registry (fetch.go): one entry per
+	// (cache page, origin) pair whose FETCH or VALIDATE exchange is
+	// outstanding. A demand fault on a registered page joins the pending
+	// completion instead of re-requesting.
+	inflightMu sync.Mutex
+	inflight   map[fetchKey]*inflightFetch
+
+	// pf is the speculative prefetcher state; nil unless Options.Prefetch.
+	pf *prefetcher
+
+	// serveQ is the bounded worker pool serving non-Call requests off the
+	// receive loop; messages are striped by sender so per-(from, session)
+	// request order is preserved.
+	serveQ  [serveWorkers]chan wire.Message
+	serveWG sync.WaitGroup
 
 	// dupMu guards the per-peer windows of recently seen request
 	// sequence numbers. Transports may duplicate frames (and the chaos
@@ -348,6 +425,10 @@ type Runtime struct {
 
 		cohRevalidateMsgs, cohRevalidateHits    atomic.Uint64
 		cohRevalidateMisses, cohRevalidateBytes atomic.Uint64
+
+		pfIssued, pfCoalesced atomic.Uint64
+		pfHits, pfWasted      atomic.Uint64
+		pfBytes               atomic.Uint64
 	}
 
 	closeOnce sync.Once
@@ -396,7 +477,8 @@ func New(opts Options) (*Runtime, error) {
 		callTimeout:     opts.CallTimeout,
 		checkInv:        opts.CheckInvariants,
 		procs:           make(map[string]Handler),
-		pending:         make(map[uint64]chan wire.Message),
+		pending:         newPendingTable(),
+		inflight:        make(map[fetchKey]*inflightFetch),
 		dups:            make(map[uint32]*seqWindow),
 		parts:           make(map[uint32]bool),
 		batch:           make(map[uint32]*originBatch),
@@ -406,12 +488,21 @@ func New(opts Options) (*Runtime, error) {
 	}
 	empty := make(map[wire.LongPtr]wire.LongPtr)
 	rt.provMap.Store(&empty)
+	if opts.Prefetch {
+		rt.pf = newPrefetcher(opts.PrefetchDepth, opts.SyncPrefetch)
+	}
 	for ty, fields := range opts.ClosureHints {
 		if err := rt.SetClosureHint(ty, fields); err != nil {
 			return nil, err
 		}
 	}
 	space.SetHandler(rt.onFault)
+	for i := range rt.serveQ {
+		q := make(chan wire.Message, serveQueueDepth)
+		rt.serveQ[i] = q
+		rt.serveWG.Add(1)
+		go rt.serveWorker(q)
+	}
 	go rt.loop()
 	return rt, nil
 }
@@ -506,6 +597,12 @@ func (rt *Runtime) Stats() Stats {
 		CohRevalidateHits:   rt.stats.cohRevalidateHits.Load(),
 		CohRevalidateMisses: rt.stats.cohRevalidateMisses.Load(),
 		CohRevalidateBytes:  rt.stats.cohRevalidateBytes.Load(),
+
+		PfIssued:    rt.stats.pfIssued.Load(),
+		PfCoalesced: rt.stats.pfCoalesced.Load(),
+		PfHits:      rt.stats.pfHits.Load(),
+		PfWasted:    rt.stats.pfWasted.Load(),
+		PfBytes:     rt.stats.pfBytes.Load(),
 	}
 }
 
@@ -516,12 +613,7 @@ func (rt *Runtime) Close() error {
 		_ = rt.node.Close()
 		<-rt.done
 		// Fail any callers still waiting for replies.
-		rt.pendingMu.Lock()
-		for seq, ch := range rt.pending {
-			close(ch)
-			delete(rt.pending, seq)
-		}
-		rt.pendingMu.Unlock()
+		rt.pending.drain()
 	})
 	return nil
 }
@@ -578,15 +670,67 @@ func (rt *Runtime) dupRequest(from uint32, sess, seq uint64) bool {
 	return false
 }
 
+// serveWorkers is the size of the bounded pool serving non-Call requests,
+// and serveQueueDepth each worker's queue capacity. Requests stripe by
+// sender (from % serveWorkers), so one sender's requests execute in
+// arrival order while distinct senders proceed in parallel — N clients
+// fetching from one server no longer head-of-line block behind one
+// closure build. The queue depth matches the transport inbox: a
+// protocol-abiding sender has at most one request outstanding per edge,
+// so the queue bounds only what a duplicating or replaying transport can
+// pile up; when it fills, the receive loop blocks (backpressure) rather
+// than growing without bound.
+const (
+	serveWorkers    = 8
+	serveQueueDepth = 256
+)
+
+// serveWorker drains one stripe of the serve pool until the loop closes
+// the queue at shutdown.
+func (rt *Runtime) serveWorker(q chan wire.Message) {
+	defer rt.serveWG.Done()
+	for m := range q {
+		switch m.Kind {
+		case wire.KindFetch:
+			rt.serveFetch(m)
+		case wire.KindWriteBack:
+			rt.serveWriteBack(m)
+		case wire.KindInvalidate:
+			rt.serveInvalidate(m)
+		case wire.KindAllocBatch:
+			rt.serveAllocBatch(m)
+		case wire.KindValidate:
+			rt.serveValidate(m)
+		}
+	}
+}
+
+// enqueueServe hands a request to its sender's stripe, blocking (with a
+// shutdown escape) when the stripe is saturated.
+func (rt *Runtime) enqueueServe(m wire.Message) {
+	q := rt.serveQ[m.From%serveWorkers]
+	select {
+	case q <- m:
+	case <-rt.stop:
+	}
+}
+
 // loop is the dispatcher: it routes replies to waiting requesters and
 // dispatches requests to their servers. Call servers run in their own
 // goroutine (their handlers may block in nested calls or callbacks); the
-// bookkeeping servers are non-blocking and run inline. Duplicated
-// request frames are dropped (at-most-once execution); duplicated reply
-// frames are harmless — the first one consumes the pending entry and the
-// rest find no requester.
+// bookkeeping servers run on the bounded serve pool, striped by sender,
+// so a slow closure build for one client never head-of-line blocks the
+// loop or the other clients. Duplicated request frames are dropped
+// (at-most-once execution); duplicated reply frames are harmless — the
+// first one consumes the pending entry and the rest find no requester.
 func (rt *Runtime) loop() {
-	defer close(rt.done)
+	defer func() {
+		for _, q := range rt.serveQ {
+			close(q)
+		}
+		rt.serveWG.Wait()
+		close(rt.done)
+	}()
 	for {
 		m, err := rt.node.Recv()
 		if err != nil {
@@ -610,13 +754,7 @@ func (rt *Runtime) loop() {
 			}
 		}
 		if m.Kind.IsReply() {
-			rt.pendingMu.Lock()
-			ch, ok := rt.pending[m.Seq]
-			if ok {
-				delete(rt.pending, m.Seq)
-			}
-			rt.pendingMu.Unlock()
-			if ok {
+			if ch, ok := rt.pending.take(m.Seq); ok {
 				ch <- m
 			}
 			continue
@@ -627,16 +765,9 @@ func (rt *Runtime) loop() {
 		switch m.Kind {
 		case wire.KindCall:
 			go rt.serveCall(m)
-		case wire.KindFetch:
-			rt.serveFetch(m)
-		case wire.KindWriteBack:
-			rt.serveWriteBack(m)
-		case wire.KindInvalidate:
-			rt.serveInvalidate(m)
-		case wire.KindAllocBatch:
-			rt.serveAllocBatch(m)
-		case wire.KindValidate:
-			rt.serveValidate(m)
+		case wire.KindFetch, wire.KindWriteBack, wire.KindInvalidate,
+			wire.KindAllocBatch, wire.KindValidate:
+			rt.enqueueServe(m)
 		}
 	}
 }
@@ -656,14 +787,8 @@ func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
 	m.Seq = seq
 	m.Seal()
 	ch := replyChans.Get().(chan wire.Message)
-	rt.pendingMu.Lock()
-	rt.pending[seq] = ch
-	rt.pendingMu.Unlock()
-	cleanup := func() {
-		rt.pendingMu.Lock()
-		delete(rt.pending, seq)
-		rt.pendingMu.Unlock()
-	}
+	rt.pending.put(seq, ch)
+	cleanup := func() { rt.pending.drop(seq) }
 	if err := rt.node.Send(m); err != nil {
 		cleanup()
 		return wire.Message{}, fmt.Errorf("send %v to space %d: %w", m.Kind, m.To, err)

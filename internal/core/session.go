@@ -47,6 +47,7 @@ func (rt *Runtime) BeginSession() error {
 	rt.sess = uint64(rt.id)<<32 | (sessionCounter.Add(1) & 0xffffffff)
 	rt.ground = true
 	rt.parts = make(map[uint32]bool)
+	rt.pfBegin(rt.sess)
 	rt.trace(Event{Kind: EvSessionBegin})
 	return nil
 }
@@ -78,6 +79,10 @@ func (rt *Runtime) EndSession() error {
 	}
 	sess := rt.sess
 	rt.sessMu.Unlock()
+
+	// Quiesce speculation first: in-flight prefetches install into the
+	// cache this teardown is about to examine and demote.
+	rt.pfDrain()
 
 	// Any allocations still batched must reach their origins first, so
 	// that dirty data mentions only real addresses. (This may enlarge the
@@ -217,6 +222,7 @@ func (rt *Runtime) EndSession() error {
 // written home must not become revalidation baselines, so the warm
 // views are cleared along with the cache.
 func (rt *Runtime) AbortSession() {
+	rt.pfDrain()
 	rt.warm.clearViews()
 	rt.space.InvalidateCache()
 	rt.table.Invalidate()
@@ -266,6 +272,7 @@ func (rt *Runtime) adoptSession(sid uint64, from uint32) error {
 		rt.sess = sid
 		rt.ground = false
 		rt.parts = map[uint32]bool{from: true}
+		rt.pfBegin(sid)
 		return nil
 	case sid:
 		rt.parts[from] = true
@@ -573,6 +580,11 @@ func (rt *Runtime) serveCall(m wire.Message) {
 // dropped; the seed behavior (discard outright) remains for the other
 // policies and for DisableWarmCache.
 func (rt *Runtime) serveInvalidate(m wire.Message) {
+	// Quiesce speculation before touching the cache (see EndSession). The
+	// wait cannot starve the ground's invalidation round trip: this serve
+	// runs on a pool worker, so the receive loop keeps routing the fetch
+	// replies the in-flight prefetches are blocked on.
+	rt.pfDrain()
 	if rt.warmEnabled() {
 		rt.demoteWarm()
 	} else {
@@ -715,6 +727,10 @@ func (rt *Runtime) serveWriteBack(m wire.Message) {
 		rt.reply(m, wire.KindWriteBackAck, nil, fmt.Sprintf("decode: %v", err))
 		return
 	}
+	// Applying mutates the heap other serves may be encoding from: take
+	// the write side of the serve lock.
+	rt.serveMu.Lock()
+	defer rt.serveMu.Unlock()
 	for _, it := range p.Items {
 		full, fresh, err := rt.cohReceive(m.From, it)
 		if err != nil {
@@ -751,6 +767,12 @@ func (rt *Runtime) installItems(from uint32, items []wire.DataItem, coh bool) er
 	if len(items) == 0 {
 		return nil
 	}
+	// Installs are serialized: concurrent batches (demand fan-out,
+	// prefetch, call returns) may share pages through ride-along wants,
+	// and the release-protection decision below must observe a consistent
+	// all-resident state.
+	rt.installMu.Lock()
+	defer rt.installMu.Unlock()
 	touched := make(map[uint32]bool)
 	dirtyPages := make(map[uint32]bool)
 	for _, it := range items {

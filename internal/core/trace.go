@@ -29,6 +29,9 @@ const (
 	EvValidateSent
 	EvValidateHit
 	EvValidateMiss
+	EvPrefetchIssued
+	EvPrefetchHit
+	EvPrefetchWasted
 )
 
 var eventNames = map[EventKind]string{
@@ -40,6 +43,8 @@ var eventNames = map[EventKind]string{
 	EvAllocFlush: "alloc-flush", EvChecksumReject: "checksum-reject",
 	EvValidateSent: "validate-sent", EvValidateHit: "validate-hit",
 	EvValidateMiss: "validate-miss",
+	EvPrefetchIssued: "prefetch-issued", EvPrefetchHit: "prefetch-hit",
+	EvPrefetchWasted: "prefetch-wasted",
 }
 
 // String names the event kind.
@@ -76,6 +81,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d] %v count=%d", e.Space, e.Kind, e.Count)
 	case EvValidateHit, EvValidateMiss:
 		return fmt.Sprintf("[%d] %v %v", e.Space, e.Kind, e.LP)
+	case EvPrefetchIssued, EvPrefetchHit, EvPrefetchWasted:
+		return fmt.Sprintf("[%d] %v page=%d peer=%d", e.Space, e.Kind, e.Page, e.Target)
 	default:
 		return fmt.Sprintf("[%d] %v", e.Space, e.Kind)
 	}

@@ -82,6 +82,31 @@ func (rt *Runtime) PtrValueAt(addr vmem.VAddr, elem types.ID) Value {
 	}
 }
 
+// ImportPtr builds a pointer value from a long pointer learned out of
+// band — a name service, a saved identity, a configuration file — rather
+// than received as a call argument. A foreign pointer is swizzled into
+// the cache exactly as an inbound argument would be (a reserved,
+// non-resident slot that faults and fetches on first dereference inside a
+// session); a local one is returned directly. This is how a client space
+// reaches shared data it never exchanged a call with.
+func (rt *Runtime) ImportPtr(lp wire.LongPtr) (Value, error) {
+	if lp.IsNull() {
+		return NullPtr(lp.Type), nil
+	}
+	if lp.Space == rt.id {
+		return rt.PtrValueAt(lp.Addr, lp.Type), nil
+	}
+	v := Value{Kind: types.Ptr, LP: lp, Elem: lp.Type}
+	if rt.policy != PolicyLazy {
+		addr, _, err := rt.table.Swizzle(lp)
+		if err != nil {
+			return Value{}, err
+		}
+		v.Addr = addr
+	}
+	return v, nil
+}
+
 // FuncValue builds a remote function pointer to a procedure registered on
 // this runtime. Passing it to other spaces lets them invoke the procedure
 // through CallFunc, eliminating the paper's remaining limitation on

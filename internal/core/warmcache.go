@@ -234,7 +234,13 @@ func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 		rt.degradeStale(tuples)
 		return nil
 	}
-	return rt.applyValidateReply(tuples, rp.Items)
+	if err := rt.applyValidateReply(tuples, rp.Items); err != nil {
+		return err
+	}
+	// A promoted warm page exposes its swizzled pointers just like a fresh
+	// install does; poke the prefetcher at the revalidated frontier too.
+	rt.pfPoke(origin)
+	return nil
 }
 
 // applyValidateReply installs the origin's per-tuple answers: tokens
@@ -243,6 +249,10 @@ func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 // fetch reply would. Every offered tuple ends the call either resident or
 // degraded to a plain want, so the fetch loop always makes progress.
 func (rt *Runtime) applyValidateReply(tuples []wire.ValidateTuple, items []wire.ValidateItem) error {
+	// Revalidation installs into cache pages like installItems does, and
+	// under the same serialization (see installItems).
+	rt.installMu.Lock()
+	defer rt.installMu.Unlock()
 	expect := make(map[wire.LongPtr]bool, len(tuples))
 	for _, t := range tuples {
 		expect[t.LP] = true
@@ -364,6 +374,10 @@ func (rt *Runtime) serveValidate(m wire.Message) {
 		rt.reply(m, wire.KindValidateReply, nil, fmt.Sprintf("decode: %v", err))
 		return
 	}
+	// Re-encoding reads the heap; hold the read side of the serve lock
+	// against concurrently applied write-backs.
+	rt.serveMu.RLock()
+	defer rt.serveMu.RUnlock()
 	out := wire.ValidateReplyPayload{Items: make([]wire.ValidateItem, 0, len(p.Tuples))}
 	rt.warm.mu.Lock()
 	defer rt.warm.mu.Unlock()

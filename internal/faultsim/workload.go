@@ -44,7 +44,11 @@ type Scenario struct {
 
 	Policy           core.Policy
 	DisableDeltaShip bool
-	CallTimeout      time.Duration
+	// Prefetch enables the asynchronous speculative prefetcher on every
+	// space, so fetch chaos also hits speculative FETCH exchanges and
+	// their in-flight registry joins.
+	Prefetch    bool
+	CallTimeout time.Duration
 }
 
 // DefaultScenario derives a varied scenario from a seed: 2–4 spaces,
@@ -75,6 +79,9 @@ func DefaultScenario(seed uint64) Scenario {
 		sc.Policy = core.PolicySmart
 	}
 	sc.DisableDeltaShip = rng.Intn(8) == 0
+	// Drawn last so the scenarios older seeds derive stay unchanged in
+	// every other dimension.
+	sc.Prefetch = rng.Intn(2) == 0
 	return sc
 }
 
@@ -374,6 +381,7 @@ func (h *harness) newRuntime(id uint32) (*core.Runtime, error) {
 		Registry:         h.reg,
 		Policy:           h.sc.Policy,
 		DisableDeltaShip: h.sc.DisableDeltaShip,
+		Prefetch:         h.sc.Prefetch,
 		Concurrent:       true,
 		CallTimeout:      h.sc.CallTimeout,
 		CheckInvariants:  true,
@@ -656,6 +664,13 @@ func (h *harness) checkAllIdle(op int, when string) *FailureError {
 	for _, rt := range h.rts {
 		if err := rt.CheckIdleInvariants(); err != nil {
 			return h.fail("op %d: space %d %s: %v", op, rt.ID(), when, err)
+		}
+		// A quiescent space must have drained its in-flight fetch registry:
+		// a leaked entry means a dropped or corrupted (possibly speculative)
+		// exchange wedged a (page, origin) slot forever.
+		if n := rt.InflightFetches(); n != 0 {
+			return h.fail("op %d: space %d %s: %d in-flight fetch registry entries leaked",
+				op, rt.ID(), when, n)
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"smartrpc/internal/core"
+	"smartrpc/internal/wire"
 )
 
 const scenarioTimeout = 30 * time.Second
@@ -132,6 +133,47 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if verified == 0 {
 		t.Error("soak verified zero values — oracle is miswired")
+	}
+}
+
+// TestPrefetchFetchChaosOracle aims the whole fault mix at FETCH traffic
+// only, with the asynchronous speculative prefetcher forced on: dropped,
+// duplicated, corrupted, and delayed speculative fetches must never serve
+// a stale or corrupted read (the value oracle inside Run), never wedge
+// the in-flight registry (checkAllIdle counts leaked entries at every
+// quiescent point), and never leave a space unrecoverable.
+func TestPrefetchFetchChaosOracle(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	var faults uint64
+	var verified int
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		sc := DefaultScenario(seed)
+		sc.Prefetch = true
+		sc.Policy = core.PolicySmart // lazy/eager never fault-fetch pages
+		sc.CrashPermille = 0
+		sc.PartitionPermille = 0
+		sc.Faults = Config{
+			DropPermille:    80,
+			DupPermille:     80,
+			CorruptPermille: 60,
+			DelayPermille:   120,
+			OnlyKinds:       []wire.Kind{wire.KindFetch, wire.KindFetchReply},
+		}
+		res, err := RunWithTimeout(sc, scenarioTimeout)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		faults += res.Faults
+		verified += res.Verified
+	}
+	if faults == 0 {
+		t.Error("fetch chaos injected zero faults — OnlyKinds filter is miswired")
+	}
+	if verified == 0 {
+		t.Error("fetch chaos verified zero values — oracle is miswired")
 	}
 }
 

@@ -280,8 +280,14 @@ func (t *Table) Remove(addr vmem.VAddr) error {
 	if !ok {
 		return fmt.Errorf("%w: %#x", ErrNotSwizzled, uint32(addr))
 	}
+	t.removeLocked(i)
+	return nil
+}
+
+// removeLocked deletes row i from every index map. The caller holds t.mu.
+func (t *Table) removeLocked(i int32) {
 	e := t.rows[i]
-	delete(t.byAddr, addr)
+	delete(t.byAddr, e.Addr)
 	delete(t.byLP, e.LP)
 	idxs := t.byPage[e.Page]
 	for k, ri := range idxs {
@@ -295,7 +301,6 @@ func (t *Table) Remove(addr vmem.VAddr) error {
 	} else {
 		t.byPage[e.Page] = idxs
 	}
-	return nil
 }
 
 // AllResident reports whether every entry on page pn has been installed.
@@ -460,6 +465,41 @@ func (t *Table) OutstandingWants(origin uint32, excludePN uint32, budget int) ([
 	return out, budget - left
 }
 
+// PrefetchCandidates returns up to max page numbers, ascending, of pages
+// holding at least one non-resident entry originating from origin: the
+// speculative prefetcher's prediction set. Such entries were swizzled in
+// by installs of data the application IS using — in pointer-graph terms
+// each candidate page is one hop ahead of the resident working set — and
+// ascending page order approximates the closure traversal's frontier
+// order. Both fully cold pages and partially resident ones qualify: a
+// closure shipment routinely strands its tail object on a fresh page, so
+// the chase's very next page usually already has one resident entry.
+// Pages whose non-resident entries are stale are included too: a
+// prefetched stale page revalidates first like any other (completePage),
+// it is never blind-fetched. Fully resident pages never qualify, so a
+// page is predicted at most until its protection is released.
+func (t *Table) PrefetchCandidates(origin uint32, max int) []uint32 {
+	if max <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var pages []uint32
+	for pn, idxs := range t.byPage {
+		for _, i := range idxs {
+			if !t.rows[i].Resident && t.rows[i].LP.Space == origin {
+				pages = append(pages, pn)
+				break
+			}
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	if len(pages) > max {
+		pages = pages[:max]
+	}
+	return pages
+}
+
 // Entries returns every table row, ordered by page then offset. Used by
 // diagnostics and the Table 1 reproduction.
 func (t *Table) Entries() []Entry {
@@ -491,6 +531,14 @@ func (t *Table) Len() int {
 // by the origin space when the batch is flushed. The swizzled ordinary
 // pointer — and therefore every pointer word already stored in local
 // memory — is unchanged; only the identity maps update.
+//
+// The origin assigning an address proves no live datum exists there, so a
+// leftover non-resident row under the target identity — a stale
+// warm-cache baseline or a plain want surviving from before the origin
+// freed (or crash-reset) and reallocated that address — is evicted and
+// the fresh allocation takes over the identity. A RESIDENT collision is
+// still an error: bytes installed this session claim the identity is
+// live, and two live datums cannot share one long pointer.
 func (t *Table) Rebind(old, new wire.LongPtr) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -498,8 +546,11 @@ func (t *Table) Rebind(old, new wire.LongPtr) error {
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrRebindUnknown, old)
 	}
-	if _, exists := t.byLP[new]; exists {
-		return fmt.Errorf("swizzle: rebind target %v already mapped", new)
+	if j, exists := t.byLP[new]; exists {
+		if t.rows[j].Resident {
+			return fmt.Errorf("swizzle: rebind target %v already mapped", new)
+		}
+		t.removeLocked(j)
 	}
 	delete(t.byLP, old)
 	t.byLP[new] = i

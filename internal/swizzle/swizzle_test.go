@@ -272,11 +272,65 @@ func TestRebindErrors(t *testing.T) {
 	if _, _, err := tb.Swizzle(a); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := tb.Swizzle(b); err != nil {
+	baddr, _, err := tb.Swizzle(b)
+	if err != nil {
 		t.Fatal(err)
 	}
+	// A RESIDENT row under the target identity is a live datum; rebinding
+	// a second datum onto it must fail.
+	tb.MarkResident(baddr)
 	if err := tb.Rebind(a, b); err == nil {
-		t.Error("rebind onto existing mapping succeeded")
+		t.Error("rebind onto resident mapping succeeded")
+	}
+}
+
+// TestRebindEvictsDeadRow: the origin assigning an address for a fresh
+// allocation proves nothing live exists there, so a leftover non-resident
+// row under that identity — a plain want, or a stale warm-cache baseline
+// surviving an origin-side free/crash-restart and address reuse — is
+// evicted and the rebound row takes over the identity.
+func TestRebindEvictsDeadRow(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		stale bool
+	}{{"want", false}, {"stale", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			tb, _ := newTable(t, 0)
+			dead := lp(remoteID, 0x300, 1)
+			deadAddr, _, err := tb.Swizzle(dead)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.stale {
+				tb.MarkResident(deadAddr)
+				tb.DemoteAll()
+			}
+			deadEntry, ok := tb.LookupAddr(deadAddr)
+			if !ok {
+				t.Fatal("dead row not found before rebind")
+			}
+			prov := lp(remoteID, 0xFFFF0002, 1)
+			provAddr, _, err := tb.Swizzle(prov)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.Rebind(prov, dead); err != nil {
+				t.Fatalf("rebind onto %s row: %v", tc.name, err)
+			}
+			if a, ok := tb.LookupLP(dead); !ok || a != provAddr {
+				t.Errorf("identity maps to %#x, %v; want the rebound row %#x",
+					uint32(a), ok, uint32(provAddr))
+			}
+			if _, ok := tb.LookupAddr(deadAddr); ok {
+				t.Error("evicted row still reachable by cache address")
+			}
+			// The evicted row's page bookkeeping must not retain it.
+			for _, row := range tb.PageEntries(deadEntry.Page) {
+				if row.Addr == deadAddr {
+					t.Error("evicted row still listed on its page")
+				}
+			}
+		})
 	}
 }
 

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"smartrpc/internal/netsim"
 	"smartrpc/internal/wire"
@@ -45,10 +47,22 @@ type Network struct {
 	clock *netsim.Clock
 	stats *netsim.Stats
 
+	// delay is an optional real (wall-clock) per-message latency, in
+	// nanoseconds. The virtual cost model measures modeled time; the delay
+	// makes latency overlap physically observable, so wall-clock
+	// experiments (e.g. the prefetch pipeline) can demonstrate round trips
+	// actually hidden behind computation. Zero (the default) keeps
+	// delivery instantaneous.
+	delay atomic.Int64
+
 	mu     sync.Mutex
 	nodes  map[uint32]*memNode
 	closed bool
 }
+
+// SetLinkDelay installs a real per-message delivery delay (see the delay
+// field). It applies to messages sent after the call.
+func (n *Network) SetLinkDelay(d time.Duration) { n.delay.Store(int64(d)) }
 
 // NewNetwork creates a network charging each message to model. A nil clock
 // or stats allocates fresh ones.
@@ -126,6 +140,9 @@ func (n *Network) route(m wire.Message) error {
 	size := m.WireSize()
 	n.clock.Advance(n.model.Cost(size))
 	n.stats.RecordKind(uint32(m.Kind), size)
+	if d := n.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	select {
 	case dst.inbox <- m:
 		return nil

@@ -94,6 +94,9 @@ func FuzzFetchPayloadDecode(f *testing.F) {
 		Primary: 1,
 	}
 	f.Add(p.Encode())
+	spec := p
+	spec.Speculative = true
+	f.Add(spec.Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		q, err := DecodeFetchPayload(data)
 		if err != nil {
@@ -101,6 +104,18 @@ func FuzzFetchPayloadDecode(f *testing.F) {
 		}
 		if int(q.Primary) > len(q.Wants) {
 			t.Fatalf("decoder admitted primary %d > wants %d", q.Primary, len(q.Wants))
+		}
+		if q.Primary&FetchSpeculative != 0 {
+			t.Fatalf("decoder left the speculative bit in primary %#x", q.Primary)
+		}
+		// A decoded payload must survive the encoder round trip with the
+		// flag bit intact.
+		q2, err := DecodeFetchPayload(q.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q2.Speculative != q.Speculative || q2.Primary != q.Primary || len(q2.Wants) != len(q.Wants) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", q, q2)
 		}
 	})
 }

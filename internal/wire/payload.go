@@ -313,6 +313,14 @@ func DecodeCallPayload(b []byte) (CallPayload, error) {
 	return p, nil
 }
 
+// FetchSpeculative is the flag bit marking a speculative (prefetch) FETCH.
+// It rides in the top bit of the encoded Primary word: boundCount caps any
+// want vector at 1<<22 entries, so a legitimate primary count can never
+// reach bit 31, old-format frames never have it set, and setting it changes
+// neither the frame size nor any demand-path byte. The flag is accounting
+// only — servers answer speculative fetches exactly like demand fetches.
+const FetchSpeculative uint32 = 1 << 31
+
 // FetchPayload requests the data for a set of long pointers — all the
 // entries of the faulted page's data allocation table — plus an eager
 // closure budget in bytes (§3.3). The first Primary wants are the faulting
@@ -320,11 +328,14 @@ func DecodeCallPayload(b []byte) (CallPayload, error) {
 // beyond them are batched ride-alongs (stranded entries of partially
 // resident pages) that are served but not expanded, so they cannot starve
 // the faulting page's frontier of closure budget. Primary == 0 means all
-// wants are primary (the single-want protocol).
+// wants are primary (the single-want protocol). Speculative marks a
+// prefetch issued ahead of any fault (carried as FetchSpeculative in the
+// Primary word).
 type FetchPayload struct {
-	Wants   []LongPtr
-	Budget  uint32
-	Primary uint32
+	Wants       []LongPtr
+	Budget      uint32
+	Primary     uint32
+	Speculative bool
 }
 
 // Encode returns the canonical encoding of p.
@@ -335,7 +346,11 @@ func (p *FetchPayload) Encode() []byte {
 		putLongPtr(e, lp)
 	}
 	e.PutUint32(p.Budget)
-	e.PutUint32(p.Primary)
+	primary := p.Primary
+	if p.Speculative {
+		primary |= FetchSpeculative
+	}
+	e.PutUint32(primary)
 	return e.Bytes()
 }
 
@@ -365,6 +380,8 @@ func DecodeFetchPayload(b []byte) (FetchPayload, error) {
 	if p.Primary, err = d.Uint32(); err != nil {
 		return p, err
 	}
+	p.Speculative = p.Primary&FetchSpeculative != 0
+	p.Primary &^= FetchSpeculative
 	if int(p.Primary) > n {
 		return p, fmt.Errorf("wire: primary count %d exceeds want count %d", p.Primary, n)
 	}

@@ -223,6 +223,62 @@ func TestFetchPayloadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFetchPayloadSpeculativeRoundTrip(t *testing.T) {
+	p := FetchPayload{
+		Wants:       []LongPtr{{Space: 1, Addr: 0x10, Type: 2}},
+		Budget:      8192,
+		Primary:     1,
+		Speculative: true,
+	}
+	got, err := DecodeFetchPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("speculative fetch payload round trip mismatch: %+v", got)
+	}
+}
+
+// TestFetchPayloadEncodingUnchanged pins the demand-path wire layout: the
+// speculative flag lives in the top bit of the Primary word, so a
+// non-speculative payload must encode byte-identically to the old format
+// (same size, same bytes — the committed benchmark baselines depend on
+// it), an old-format frame must decode with the flag clear, and the only
+// difference a speculative frame carries is that one bit.
+func TestFetchPayloadEncodingUnchanged(t *testing.T) {
+	p := FetchPayload{
+		Wants:   []LongPtr{{Space: 2, Addr: 0x10040, Type: 3}},
+		Budget:  4096,
+		Primary: 1,
+	}
+	oldFormat := []byte{
+		0, 0, 0, 1, // want count
+		0, 0, 0, 2, 0, 1, 0, 0x40, 0, 0, 0, 3, // long pointer
+		0, 0, 0x10, 0, // budget
+		0, 0, 0, 1, // primary (old frames never set bit 31)
+	}
+	if got := p.Encode(); !reflect.DeepEqual(got, oldFormat) {
+		t.Errorf("demand fetch encoding changed:\ngot  %x\nwant %x", got, oldFormat)
+	}
+	got, err := DecodeFetchPayload(oldFormat)
+	if err != nil {
+		t.Fatalf("old-format frame failed to decode: %v", err)
+	}
+	if got.Speculative || got.Primary != 1 || got.Budget != 4096 || len(got.Wants) != 1 {
+		t.Errorf("old-format frame decoded wrong: %+v", got)
+	}
+	p.Speculative = true
+	spec := p.Encode()
+	if len(spec) != len(oldFormat) {
+		t.Fatalf("speculative flag changed the frame size: %d vs %d", len(spec), len(oldFormat))
+	}
+	want := append([]byte(nil), oldFormat...)
+	want[len(want)-4] |= 0x80 // only delta: the top bit of the primary word
+	if !reflect.DeepEqual(spec, want) {
+		t.Errorf("speculative encoding differs beyond the flag bit:\ngot  %x\nwant %x", spec, want)
+	}
+}
+
 func TestItemsPayloadRoundTrip(t *testing.T) {
 	p := ItemsPayload{Items: []DataItem{
 		{LP: LongPtr{Space: 1, Addr: 0x10, Type: 2}, Bytes: []byte{0xFF}},
