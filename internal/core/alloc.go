@@ -201,8 +201,18 @@ func (rt *Runtime) flushAllocBatches(sess uint64) error {
 		}
 		for i, a := range b.allocs {
 			real := wire.LongPtr{Space: origin, Addr: rp.Addrs[i], Type: a.lp.Type}
-			if err := rt.table.Rebind(a.lp, real); err != nil {
+			evicted, err := rt.table.Rebind(a.lp, real)
+			if err != nil {
 				return fmt.Errorf("rebind %v -> %v: %w", a.lp, real, err)
+			}
+			if evicted {
+				// The origin reallocated an address this cache still tracked
+				// as a dead (non-resident) row; Rebind dropped the row and
+				// poisoned its slot. Any later dereference through a local
+				// pointer still aimed at that slot is an application-level
+				// use-after-free — this event is the marker that explains
+				// the poison pattern it will read.
+				rt.trace(Event{Kind: EvRebindEvict, Target: origin, LP: real})
 			}
 		}
 		if len(b.allocs) > 0 {

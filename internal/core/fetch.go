@@ -212,18 +212,36 @@ func (rt *Runtime) completeFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 	f := &inflightFetch{spec: spec, done: make(chan struct{})}
 	rt.inflight[key] = f
 	rt.inflightMu.Unlock()
-	defer func() {
-		// Remove before closing: a woken joiner that still finds work must
-		// be able to register its own exchange immediately.
-		rt.inflightMu.Lock()
-		delete(rt.inflight, key)
-		rt.inflightMu.Unlock()
-		close(f.done)
+	var poke bool
+	err := func() error {
+		defer func() {
+			// Remove before closing: a woken joiner that still finds work must
+			// be able to register its own exchange immediately.
+			rt.inflightMu.Lock()
+			delete(rt.inflight, key)
+			rt.inflightMu.Unlock()
+			close(f.done)
+		}()
+		var err error
+		if stale {
+			poke, err = rt.validateFrom(sess, pn, origin, lps)
+		} else {
+			poke, err = rt.fetchFrom(sess, pn, origin, lps, spec)
+		}
+		return err
 	}()
-	if stale {
-		return rt.validateFrom(sess, pn, origin, lps)
+	if poke {
+		// The exchange exposed a fresh swizzled frontier; give the
+		// prefetcher a chance to run ahead of the application. The poke must
+		// come only after the defer above has released the registry slot:
+		// under Options.SyncPrefetch it completes speculative pages inline,
+		// and the candidates can include this very page (its frontier grew
+		// during the install) — an inline completion must register its own
+		// exchange, not join this goroutine's still-held entry and deadlock
+		// waiting on itself.
+		rt.pfPoke(origin)
 	}
-	return rt.fetchFrom(sess, pn, origin, lps, spec)
+	return err
 }
 
 // InflightFetches reports how many (page, origin) exchanges are currently
@@ -240,7 +258,12 @@ func (rt *Runtime) InflightFetches() int {
 // batching because its own wants are already in the message. spec marks
 // prefetcher-issued fetches: the wire flag and the pf counters are the
 // only differences — the origin serves both identically.
-func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr, spec bool) error {
+//
+// poke reports that the caller should poke the prefetcher at this origin
+// once the in-flight registry slot is released (completeFrom); poking from
+// in here would let an inline speculative completion rejoin — and deadlock
+// on — the slot this exchange still holds.
+func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr, spec bool) (poke bool, err error) {
 	primary := len(wants)
 	budget := rt.budgetFor(origin)
 	if !rt.noFetchBatch {
@@ -277,20 +300,20 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 		Payload: p.Encode(),
 	})
 	if err != nil {
-		return fmt.Errorf("fetch from space %d: %w", origin, err)
+		return false, fmt.Errorf("fetch from space %d: %w", origin, err)
 	}
 	if reply.Err != "" {
-		return fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
+		return false, fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
 	}
 	rp, err := wire.DecodeItemsPayload(reply.Payload)
 	if err != nil {
-		return fmt.Errorf("fetch from space %d: decode: %w", origin, err)
+		return false, fmt.Errorf("fetch from space %d: decode: %w", origin, err)
 	}
 	// Fetch replies bypass the delta-shipping state (coh=false): a datum
 	// is fetched at most once per session, so there is no baseline to
 	// diff against and tracking it would desynchronize the edge.
 	if err := rt.installItems(origin, rp.Items, false); err != nil {
-		return fmt.Errorf("fetch from space %d: install: %w", origin, err)
+		return false, fmt.Errorf("fetch from space %d: install: %w", origin, err)
 	}
 	if spec {
 		var n uint64
@@ -298,14 +321,11 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 			n += uint64(len(it.Bytes))
 		}
 		rt.stats.pfBytes.Add(n)
-	} else {
-		// The install above may have swizzled a fresh cold frontier; give
-		// the prefetcher a chance to run ahead of the application.
-		// (Speculative completions chain through pfRun instead, after
-		// their in-flight slot is released.)
-		rt.pfPoke(origin)
+		// Speculative completions chain through pfRun instead, after
+		// their in-flight slot is released.
+		return false, nil
 	}
-	return nil
+	return true, nil
 }
 
 // serveFetch answers a data request: it sends the wanted objects plus a

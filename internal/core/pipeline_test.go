@@ -141,6 +141,46 @@ func TestDemandFaultCoalescesWithPrefetch(t *testing.T) {
 	}
 }
 
+// TestSyncPrefetchOnPartialDemandPage: with a closure budget smaller than
+// one page of nodes, the demand-faulted page still holds non-resident
+// frontier entries when its own exchange completes, so the prefetcher's
+// candidate list includes the very page the demand fault is completing.
+// Under SyncPrefetch the speculative completion runs inline on the demand
+// goroutine — it must register its own exchange after the demand slot is
+// released, not join the goroutine's own still-held in-flight entry and
+// deadlock waiting on itself.
+func TestSyncPrefetchOnPartialDemandPage(t *testing.T) {
+	_, server, clients := pipelineNet(t, 1, func(o *Options) {
+		o.Prefetch = true
+		o.SyncPrefetch = true
+		o.ClosureSize = 128
+	})
+	cl := clients[0]
+	root, want := buildChain(t, server, 256, 0)
+
+	done := make(chan struct{})
+	var got int64
+	var chaseErr error
+	go func() {
+		defer close(done)
+		got, chaseErr = chase(cl, root)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("chase wedged: inline speculative completion joined its own in-flight entry")
+	}
+	if chaseErr != nil {
+		t.Fatal(chaseErr)
+	}
+	if got != want {
+		t.Fatalf("chase sum = %d, want %d", got, want)
+	}
+	if n := cl.InflightFetches(); n != 0 {
+		t.Errorf("%d in-flight registry entries leaked after session end", n)
+	}
+}
+
 // TestConcurrentClientFetch drives several Call-free client spaces, each
 // chasing its own chain in its own session against one server — the
 // server's bounded worker pool serves their FETCH streams concurrently.

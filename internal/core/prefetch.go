@@ -41,10 +41,12 @@ import (
 // the PfHits/PfWasted counters and, through the shared eager-usage
 // statistics, the per-origin depth adaptation (prefetchDepthFor).
 
-// defaultPrefetchDepth bounds in-flight speculative fetches per origin
-// when Options.PrefetchDepth is unset. Two keeps one exchange in flight
-// while the next candidate is being selected — enough to hide the round
-// trip on a linear pointer chase without flooding the origin.
+// defaultPrefetchDepth is the baseline bound on in-flight speculative
+// fetches per origin when Options.PrefetchDepth is unset (the adaptive
+// scaling of prefetchDepthFor can grow an origin's effective depth to
+// twice this). Two keeps one exchange in flight while the next candidate
+// is being selected — enough to hide the round trip on a linear pointer
+// chase without flooding the origin.
 const defaultPrefetchDepth = 2
 
 // prefetcher is the per-runtime speculation state; nil unless enabled.

@@ -177,11 +177,13 @@ type Options struct {
 	// re-requesting. Off by default: the demand path's message counts and
 	// wire bytes are exactly the seed protocol's.
 	Prefetch bool
-	// PrefetchDepth bounds how many speculative page fetches may be in
-	// flight per origin (default 2 when Prefetch is set). The adaptive
-	// usage statistics scale the effective depth per origin: mostly-wasted
-	// speculation shrinks it to zero, mostly-used speculation runs at the
-	// configured depth.
+	// PrefetchDepth is the baseline for how many speculative page fetches
+	// may be in flight per origin (default 2 when Prefetch is set). The
+	// adaptive usage statistics scale the effective depth per origin:
+	// mostly-wasted speculation shrinks it to zero, and mostly-used
+	// speculation grows it up to twice the configured depth
+	// (prefetchDepthFor) — the hard per-origin in-flight bound is
+	// therefore 2×PrefetchDepth.
 	PrefetchDepth int
 	// SyncPrefetch runs speculative completions inline on the goroutine
 	// that triggered them instead of in the background. Latency no longer
@@ -675,11 +677,24 @@ func (rt *Runtime) dupRequest(from uint32, sess, seq uint64) bool {
 // sender (from % serveWorkers), so one sender's requests execute in
 // arrival order while distinct senders proceed in parallel — N clients
 // fetching from one server no longer head-of-line block behind one
-// closure build. The queue depth matches the transport inbox: a
-// protocol-abiding sender has at most one request outstanding per edge,
-// so the queue bounds only what a duplicating or replaying transport can
-// pile up; when it fills, the receive loop blocks (backpressure) rather
-// than growing without bound.
+// closure build.
+//
+// Sizing: the fetch pipeline legitimately puts several concurrent
+// requests on one edge — a multi-origin demand fault fans out one FETCH
+// per origin group, and the prefetcher adds at most 2×PrefetchDepth
+// speculative completions per origin (prefetchDepthFor) — but every one
+// of those requesters then blocks awaiting its reply, so a well-behaved
+// peer holds tens of requests in flight, not hundreds. Depth 256 per
+// stripe therefore bounds only what a duplicating, replaying, or
+// flooding transport can pile up. When a stripe does fill, the receive
+// loop blocks (backpressure, with a shutdown escape) rather than growing
+// without bound — deliberately: dropping would strand the sender until
+// its call timeout, and NACKing would surface spurious errors on demand
+// faults. The accepted cost is that a saturated stripe stalls the
+// dispatcher, and with it reply delivery to local waiters (a stripe
+// worker wedged in serveInvalidate→pfDrain waits for fetch replies only
+// that loop can deliver) — reachable only if a peer breaches the
+// request-concurrency envelope above by two orders of magnitude.
 const (
 	serveWorkers    = 8
 	serveQueueDepth = 256

@@ -32,6 +32,7 @@ const (
 	EvPrefetchIssued
 	EvPrefetchHit
 	EvPrefetchWasted
+	EvRebindEvict
 )
 
 var eventNames = map[EventKind]string{
@@ -44,7 +45,7 @@ var eventNames = map[EventKind]string{
 	EvValidateSent: "validate-sent", EvValidateHit: "validate-hit",
 	EvValidateMiss: "validate-miss",
 	EvPrefetchIssued: "prefetch-issued", EvPrefetchHit: "prefetch-hit",
-	EvPrefetchWasted: "prefetch-wasted",
+	EvPrefetchWasted: "prefetch-wasted", EvRebindEvict: "rebind-evict",
 }
 
 // String names the event kind.
@@ -79,7 +80,7 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d] %v peer=%d count=%d", e.Space, e.Kind, e.Target, e.Count)
 	case EvFetchServed, EvInstall, EvDirtyCollected:
 		return fmt.Sprintf("[%d] %v count=%d", e.Space, e.Kind, e.Count)
-	case EvValidateHit, EvValidateMiss:
+	case EvValidateHit, EvValidateMiss, EvRebindEvict:
 		return fmt.Sprintf("[%d] %v %v", e.Space, e.Kind, e.LP)
 	case EvPrefetchIssued, EvPrefetchHit, EvPrefetchWasted:
 		return fmt.Sprintf("[%d] %v page=%d peer=%d", e.Space, e.Kind, e.Page, e.Target)

@@ -202,7 +202,14 @@ func (rt *Runtime) degradeLPs(lps []wire.LongPtr) {
 // affected entries degrade to plain wants and the method returns nil —
 // the caller's fetch loop refetches them in full, so a lost or corrupted
 // reply costs a refetch, never a stale read.
-func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongPtr) error {
+//
+// A promoted warm page exposes its swizzled pointers just like a fresh
+// install does, so a successful revalidation asks for a prefetcher poke
+// (poke=true). As with fetchFrom, the poke itself is deferred to
+// completeFrom: it may only run after the in-flight registry slot is
+// released, or an inline speculative completion could deadlock joining
+// this goroutine's own entry.
+func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongPtr) (poke bool, err error) {
 	if !rt.noFetchBatch {
 		extra, _ := rt.table.StaleWants(origin, pn, rt.budgetFor(origin))
 		lps = append(lps, extra...)
@@ -210,7 +217,7 @@ func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 	tuples, without := rt.validateTuplesFor(lps)
 	rt.table.ClearStale(without)
 	if len(tuples) == 0 {
-		return nil
+		return false, nil
 	}
 	p := wire.ValidatePayload{Tuples: tuples}
 	rt.stats.cohRevalidateMsgs.Add(1)
@@ -223,24 +230,21 @@ func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 	})
 	if err != nil {
 		rt.degradeStale(tuples)
-		return nil
+		return false, nil
 	}
 	if reply.Err != "" {
 		rt.degradeStale(tuples)
-		return nil
+		return false, nil
 	}
 	rp, err := wire.DecodeValidateReplyPayload(reply.Payload)
 	if err != nil {
 		rt.degradeStale(tuples)
-		return nil
+		return false, nil
 	}
 	if err := rt.applyValidateReply(tuples, rp.Items); err != nil {
-		return err
+		return false, err
 	}
-	// A promoted warm page exposes its swizzled pointers just like a fresh
-	// install does; poke the prefetcher at the revalidated frontier too.
-	rt.pfPoke(origin)
-	return nil
+	return true, nil
 }
 
 // applyValidateReply installs the origin's per-tuple answers: tokens

@@ -539,23 +539,54 @@ func (t *Table) Len() int {
 // the fresh allocation takes over the identity. A RESIDENT collision is
 // still an error: bytes installed this session claim the identity is
 // live, and two live datums cannot share one long pointer.
-func (t *Table) Rebind(old, new wire.LongPtr) error {
+//
+// The eviction is reported (evicted=true) so the runtime can count and
+// trace it, and the dead row's cache slot is overwritten with the
+// rebindPoison pattern: the slot's address can no longer unswizzle (the
+// identity maps drop it), and a local pointer word already swizzled to it
+// that the application still dereferences — an application-level
+// use-after-free, since the origin freed and reallocated the address —
+// reads deterministic poison instead of plausible stale bytes.
+func (t *Table) Rebind(old, new wire.LongPtr) (evicted bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	i, ok := t.byLP[old]
 	if !ok {
-		return fmt.Errorf("%w: %v", ErrRebindUnknown, old)
+		return false, fmt.Errorf("%w: %v", ErrRebindUnknown, old)
 	}
 	if j, exists := t.byLP[new]; exists {
 		if t.rows[j].Resident {
-			return fmt.Errorf("swizzle: rebind target %v already mapped", new)
+			return false, fmt.Errorf("swizzle: rebind target %v already mapped", new)
 		}
+		t.poisonLocked(j)
 		t.removeLocked(j)
+		evicted = true
 	}
 	delete(t.byLP, old)
 	t.byLP[new] = i
 	t.rows[i].LP = new
-	return nil
+	return evicted, nil
+}
+
+// rebindPoison fills the cache slot of a row evicted by Rebind, so a
+// dangling dereference of the dead address reads a recognizable pattern
+// deterministically instead of whatever stale bytes the slot last held.
+const rebindPoison byte = 0xDB
+
+// poisonLocked overwrites row i's cache slot with rebindPoison. The
+// caller holds t.mu. Best effort via a raw (protection-bypassing) write:
+// the slot's page usually still holds other non-resident entries and is
+// therefore protected, and a poisoning hiccup must not fail the caller.
+func (t *Table) poisonLocked(i int32) {
+	e := t.rows[i]
+	if e.Size <= 0 {
+		return
+	}
+	buf := make([]byte, e.Size)
+	for k := range buf {
+		buf[k] = rebindPoison
+	}
+	_ = t.space.WriteRaw(e.Addr, buf)
 }
 
 // Invalidate drops every table entry and closes all open areas, matching

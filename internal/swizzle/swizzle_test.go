@@ -240,8 +240,12 @@ func TestRebindProvisionalPointer(t *testing.T) {
 		t.Fatal(err)
 	}
 	real := lp(remoteID, 0x00020000, 1)
-	if err := tb.Rebind(prov, real); err != nil {
+	evicted, err := tb.Rebind(prov, real)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if evicted {
+		t.Error("rebind onto a fresh identity reported an eviction")
 	}
 	// The ordinary pointer is unchanged; identity maps updated.
 	got, err := tb.Unswizzle(addr, 1)
@@ -266,7 +270,7 @@ func TestRebindErrors(t *testing.T) {
 	tb, _ := newTable(t, 0)
 	a := lp(remoteID, 0x100, 1)
 	b := lp(remoteID, 0x200, 1)
-	if err := tb.Rebind(a, b); !errors.Is(err, ErrRebindUnknown) {
+	if _, err := tb.Rebind(a, b); !errors.Is(err, ErrRebindUnknown) {
 		t.Errorf("rebind unknown = %v", err)
 	}
 	if _, _, err := tb.Swizzle(a); err != nil {
@@ -279,7 +283,7 @@ func TestRebindErrors(t *testing.T) {
 	// A RESIDENT row under the target identity is a live datum; rebinding
 	// a second datum onto it must fail.
 	tb.MarkResident(baddr)
-	if err := tb.Rebind(a, b); err == nil {
+	if _, err := tb.Rebind(a, b); err == nil {
 		t.Error("rebind onto resident mapping succeeded")
 	}
 }
@@ -295,7 +299,7 @@ func TestRebindEvictsDeadRow(t *testing.T) {
 		stale bool
 	}{{"want", false}, {"stale", true}} {
 		t.Run(tc.name, func(t *testing.T) {
-			tb, _ := newTable(t, 0)
+			tb, sp := newTable(t, 0)
 			dead := lp(remoteID, 0x300, 1)
 			deadAddr, _, err := tb.Swizzle(dead)
 			if err != nil {
@@ -314,8 +318,24 @@ func TestRebindEvictsDeadRow(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := tb.Rebind(prov, dead); err != nil {
+			evicted, err := tb.Rebind(prov, dead)
+			if err != nil {
 				t.Fatalf("rebind onto %s row: %v", tc.name, err)
+			}
+			if !evicted {
+				t.Errorf("rebind onto %s row did not report the eviction", tc.name)
+			}
+			// The dead slot is poisoned: a dangling dereference reads the
+			// deterministic pattern, not the slot's previous (stale) bytes.
+			buf := make([]byte, deadEntry.Size)
+			if err := sp.ReadRaw(deadAddr, buf); err != nil {
+				t.Fatalf("read evicted slot: %v", err)
+			}
+			for _, bb := range buf {
+				if bb != rebindPoison {
+					t.Errorf("evicted slot bytes = % x, want all %#x", buf, rebindPoison)
+					break
+				}
 			}
 			if a, ok := tb.LookupLP(dead); !ok || a != provAddr {
 				t.Errorf("identity maps to %#x, %v; want the rebound row %#x",
