@@ -34,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("srpcbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|all")
+	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|scaleout|all")
 	nodes := fs.Int("nodes", 32767, "tree size (2^k - 1 nodes)")
 	closure := fs.Int("closure", 8192, "closure size in bytes")
 	repeats := fs.Int("repeats", 10, "repeated searches for fig6")
@@ -72,12 +72,14 @@ func run(args []string) error {
 			return warm(model, *nodes, *closure)
 		case "pipeline":
 			return pipeline(model, *nodes, *closure)
+		case "scaleout":
+			return scaleout(model, *nodes, *closure)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline"} {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline", "scaleout"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
@@ -359,6 +361,61 @@ func pipeline(model netsim.Model, nodes, closure int) error {
 		fmt.Printf("%-16s %-12.3f %-9d %-10d %-10d %-10d\n",
 			p.name, res.WallTime.Seconds(), res.Fetches, res.BlockingFetches,
 			res.PfIssued, res.PfCoalesced)
+	}
+	return nil
+}
+
+// scaleout prints the multi-client origin-sharing workload: N client
+// spaces walk one shared tree over two rounds each. The client sweep
+// shows the encode cache amortizing the origin's marshaling across
+// clients, the mutation sweep shows invalidation eroding the hit rate,
+// and the ablation row is the re-encode-everything control.
+func scaleout(model netsim.Model, nodes, closure int) error {
+	if csv {
+		fmt.Println("scaleout.config,clients,mutation_ratio,time_s,messages,net_bytes,enc_hits,enc_misses,enc_evictions,enc_invalidations,enc_bytes")
+	} else {
+		fmt.Printf("\n== Scale-out: clients sharing one origin, tree %d nodes, closure %d bytes, 2 rounds ==\n",
+			nodes, closure)
+		fmt.Printf("%-18s %-8s %-7s %-10s %-10s %-12s %-9s %-9s %-8s %-8s %-10s\n",
+			"config", "clients", "ratio", "time(s)", "messages", "bytes",
+			"enc-hits", "enc-miss", "evict", "inval", "enc-bytes")
+	}
+	type pt struct {
+		name    string
+		clients int
+		ratio   float64
+		noEnc   bool
+	}
+	var pts []pt
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		pts = append(pts, pt{"smart-enccache", n, 0, false})
+	}
+	for _, r := range []float64{0.05, 0.25} {
+		pts = append(pts, pt{"smart-enccache", 8, r, false})
+	}
+	pts = append(pts, pt{"smart-noenccache", 8, 0, true})
+	for _, p := range pts {
+		res, err := bench.RunScaleout(bench.ScaleoutConfig{
+			Nodes:              nodes,
+			ClosureSize:        closure,
+			Clients:            p.clients,
+			Rounds:             2,
+			MutationRatio:      p.ratio,
+			Model:              model,
+			DisableEncodeCache: p.noEnc,
+		})
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Printf("%s,%d,%.2f,%.6f,%d,%d,%d,%d,%d,%d,%d\n",
+				p.name, p.clients, p.ratio, sec(res.Time), res.Messages, res.Bytes,
+				res.EncHits, res.EncMisses, res.EncEvictions, res.EncInvalidations, res.EncBytes)
+			continue
+		}
+		fmt.Printf("%-18s %-8d %-7.2f %-10.3f %-10d %-12d %-9d %-9d %-8d %-8d %-10d\n",
+			p.name, p.clients, p.ratio, sec(res.Time), res.Messages, res.Bytes,
+			res.EncHits, res.EncMisses, res.EncEvictions, res.EncInvalidations, res.EncBytes)
 	}
 	return nil
 }

@@ -33,7 +33,7 @@ type Report struct {
 // ReportRow is one benchmark point.
 type ReportRow struct {
 	// Figure tags the experiment family: fig4, fig6, fetch-batch,
-	// coh-delta, warm-sessions, or pipeline.
+	// coh-delta, warm-sessions, pipeline, or scaleout.
 	Figure string `json:"figure"`
 	// Config identifies the point within the family.
 	Policy  string  `json:"policy"`
@@ -78,6 +78,17 @@ type ReportRow struct {
 	PfHits          uint64 `json:"pf_hits,omitempty"`
 	PfWasted        uint64 `json:"pf_wasted,omitempty"`
 	PfBytes         uint64 `json:"pf_bytes,omitempty"`
+	// Scale-out columns (schema 5, scaleout rows only): Clients is the
+	// number of client spaces sharing the one origin, and the Enc columns
+	// are the origin-side encode cache's counters. EncBytes is a resident-
+	// size gauge recorded for the human-readable tables but not
+	// regression-checked (hits/misses/evictions/invalidations are).
+	Clients          int    `json:"clients,omitempty"`
+	EncHits          uint64 `json:"enc_hits,omitempty"`
+	EncMisses        uint64 `json:"enc_misses,omitempty"`
+	EncEvictions     uint64 `json:"enc_evictions,omitempty"`
+	EncInvalidations uint64 `json:"enc_invalidations,omitempty"`
+	EncBytes         uint64 `json:"enc_bytes,omitempty"`
 
 	// Host-dependent outputs (regression-checked with slack).
 	WallSec         float64 `json:"wall_sec"`
@@ -107,7 +118,7 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	rep := Report{Schema: 4, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
+	rep := Report{Schema: 5, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
 
 	var points []reportPoint
 	for _, pol := range []struct {
@@ -200,7 +211,82 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
+
+	// The scale-out family (schema 5): N clients sharing one origin, with
+	// the encode cache on (client sweep at ratio 0, mutation sweep at 8
+	// clients) and the re-encode-everything ablation as the control.
+	for _, sp := range []struct {
+		name    string
+		clients int
+		ratio   float64
+		noEnc   bool
+	}{
+		{"smart-enccache", 1, 0, false},
+		{"smart-enccache", 4, 0, false},
+		{"smart-enccache", 8, 0, false},
+		{"smart-enccache", 8, 0.05, false},
+		{"smart-enccache", 8, 0.25, false},
+		{"smart-noenccache", 8, 0, true},
+	} {
+		row, err := measureScaleoutPoint(model, nodes, closure, runs, sp.name, sp.clients, sp.ratio, sp.noEnc)
+		if err != nil {
+			return Report{}, fmt.Errorf("report scaleout/%s/%d: %w", sp.name, sp.clients, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
 	return rep, nil
+}
+
+// measureScaleoutPoint runs one multi-client scale-out configuration and
+// fills a scaleout row. Clients run sequentially, so every modeled
+// column — including the encode-cache counters — is deterministic.
+func measureScaleoutPoint(model netsim.Model, nodes, closure, runs int, name string, clients int, ratio float64, noEnc bool) (ReportRow, error) {
+	cfg := ScaleoutConfig{
+		Nodes:              nodes,
+		ClosureSize:        closure,
+		Clients:            clients,
+		Rounds:             2,
+		MutationRatio:      ratio,
+		Model:              model,
+		DisableEncodeCache: noEnc,
+	}
+	if _, err := RunScaleout(cfg); err != nil { // warm-up
+		return ReportRow{}, err
+	}
+	var last ScaleoutResult
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		res, err := RunScaleout(cfg)
+		if err != nil {
+			return ReportRow{}, err
+		}
+		last = res
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms2)
+	return ReportRow{
+		Figure:           "scaleout",
+		Policy:           name,
+		Ratio:            ratio,
+		Closure:          closure,
+		Clients:          clients,
+		ModelSec:         last.Time.Seconds(),
+		Messages:         last.Messages,
+		NetBytes:         last.Bytes,
+		Faults:           last.Faults,
+		Fetches:          last.Fetches,
+		EncHits:          last.EncHits,
+		EncMisses:        last.EncMisses,
+		EncEvictions:     last.EncEvictions,
+		EncInvalidations: last.EncInvalidations,
+		EncBytes:         last.EncBytes,
+		WallSec:          wall.Seconds() / float64(runs),
+		AllocsPerOp:      (ms2.Mallocs - ms1.Mallocs) / uint64(runs),
+		AllocBytesPerOp:  (ms2.TotalAlloc - ms1.TotalAlloc) / uint64(runs),
+	}, nil
 }
 
 // measurePipelinePoint runs one deterministic pointer-chase configuration
@@ -369,6 +455,14 @@ func Check(baseline, cur Report) error {
 			check("pf_wasted", float64(want.PfWasted), float64(got.PfWasted))
 			check("pf_bytes", float64(want.PfBytes), float64(got.PfBytes))
 		}
+		if baseline.Schema >= 5 {
+			// EncBytes is a gauge (resident size at run end), not a
+			// counter; it is reported but not drift-checked.
+			check("enc_hits", float64(want.EncHits), float64(got.EncHits))
+			check("enc_misses", float64(want.EncMisses), float64(got.EncMisses))
+			check("enc_evictions", float64(want.EncEvictions), float64(got.EncEvictions))
+			check("enc_invalidations", float64(want.EncInvalidations), float64(got.EncInvalidations))
+		}
 	}
 	if len(drifts) > 0 {
 		return fmt.Errorf("modeled columns drifted from baseline:\n  %s", strings.Join(drifts, "\n  "))
@@ -377,7 +471,9 @@ func Check(baseline, cur Report) error {
 }
 
 func rowKey(r ReportRow) string {
-	return fmt.Sprintf("%s/%s/%.4f/%d/%d", r.Figure, r.Policy, r.Ratio, r.Closure, r.Session)
+	// Clients was added in schema 5; rows from older families carry 0
+	// there, so pre-5 baselines keep matching their re-measured rows.
+	return fmt.Sprintf("%s/%s/%.4f/%d/%d/%d", r.Figure, r.Policy, r.Ratio, r.Closure, r.Session, r.Clients)
 }
 
 func measurePoint(model netsim.Model, nodes, runs int, pt reportPoint) (ReportRow, error) {

@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"smartrpc/internal/core"
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/wire"
+)
+
+// This file is the multi-client scale-out workload for the origin-side
+// encode cache: one shared data server owns a single tree, and N client
+// spaces import its root and walk it, each in its own session. Every
+// client asks the origin for the same objects, so without the encode
+// cache the origin re-marshals the identical bytes N times; with it, the
+// first walk pays the encodes and the other N-1 walks (and every warm
+// revalidation in later rounds) are served from memoized encodings. A
+// mutation-ratio sweep dirties a fraction of the tree between rounds to
+// measure how invalidation erodes the hit rate.
+//
+// Clients run strictly sequentially, so every counter — including the
+// cache's hit/miss/invalidation tallies — is deterministic and can be
+// snapshot-checked (BENCH_6.json). Wall-clock concurrency is exercised
+// elsewhere (the core package's -race tests); this harness measures
+// work, not overlap.
+
+// ScaleoutConfig parameterizes one scale-out run.
+type ScaleoutConfig struct {
+	// Nodes is the shared tree size.
+	Nodes int
+	// ClosureSize is the eager-transfer budget in bytes.
+	ClosureSize int
+	// Clients is the number of client spaces sharing the one origin.
+	Clients int
+	// Rounds is how many times each client walks the tree (>= 1). Each
+	// walk is its own session; from round 2 the clients' warm caches
+	// revalidate instead of refetching, exercising the validate path of
+	// the encode cache.
+	Rounds int
+	// MutationRatio is the fraction of tree nodes rewritten in the
+	// server's heap between rounds (0.0 = read-only sharing).
+	MutationRatio float64
+	// PageSize overrides the simulated page size.
+	PageSize int
+	// Model is the network cost model; zero value = free network (tests).
+	Model netsim.Model
+	// DisableEncodeCache runs the ablation: every serve re-encodes.
+	DisableEncodeCache bool
+}
+
+func (c *ScaleoutConfig) fill() error {
+	if c.Nodes <= 0 {
+		c.Nodes = 8191
+	}
+	if c.ClosureSize == 0 {
+		c.ClosureSize = 8192
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Clients > 64 {
+		return fmt.Errorf("bench: %d scale-out clients (max 64)", c.Clients)
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	if c.MutationRatio < 0 || c.MutationRatio > 1 {
+		return fmt.Errorf("bench: mutation ratio %v out of [0,1]", c.MutationRatio)
+	}
+	return nil
+}
+
+// ScaleoutResult is the outcome of one scale-out run. Traffic counters
+// are totals over all clients and rounds; the Enc* counters are the
+// origin's encode-cache tallies.
+type ScaleoutResult struct {
+	// Time is the virtual processing time of the whole run.
+	Time time.Duration
+	// Messages and Bytes are total network traffic.
+	Messages, Bytes uint64
+	// Faults and Fetches sum the clients' access violations and FETCH
+	// messages.
+	Faults, Fetches uint64
+	// EncHits .. EncInvalidations are the origin's encode-cache counters;
+	// EncBytes is the cache's resident size when the run ends.
+	EncHits, EncMisses, EncEvictions, EncInvalidations, EncBytes uint64
+	// Sum is the final-round checksum each client computed (validates
+	// that cached encodings never served stale bytes).
+	Sum int64
+}
+
+// RunScaleout executes one scale-out run: the server builds the shared
+// tree, then each round every client walks it in its own session, with
+// the configured fraction of nodes mutated at the origin between rounds.
+func RunScaleout(cfg ScaleoutConfig) (ScaleoutResult, error) {
+	if err := cfg.fill(); err != nil {
+		return ScaleoutResult{}, err
+	}
+	clock := &netsim.Clock{}
+	stats := &netsim.Stats{}
+	net, err := transport.NewNetwork(cfg.Model, clock, stats)
+	if err != nil {
+		return ScaleoutResult{}, err
+	}
+	defer net.Close()
+	reg := NewRegistry()
+
+	mk := func(id uint32) (*core.Runtime, error) {
+		node, err := net.Attach(id)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.Options{
+			ID:                 id,
+			Node:               node,
+			Registry:           reg,
+			Policy:             core.PolicySmart,
+			ClosureSize:        cfg.ClosureSize,
+			PageSize:           cfg.PageSize,
+			DisableEncodeCache: cfg.DisableEncodeCache,
+		})
+	}
+	server, err := mk(PipelineServerID)
+	if err != nil {
+		return ScaleoutResult{}, err
+	}
+	defer server.Close()
+	clients := make([]*core.Runtime, cfg.Clients)
+	for i := range clients {
+		if clients[i], err = mk(PipelineClientID0 + uint32(i)); err != nil {
+			return ScaleoutResult{}, err
+		}
+		defer clients[i].Close()
+	}
+
+	root, err := BuildTree(server, cfg.Nodes)
+	if err != nil {
+		return ScaleoutResult{}, err
+	}
+	want, err := localTreeSum(server, root)
+	if err != nil {
+		return ScaleoutResult{}, err
+	}
+
+	// The tree is built and the runtimes idle: measurement starts here.
+	clock.Reset()
+	stats.Reset()
+	var out ScaleoutResult
+	for round := 1; round <= cfg.Rounds; round++ {
+		if round > 1 && cfg.MutationRatio > 0 {
+			// Each selected node's data field gains 1 (MutateTree), so the
+			// expected checksum advances by the selection count.
+			mutated, err := MutateTree(server, root, cfg.MutationRatio, uint64(round))
+			if err != nil {
+				return ScaleoutResult{}, fmt.Errorf("bench: mutate before round %d: %w", round, err)
+			}
+			want += int64(mutated)
+		}
+		for i, cl := range clients {
+			sum, err := clientTreeSum(cl, root.LP)
+			if err != nil {
+				return ScaleoutResult{}, fmt.Errorf("bench: scale-out client %d round %d: %w", i, round, err)
+			}
+			if sum != want {
+				return ScaleoutResult{}, fmt.Errorf("bench: scale-out client %d round %d checksum %d, want %d",
+					i, round, sum, want)
+			}
+			out.Sum = sum
+		}
+	}
+	out.Time = clock.Now()
+	out.Messages = stats.Messages()
+	out.Bytes = stats.Bytes()
+	for _, cl := range clients {
+		st := cl.Stats()
+		out.Faults += st.Faults
+		out.Fetches += st.FetchesSent
+	}
+	st := server.Stats()
+	out.EncHits = st.EncCacheHits
+	out.EncMisses = st.EncCacheMisses
+	out.EncEvictions = st.EncCacheEvictions
+	out.EncInvalidations = st.EncCacheInvalidations
+	out.EncBytes = st.EncCacheBytes
+	return out, nil
+}
+
+// clientTreeSum imports the shared root, walks the whole tree inside one
+// session (fault-driven fetches underneath), and returns the data sum.
+func clientTreeSum(cl *core.Runtime, root wire.LongPtr) (int64, error) {
+	v, err := cl.ImportPtr(root)
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.BeginSession(); err != nil {
+		return 0, err
+	}
+	sum, err := refTreeSum(cl, v)
+	if err != nil {
+		cl.AbortSession()
+		return 0, err
+	}
+	if err := cl.EndSession(); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// localTreeSum walks a locally owned tree without a session (heap reads
+// only): the server-side oracle for the expected checksum.
+func localTreeSum(rt *core.Runtime, root core.Value) (int64, error) {
+	return refTreeSum(rt, root)
+}
+
+func refTreeSum(rt *core.Runtime, v core.Value) (int64, error) {
+	if v.IsNullPtr() {
+		return 0, nil
+	}
+	ref, err := rt.Deref(v)
+	if err != nil {
+		return 0, err
+	}
+	sum, err := ref.Int("data", 0)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range []string{"left", "right"} {
+		c, err := ref.Ptr(f, 0)
+		if err != nil {
+			return 0, err
+		}
+		s, err := refTreeSum(rt, c)
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum, nil
+}

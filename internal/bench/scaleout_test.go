@@ -1,0 +1,60 @@
+package bench
+
+import "testing"
+
+// TestScaleoutCheckum runs the scale-out workload at a small size and
+// checks the encode-cache effectiveness claims: with N clients sharing
+// one origin read-only, only the first walk misses, so the hit rate is
+// (N*R-1)/(N*R) for R rounds.
+func TestScaleoutHitRate(t *testing.T) {
+	res, err := RunScaleout(ScaleoutConfig{Nodes: 255, Clients: 8, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EncHits == 0 || res.EncMisses == 0 {
+		t.Fatalf("degenerate counters: hits=%d misses=%d", res.EncHits, res.EncMisses)
+	}
+	rate := float64(res.EncHits) / float64(res.EncHits+res.EncMisses)
+	if rate < 0.90 {
+		t.Fatalf("read-only 8-client hit rate %.3f, want >= 0.90 (hits=%d misses=%d)",
+			rate, res.EncHits, res.EncMisses)
+	}
+	if res.EncInvalidations != 0 {
+		t.Fatalf("read-only run recorded %d invalidations", res.EncInvalidations)
+	}
+}
+
+// TestScaleoutMutation checks that a mutation sweep both keeps the
+// checksum oracle honest (RunScaleout fails internally on any stale
+// byte) and actually erodes the hit rate via invalidation.
+func TestScaleoutMutation(t *testing.T) {
+	ro, err := RunScaleout(ScaleoutConfig{Nodes: 255, Clients: 4, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut, err := RunScaleout(ScaleoutConfig{Nodes: 255, Clients: 4, Rounds: 2, MutationRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.EncInvalidations == 0 {
+		t.Fatal("mutating run recorded no encode-cache invalidations")
+	}
+	if mut.EncMisses <= ro.EncMisses {
+		t.Fatalf("mutating run misses %d not above read-only misses %d",
+			mut.EncMisses, ro.EncMisses)
+	}
+}
+
+// TestScaleoutAblation checks the DisableEncodeCache ablation: no cache
+// counters move, and the checksum still validates (the cache is a pure
+// performance artifact, invisible to correctness).
+func TestScaleoutAblation(t *testing.T) {
+	res, err := RunScaleout(ScaleoutConfig{Nodes: 255, Clients: 4, Rounds: 2, DisableEncodeCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EncHits != 0 || res.EncMisses != 0 || res.EncBytes != 0 {
+		t.Fatalf("ablation run moved cache counters: hits=%d misses=%d bytes=%d",
+			res.EncHits, res.EncMisses, res.EncBytes)
+	}
+}

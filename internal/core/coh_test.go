@@ -41,7 +41,7 @@ func encodeLocalObject(t *testing.T, rt *Runtime, v Value) []byte {
 		t.Fatal(err)
 	}
 	enc := xdr.NewEncoder(0)
-	if err := encodeObjectInto(enc, rt.space, rt.table, rt.res, rv.Desc, v.Addr); err != nil {
+	if _, err := encodeObjectInto(enc, rt.space, rt.table, rt.res, rv.Desc, v.Addr); err != nil {
 		t.Fatal(err)
 	}
 	return enc.Bytes()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 
 	"smartrpc/internal/types"
 	"smartrpc/internal/vmem"
@@ -343,7 +344,16 @@ func (rt *Runtime) serveFetch(m wire.Message) {
 	defer rt.serveMu.RUnlock()
 	rt.stats.fetchesServed.Add(1)
 	rt.trace(Event{Kind: EvFetchServed, Target: m.From, Count: len(p.Wants)})
-	items, err := rt.buildClosureItems(p.Wants, int(p.Primary), int(p.Budget))
+	// The working set (queue, seen set, item and span slices) is pooled
+	// across serves; the reply payload and the encode arena are not (the
+	// arena's bytes outlive the serve inside the encode cache and the
+	// warm-cache served record).
+	sc := serveScratchPool.Get().(*serveScratch)
+	defer func() {
+		sc.reset()
+		serveScratchPool.Put(sc)
+	}()
+	items, err := rt.buildClosureItems(p.Wants, int(p.Primary), int(p.Budget), sc)
 	if err != nil {
 		rt.reply(m, wire.KindFetchReply, nil, err.Error())
 		return
@@ -357,6 +367,49 @@ func (rt *Runtime) serveFetch(m wire.Message) {
 	rt.reply(m, wire.KindFetchReply, out.Encode(), "")
 }
 
+// closureJob is one queued traversal step of a closure build.
+type closureJob struct {
+	lp     wire.LongPtr
+	want   bool
+	frozen bool // serve, but do not expand children
+}
+
+// encSpan records where one served item's bytes came from: a cache hit
+// carries them directly, a miss names an arena range plus the metadata
+// needed to publish it afterwards.
+type encSpan struct {
+	start, end int    // arena range (miss)
+	cached     []byte // cache-hit bytes (nil on a miss)
+	pre        encPre
+	publish    bool // miss was heap-pure and version-snapshotted
+}
+
+// serveScratch is the pooled per-serve working set: everything
+// buildClosureItems needs besides the arena, reused across serveFetch
+// calls so a hot origin stops allocating per fetch.
+type serveScratch struct {
+	seen  map[vmem.VAddr]bool
+	queue []closureJob
+	items []wire.DataItem
+	spans []encSpan
+}
+
+func (sc *serveScratch) reset() {
+	clear(sc.seen)
+	sc.queue = sc.queue[:0]
+	// Drop byte references so pooled scratch does not pin served bodies.
+	clear(sc.items)
+	sc.items = sc.items[:0]
+	clear(sc.spans)
+	sc.spans = sc.spans[:0]
+}
+
+var serveScratchPool = sync.Pool{
+	New: func() any {
+		return &serveScratch{seen: make(map[vmem.VAddr]bool, 64)}
+	},
+}
+
 // buildClosureItems encodes the wanted objects unconditionally, then keeps
 // traversing the pointer graph (breadth-first by default, §3.3) until the
 // byte budget for additional data is exhausted. Only locally owned data
@@ -367,12 +420,17 @@ func (rt *Runtime) serveFetch(m wire.Message) {
 // beyond it (the batched ride-alongs) are served but their pointer fields
 // are not expanded, so the closure budget is spent entirely on the faulting
 // page's own frontier. primary <= 0 means every want is primary.
-func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int) ([]wire.DataItem, error) {
-	type job struct {
-		lp     wire.LongPtr
-		want   bool
-		frozen bool // serve, but do not expand children
-	}
+//
+// Each served object first consults the encode cache (enccache.go): a hit
+// ships the memoized bytes with no encode at all; a miss encodes into the
+// arena as before and, if the encoding was heap-pure and its page-version
+// snapshot held, publishes the slice for the next requester. Traversal is
+// unaffected either way — child expansion reads the heap directly, not
+// the encoded form.
+//
+// sc, when non-nil, supplies the pooled working set (serveFetch); other
+// callers pass nil and allocate fresh.
+func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int, sc *serveScratch) ([]wire.DataItem, error) {
 	if primary <= 0 {
 		primary = len(wants)
 	}
@@ -383,25 +441,48 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int) 
 	// seen is keyed by local address: only locally owned objects are ever
 	// encoded (foreign pointers pass through), and a uint32 key hashes
 	// much cheaper than the full long-pointer struct.
-	seen := make(map[vmem.VAddr]bool, est)
-	queue := make([]job, 0, est)
-	for i, lp := range wants {
-		queue = append(queue, job{lp: lp, want: true, frozen: i >= primary})
+	var (
+		seen  map[vmem.VAddr]bool
+		queue []closureJob
+		items []wire.DataItem
+		spans []encSpan
+	)
+	if sc != nil {
+		seen, queue, items, spans = sc.seen, sc.queue, sc.items, sc.spans
+		// Hand any slice growth back to the scratch on every exit, so the
+		// pooled working set keeps its high-water capacity.
+		defer func() {
+			sc.seen, sc.queue, sc.items, sc.spans = seen, queue, items, spans
+		}()
+	} else {
+		seen = make(map[vmem.VAddr]bool, est)
+		queue = make([]closureJob, 0, est)
+		items = make([]wire.DataItem, 0, est)
+		spans = make([]encSpan, 0, est)
 	}
-	items := make([]wire.DataItem, 0, est)
-	// All item bytes are encoded into one arena; offs[k] is item k's start.
-	// Slicing happens after the loop, once the arena has stopped growing.
-	arena := xdr.NewEncoder(len(wants)*16 + min(budget, 1<<16))
-	offs := make([]int, 0, est)
+	for i, lp := range wants {
+		queue = append(queue, closureJob{lp: lp, want: true, frozen: i >= primary})
+	}
+	// All miss bytes are encoded into one arena; spans[k] records item k's
+	// range (or its cache-hit bytes). Slicing happens after the loop, once
+	// the arena has stopped growing. The arena is never pooled (its bytes
+	// outlive the serve in the reply, the encode cache, and the warm-cache
+	// served record) and is allocated only on the first miss — a fully
+	// cache-hit serve allocates nothing here.
+	var arena *xdr.Encoder
 	budgetLeft := budget
-	for len(queue) > 0 {
-		var j job
+	hits, misses := 0, 0
+	// head indexes the BFS frontier instead of re-slicing queue, so a
+	// pooled queue keeps its full backing array across serves.
+	head := 0
+	for head < len(queue) {
+		var j closureJob
 		if rt.traversal == TraverseDFS {
 			j = queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
 		} else {
-			j = queue[0]
-			queue = queue[1:]
+			j = queue[head]
+			head++
 		}
 		if j.lp.IsNull() {
 			continue
@@ -426,11 +507,29 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int) 
 			budgetLeft -= rv.Canon
 		}
 		seen[j.lp.Addr] = true
-		offs = append(offs, arena.Len())
-		if err := encodeObjectInto(arena, rt.space, rt.table, rt.res, rv.Desc, j.lp.Addr); err != nil {
-			return nil, fmt.Errorf("encode %v: %w", j.lp, err)
+		var sp encSpan
+		if b, _, ok := rt.encLookup(j.lp); ok {
+			hits++
+			sp.cached = b
+		} else {
+			misses++
+			if arena == nil {
+				arena = xdr.NewEncoder(len(wants)*16 + min(budget, 1<<16))
+			}
+			sp.pre, sp.publish = rt.encPrepare(j.lp.Addr, rv.Layout.Size)
+			sp.start = arena.Len()
+			pure, err := encodeObjectInto(arena, rt.space, rt.table, rt.res, rv.Desc, j.lp.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("encode %v: %w", j.lp, err)
+			}
+			sp.end = arena.Len()
+			// Only heap-pure encodings may be published: a cache-region
+			// pointer unswizzles through allocation-table state that page
+			// versions cannot observe.
+			sp.publish = sp.publish && pure
 		}
 		items = append(items, wire.DataItem{LP: j.lp})
+		spans = append(spans, sp)
 		if j.frozen {
 			continue
 		}
@@ -463,18 +562,29 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int) 
 				if err != nil {
 					return nil, err
 				}
-				queue = append(queue, job{lp: target})
+				queue = append(queue, closureJob{lp: target})
 			}
 		}
 	}
-	backing := arena.Bytes()
-	for k := range items {
-		end := len(backing)
-		if k+1 < len(offs) {
-			end = offs[k+1]
-		}
-		items[k].Bytes = backing[offs[k]:end]
+	var backing []byte
+	if arena != nil {
+		backing = arena.Bytes()
 	}
+	for k := range items {
+		s := &spans[k]
+		if s.cached != nil {
+			items[k].Bytes = s.cached
+			continue
+		}
+		items[k].Bytes = backing[s.start:s.end]
+		if s.publish {
+			// The arena has stopped growing, so the slice is stable;
+			// publishing aliases it (on a cold serve nearly the whole
+			// arena is published, so compaction would buy nothing).
+			rt.encPublish(items[k].LP, s.pre, items[k].Bytes)
+		}
+	}
+	rt.encTraceServe(hits, misses)
 	return items, nil
 }
 
@@ -497,19 +607,36 @@ func (rt *Runtime) eagerClosureFor(args []Value) ([]wire.DataItem, error) {
 	if len(roots) == 0 {
 		return nil, nil
 	}
-	return rt.buildClosureItems(roots, 0, math.MaxInt32)
+	return rt.buildClosureItems(roots, 0, math.MaxInt32, nil)
 }
 
 // fetchOne retrieves a single object's canonical bytes without caching:
 // the fully lazy baseline's per-dereference callback.
 func (rt *Runtime) fetchOne(lp wire.LongPtr) ([]byte, error) {
 	if lp.Space == rt.id {
-		// Locally owned data is read directly; no session needed.
+		// Locally owned data is read directly; no session needed. The
+		// lazy baseline re-reads hot objects constantly, so it consults
+		// the encode cache too.
 		rv, err := rt.res.Resolve(lp.Type)
 		if err != nil {
 			return nil, err
 		}
-		return encodeObject(rt.space, rt.table, rt.res, rv.Desc, lp.Addr)
+		if b, _, ok := rt.encLookup(lp); ok {
+			rt.encTraceServe(1, 0)
+			return b, nil
+		}
+		pre, cacheable := rt.encPrepare(lp.Addr, rv.Layout.Size)
+		enc := xdr.NewEncoder(rv.Canon)
+		pure, err := encodeObjectInto(enc, rt.space, rt.table, rt.res, rv.Desc, lp.Addr)
+		if err != nil {
+			return nil, err
+		}
+		b := enc.Bytes()
+		if cacheable && pure {
+			rt.encPublish(lp, pre, b)
+		}
+		rt.encTraceServe(0, 1)
+		return b, nil
 	}
 	rt.sessMu.Lock()
 	sess := rt.sess
@@ -550,7 +677,11 @@ func (rt *Runtime) writeOne(lp wire.LongPtr, data []byte) error {
 		if err != nil {
 			return err
 		}
-		return decodeObject(rt.space, rt.table, rt.res, rv.Desc, lp.Addr, data)
+		if err := decodeObject(rt.space, rt.table, rt.res, rv.Desc, lp.Addr, data); err != nil {
+			return err
+		}
+		rt.encInvalidate(lp.Addr)
+		return nil
 	}
 	rt.sessMu.Lock()
 	sess := rt.sess

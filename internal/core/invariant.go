@@ -154,7 +154,12 @@ func (rt *Runtime) CheckLocalInvariants() error {
 	if badMod != nil {
 		return invariantErr(rt.id, "session-modified set holds foreign datum %v", *badMod)
 	}
-	return nil
+
+	// Invariant 6 — encode-cache coherence: every version-current cache
+	// entry must hash identically to a live re-encode of its object
+	// (enccache.go). Version-stale entries are unreachable by
+	// construction and skipped.
+	return rt.checkEncCacheInvariant()
 }
 
 // CheckIdleInvariants verifies that this runtime's cache is fully torn

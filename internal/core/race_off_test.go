@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-count assertions skip under it (sync.Pool and the
+// instrumented allocator change per-op counts).
+const raceEnabled = false

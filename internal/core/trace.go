@@ -33,6 +33,10 @@ const (
 	EvPrefetchHit
 	EvPrefetchWasted
 	EvRebindEvict
+	EvEncCacheHit
+	EvEncCacheMiss
+	EvEncCacheEvict
+	EvEncCacheInvalidate
 )
 
 var eventNames = map[EventKind]string{
@@ -46,6 +50,8 @@ var eventNames = map[EventKind]string{
 	EvValidateMiss: "validate-miss",
 	EvPrefetchIssued: "prefetch-issued", EvPrefetchHit: "prefetch-hit",
 	EvPrefetchWasted: "prefetch-wasted", EvRebindEvict: "rebind-evict",
+	EvEncCacheHit: "enc-cache-hit", EvEncCacheMiss: "enc-cache-miss",
+	EvEncCacheEvict: "enc-cache-evict", EvEncCacheInvalidate: "enc-cache-invalidate",
 }
 
 // String names the event kind.
@@ -78,8 +84,11 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d] %v page=%d", e.Space, e.Kind, e.Page)
 	case EvFetchSent, EvWriteBackSent, EvInvalidateSent, EvAllocFlush, EvValidateSent:
 		return fmt.Sprintf("[%d] %v peer=%d count=%d", e.Space, e.Kind, e.Target, e.Count)
-	case EvFetchServed, EvInstall, EvDirtyCollected:
+	case EvFetchServed, EvInstall, EvDirtyCollected,
+		EvEncCacheHit, EvEncCacheMiss, EvEncCacheEvict:
 		return fmt.Sprintf("[%d] %v count=%d", e.Space, e.Kind, e.Count)
+	case EvEncCacheInvalidate:
+		return fmt.Sprintf("[%d] %v page=%d", e.Space, e.Kind, e.Page)
 	case EvValidateHit, EvValidateMiss, EvRebindEvict:
 		return fmt.Sprintf("[%d] %v %v", e.Space, e.Kind, e.LP)
 	case EvPrefetchIssued, EvPrefetchHit, EvPrefetchWasted:

@@ -295,7 +295,16 @@ func (r *Ref) SetUint(name string, idx int, v uint64) error {
 		return r.lazySetScalar(i, f, idx, v)
 	}
 	fl := r.layout.Fields[i]
-	return r.rt.space.WriteUint(r.addr+vmem.VAddr(fl.Offset+idx*fl.ElemSize), fl.ElemSize, v)
+	if err := r.rt.space.WriteUint(r.addr+vmem.VAddr(fl.Offset+idx*fl.ElemSize), fl.ElemSize, v); err != nil {
+		return err
+	}
+	// A write to a locally owned object obsoletes its cached encoding. The
+	// page-version bump inside the store already guarantees that; the
+	// proactive drop keeps the invalidation counter deterministic.
+	if r.rt.space.InHeap(r.addr) {
+		r.rt.encInvalidate(r.addr)
+	}
+	return nil
 }
 
 // Int reads a signed scalar field element, sign-extending from the
@@ -385,7 +394,13 @@ func (r *Ref) SetPtr(name string, idx int, v Value) error {
 		return r.lazySetPtr(i, f, idx, v)
 	}
 	fl := r.layout.Fields[i]
-	return r.rt.space.WritePtr(r.addr+vmem.VAddr(fl.Offset+idx*fl.ElemSize), v.Addr)
+	if err := r.rt.space.WritePtr(r.addr+vmem.VAddr(fl.Offset+idx*fl.ElemSize), v.Addr); err != nil {
+		return err
+	}
+	if r.rt.space.InHeap(r.addr) {
+		r.rt.encInvalidate(r.addr)
+	}
+	return nil
 }
 
 // --- lazy-mode accessors: one callback per dereference, no caching ---

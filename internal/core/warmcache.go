@@ -9,6 +9,7 @@ import (
 	"smartrpc/internal/delta"
 	"smartrpc/internal/vmem"
 	"smartrpc/internal/wire"
+	"smartrpc/internal/xdr"
 )
 
 // This file implements the warm cross-session cache. The paper's protocol
@@ -85,15 +86,36 @@ func (rt *Runtime) warmEnabled() bool {
 // trustworthy baseline can be built from (a provisional row surviving to
 // teardown, or an encode failure), it falls back to the hard
 // invalidation — losing warmth, never correctness.
-func (rt *Runtime) demoteWarm() {
+//
+// preEnc carries encodings the caller already produced on this same
+// crossing (EndSession's dirty-item collection), so a modified datum is
+// not encoded twice in one teardown. An entry may reuse its preEnc bytes
+// only while the pages it spans are still clean: collectDirtyItems
+// cleared the dirty bits right after encoding, so a clean span proves
+// the page bytes have not changed since, and page and baseline still
+// agree by construction. Everything else re-encodes here, all into one
+// shared arena (one allocation for the whole pass; the views alias it,
+// and they collectively retain essentially all of it).
+func (rt *Runtime) demoteWarm(preEnc map[wire.LongPtr][]byte) {
 	entries := rt.table.Entries()
 	rt.recordEagerUsage(entries)
 	type encoded struct {
 		lp wire.LongPtr
 		b  []byte
 	}
+	var dirtySet map[uint32]bool
+	if len(preEnc) > 0 {
+		if pages := rt.space.DirtyPages(); len(pages) > 0 {
+			dirtySet = make(map[uint32]bool, len(pages))
+			for _, pn := range pages {
+				dirtySet[pn] = true
+			}
+		}
+	}
 	encs := make([]encoded, 0, len(entries))
 	live := make(map[wire.LongPtr]bool, len(entries))
+	arena := xdr.NewEncoder(0)
+	var pend, offs []int // encs indexes and arena starts of this pass's encodes
 	for _, e := range entries {
 		if uint32(e.LP.Addr) >= provisionalBase {
 			// An unflushed provisional allocation at teardown means the
@@ -110,18 +132,32 @@ func (rt *Runtime) demoteWarm() {
 			}
 			continue
 		}
+		if b, ok := preEnc[e.LP]; ok && !rt.spanDirty(dirtySet, e.Addr, e.Size) {
+			live[e.LP] = true
+			encs = append(encs, encoded{lp: e.LP, b: b})
+			continue
+		}
 		rv, err := rt.res.Resolve(e.LP.Type)
 		if err != nil {
 			rt.demoteFallback()
 			return
 		}
-		b, err := encodeObject(rt.space, rt.table, rt.res, rv.Desc, e.Addr)
-		if err != nil {
+		pend = append(pend, len(encs))
+		offs = append(offs, arena.Len())
+		if _, err := encodeObjectInto(arena, rt.space, rt.table, rt.res, rv.Desc, e.Addr); err != nil {
 			rt.demoteFallback()
 			return
 		}
 		live[e.LP] = true
-		encs = append(encs, encoded{lp: e.LP, b: b})
+		encs = append(encs, encoded{lp: e.LP})
+	}
+	backing := arena.Bytes()
+	for k, ei := range pend {
+		end := len(backing)
+		if k+1 < len(offs) {
+			end = offs[k+1]
+		}
+		encs[ei].b = backing[offs[k]:end]
 	}
 	rt.warm.mu.Lock()
 	if rt.warm.views == nil {
@@ -146,6 +182,22 @@ func (rt *Runtime) demoteWarm() {
 	rt.warm.mu.Unlock()
 	rt.table.DemoteAll()
 	rt.space.DemoteCache()
+}
+
+// spanDirty reports whether any page of [addr, addr+size) is in the
+// dirty set (nil means no page is dirty).
+func (rt *Runtime) spanDirty(dirtySet map[uint32]bool, addr vmem.VAddr, size int) bool {
+	if len(dirtySet) == 0 {
+		return false
+	}
+	first := rt.space.PageOf(addr)
+	last := rt.space.PageOf(addr + vmem.VAddr(size-1))
+	for pn := first; pn <= last; pn++ {
+		if dirtySet[pn] {
+			return true
+		}
+	}
+	return false
 }
 
 // demoteFallback is the hard local invalidation demoteWarm retreats to.
@@ -393,6 +445,7 @@ func (rt *Runtime) serveValidate(m wire.Message) {
 		sv = make(map[wire.LongPtr][]byte, len(p.Tuples))
 		rt.warm.served[m.From] = sv
 	}
+	encHits, encMisses := 0, 0
 	for _, t := range p.Tuples {
 		if t.LP.Space != rt.id {
 			rt.reply(m, wire.KindValidateReply, nil,
@@ -404,13 +457,29 @@ func (rt *Runtime) serveValidate(m wire.Message) {
 			rt.reply(m, wire.KindValidateReply, nil, err.Error())
 			return
 		}
-		cur, err := encodeObject(rt.space, rt.table, rt.res, rv.Desc, t.LP.Addr)
-		if err != nil {
-			rt.reply(m, wire.KindValidateReply, nil, fmt.Sprintf("encode %v: %v", t.LP, err))
-			return
+		// A cache hit answers with the memoized bytes AND the memoized
+		// content hash — the common "nothing changed" validate does no
+		// encoding and no hashing at all.
+		cur, curSum, hit := rt.encLookup(t.LP)
+		if hit {
+			encHits++
+		} else {
+			encMisses++
+			pre, cacheable := rt.encPrepare(t.LP.Addr, rv.Layout.Size)
+			enc := xdr.NewEncoder(rv.Canon)
+			pure, err := encodeObjectInto(enc, rt.space, rt.table, rt.res, rv.Desc, t.LP.Addr)
+			if err != nil {
+				rt.reply(m, wire.KindValidateReply, nil, fmt.Sprintf("encode %v: %v", t.LP, err))
+				return
+			}
+			cur = enc.Bytes()
+			curSum = wire.Sum64(cur)
+			if cacheable && pure {
+				rt.encPublish(t.LP, pre, cur)
+			}
 		}
 		it := wire.ValidateItem{LP: t.LP}
-		if wire.Sum64(cur) == t.Sum {
+		if curSum == t.Sum {
 			it.Form = wire.ValidateCurrent
 		} else {
 			// The peer's baseline differs from the current value. Its exact
@@ -431,6 +500,7 @@ func (rt *Runtime) serveValidate(m wire.Message) {
 		sv[t.LP] = cur
 		out.Items = append(out.Items, it)
 	}
+	rt.encTraceServe(encHits, encMisses)
 	rt.stats.cohRevalidateMsgs.Add(1)
 	rt.reply(m, wire.KindValidateReply, out.Encode(), "")
 }

@@ -1,0 +1,143 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartrpc/internal/core"
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+)
+
+// sumViaAPI walks a (possibly remote) tree through the core API inside
+// the calling runtime, faulting pages in as it goes.
+func sumViaAPI(rt *core.Runtime, v core.Value) (int64, error) {
+	if v.IsNullPtr() {
+		return 0, nil
+	}
+	ref, err := rt.Deref(v)
+	if err != nil {
+		return 0, err
+	}
+	sum, err := ref.Int("data", 0)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range []string{"left", "right"} {
+		c, err := ref.Ptr(f, 0)
+		if err != nil {
+			return 0, err
+		}
+		s, err := sumViaAPI(rt, c)
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum, nil
+}
+
+// TestEncodeCacheColdAfterRestart pins the crash-restart story of the
+// origin-side encode cache: the cache hangs off the Runtime, so a
+// restarted space starts cold — no pre-crash encodings survive to be
+// served stale, EncCacheBytes restarts at zero, and the first post-crash
+// serves are all misses against freshly built state.
+func TestEncodeCacheColdAfterRestart(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { net.Close() })
+	chaos := New(net, Config{Seed: 11})
+
+	reg := registry()
+	newRT := func(id uint32) *core.Runtime {
+		node, err := chaos.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := core.New(core.Options{
+			ID:              id,
+			Node:            node,
+			Registry:        reg,
+			Policy:          core.PolicySmart,
+			Concurrent:      true,
+			CallTimeout:     5 * time.Second,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := registerProcs(rt, 2); err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	ground := newRT(1)
+	t.Cleanup(func() { ground.Close() })
+	worker := newRT(2)
+
+	// Session 1: the worker owns a tree, the ground walks it. Every fetch
+	// the worker serves feeds its encode cache.
+	rng := rand.New(rand.NewSource(3))
+	root, model, err := buildTree(worker, rng, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := func(rootV core.Value, label string) int64 {
+		t.Helper()
+		v, err := ground.ImportPtr(rootV.LP)
+		if err != nil {
+			t.Fatalf("%s: import: %v", label, err)
+		}
+		if err := ground.BeginSession(); err != nil {
+			t.Fatalf("%s: begin: %v", label, err)
+		}
+		sum, err := sumViaAPI(ground, v)
+		if err != nil {
+			t.Fatalf("%s: walk: %v", label, err)
+		}
+		if err := ground.EndSession(); err != nil {
+			t.Fatalf("%s: end: %v", label, err)
+		}
+		return sum
+	}
+	if got, want := walk(root, "pre-crash"), model.sum(); got != want {
+		t.Fatalf("pre-crash sum = %d, want %d", got, want)
+	}
+	warm := worker.Stats()
+	if warm.EncCacheBytes == 0 || warm.EncCacheMisses == 0 {
+		t.Fatalf("serving did not warm the encode cache: %+v", warm)
+	}
+
+	// Crash-restart the worker: close it and attach a fresh runtime under
+	// the same ID. Its heap, tables, and encode cache are all gone.
+	_ = worker.Close()
+	worker = newRT(2)
+	t.Cleanup(func() { worker.Close() })
+	cold := worker.Stats()
+	if cold.EncCacheBytes != 0 || cold.EncCacheHits != 0 || cold.EncCacheMisses != 0 {
+		t.Fatalf("restarted space's encode cache is not cold: %+v", cold)
+	}
+
+	// The restarted worker serves fresh data correctly, from a cold cache:
+	// the first walk is all misses, no hits carried over.
+	root2, model2, err := buildTree(worker, rng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := walk(root2, "post-crash"), model2.sum(); got != want {
+		t.Fatalf("post-crash sum = %d, want %d", got, want)
+	}
+	after := worker.Stats()
+	if after.EncCacheHits != 0 {
+		t.Errorf("post-crash serves hit %d cached entries; the cache must start empty", after.EncCacheHits)
+	}
+	if after.EncCacheMisses == 0 || after.EncCacheBytes == 0 {
+		t.Errorf("post-crash serves did not repopulate the cache: %+v", after)
+	}
+	if err := worker.CheckLocalInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

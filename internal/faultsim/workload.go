@@ -47,7 +47,12 @@ type Scenario struct {
 	// Prefetch enables the asynchronous speculative prefetcher on every
 	// space, so fetch chaos also hits speculative FETCH exchanges and
 	// their in-flight registry joins.
-	Prefetch    bool
+	Prefetch bool
+	// EncodeCache enables the origin-side encode cache on every space, so
+	// the chaos mix (crashes included — a restarted space is cold by
+	// construction) also runs with cached serve paths and their
+	// invalidation machinery engaged.
+	EncodeCache bool
 	CallTimeout time.Duration
 }
 
@@ -82,6 +87,10 @@ func DefaultScenario(seed uint64) Scenario {
 	// Drawn last so the scenarios older seeds derive stay unchanged in
 	// every other dimension.
 	sc.Prefetch = rng.Intn(2) == 0
+	// Drawn after Prefetch for the same reason: on for most seeds (the
+	// production default), off for some so the ablated serve paths soak
+	// too.
+	sc.EncodeCache = rng.Intn(4) != 0
 	return sc
 }
 
@@ -379,9 +388,10 @@ func (h *harness) newRuntime(id uint32) (*core.Runtime, error) {
 		ID:               id,
 		Node:             node,
 		Registry:         h.reg,
-		Policy:           h.sc.Policy,
-		DisableDeltaShip: h.sc.DisableDeltaShip,
-		Prefetch:         h.sc.Prefetch,
+		Policy:             h.sc.Policy,
+		DisableDeltaShip:   h.sc.DisableDeltaShip,
+		Prefetch:           h.sc.Prefetch,
+		DisableEncodeCache: !h.sc.EncodeCache,
 		Concurrent:       true,
 		CallTimeout:      h.sc.CallTimeout,
 		CheckInvariants:  true,
