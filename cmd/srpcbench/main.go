@@ -34,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("srpcbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|scaleout|all")
+	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|scaleout|concurrent|all")
 	nodes := fs.Int("nodes", 32767, "tree size (2^k - 1 nodes)")
 	closure := fs.Int("closure", 8192, "closure size in bytes")
 	repeats := fs.Int("repeats", 10, "repeated searches for fig6")
@@ -74,12 +74,14 @@ func run(args []string) error {
 			return pipeline(model, *nodes, *closure)
 		case "scaleout":
 			return scaleout(model, *nodes, *closure)
+		case "concurrent":
+			return concurrent(*nodes, *closure)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline", "scaleout"} {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline", "scaleout", "concurrent"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
@@ -416,6 +418,54 @@ func scaleout(model netsim.Model, nodes, closure int) error {
 		fmt.Printf("%-18s %-8d %-7.2f %-10.3f %-10d %-12d %-9d %-9d %-8d %-8d %-10d\n",
 			p.name, p.clients, p.ratio, sec(res.Time), res.Messages, res.Bytes,
 			res.EncHits, res.EncMisses, res.EncEvictions, res.EncInvalidations, res.EncBytes)
+	}
+	return nil
+}
+
+// concurrent prints the overlapping-sessions workload: K client spaces
+// run sessions against one shared origin at the same time, and every
+// run's history is verified linearizable by internal/histcheck before
+// its numbers are printed. Traffic and wall time vary with the real
+// interleaving; the operation counts are seed-deterministic.
+func concurrent(nodes, closure int) error {
+	if csv {
+		fmt.Println("concurrent.clients,write_ratio,sessions,reads,writes,checked_ops,partitions,check_s,wall_s,messages,net_bytes")
+	} else {
+		fmt.Printf("\n== Concurrent sessions: clients sharing one origin, tree %d nodes, closure %d bytes ==\n",
+			nodes, closure)
+		fmt.Printf("   every row's history verified linearizable (internal/histcheck)\n")
+		fmt.Printf("%-8s %-7s %-9s %-7s %-7s %-9s %-11s %-9s %-9s %-10s %-12s\n",
+			"clients", "ratio", "sessions", "reads", "writes", "checked", "partitions", "check(s)", "wall(s)", "messages", "bytes")
+	}
+	for _, p := range []struct {
+		clients int
+		ratio   float64
+	}{
+		{2, 0.25},
+		{4, 0.25},
+		{8, 0},
+		{8, 0.05},
+		{8, 0.25},
+	} {
+		res, err := bench.RunConcurrent(bench.ConcurrentConfig{
+			Nodes:       nodes,
+			ClosureSize: closure,
+			Clients:     p.clients,
+			WriteRatio:  p.ratio,
+			Seed:        1,
+		})
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Printf("%d,%.2f,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d\n",
+				p.clients, p.ratio, res.Sessions, res.Reads, res.Writes,
+				res.CheckedOps, res.Partitions, sec(res.CheckTime), sec(res.Wall), res.Messages, res.Bytes)
+			continue
+		}
+		fmt.Printf("%-8d %-7.2f %-9d %-7d %-7d %-9d %-11d %-9.3f %-9.3f %-10d %-12d\n",
+			p.clients, p.ratio, res.Sessions, res.Reads, res.Writes,
+			res.CheckedOps, res.Partitions, sec(res.CheckTime), sec(res.Wall), res.Messages, res.Bytes)
 	}
 	return nil
 }

@@ -48,6 +48,7 @@ func run(args []string) error {
 	crash := fs.Int("crash", -1, "override per-op crash-restart probability, permille")
 	partition := fs.Int("partition", -1, "override per-op one-way-partition probability, permille")
 	noShrink := fs.Bool("noshrink", false, "skip shrinking on failure (faster triage)")
+	concurrent := fs.Bool("concurrent", false, "force the concurrent (goroutine-per-space) workload with the linearizability oracle for every scenario; about a third of seeds draw it anyway")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +83,9 @@ func run(args []string) error {
 		}
 		if *partition >= 0 {
 			sc.PartitionPermille = *partition
+		}
+		if *concurrent {
+			sc.Concurrent = true
 		}
 		return sc, nil
 	}

@@ -1,0 +1,148 @@
+package arch_test
+
+import (
+	"reflect"
+	"testing"
+
+	"smartrpc/internal/arch"
+	"smartrpc/internal/types"
+)
+
+// The tests in this file pin the word-size, alignment, and endianness
+// corner cases that make heterogeneity real: the same descriptor must
+// produce a different concrete layout under each profile, with the
+// pointer map the swizzler walks landing exactly where C rules put it.
+// They live in the external test package because layout computation
+// belongs to package types; arch only supplies the parameters.
+
+// mixed is a descriptor chosen so every layout rule matters: a 1-byte
+// field before a pointer (forces pointer-alignment padding), a pointer
+// array (one PtrOffsets entry per element), a small scalar before an
+// 8-byte field (forces MaxAlign-capped padding), and tail padding.
+func mixed() *types.Desc {
+	return &types.Desc{
+		ID: 7, Name: "Mixed",
+		Fields: []types.Field{
+			{Name: "tag", Kind: types.Uint8},
+			{Name: "next", Kind: types.Ptr, Elem: 7},
+			{Name: "kids", Kind: types.Ptr, Elem: 7, Count: 2},
+			{Name: "small", Kind: types.Int16},
+			{Name: "wide", Kind: types.Float64},
+			{Name: "flag", Kind: types.Bool},
+		},
+	}
+}
+
+func TestLayoutCornerCases(t *testing.T) {
+	cases := []struct {
+		profile    arch.Profile
+		size       int
+		align      int
+		offsets    []int // one per field, first element
+		ptrOffsets []int
+	}{
+		{
+			// 32-bit big-endian, natural alignment: pointer fields are 4
+			// bytes aligned to 4, the float64 aligns to 8.
+			profile: arch.SPARC32(),
+			size:    40,
+			align:   8,
+			offsets: []int{0, 4, 8, 16, 24, 32},
+			// next at 4; kids[0] at 8, kids[1] at 12.
+			ptrOffsets: []int{4, 8, 12},
+		},
+		{
+			// 64-bit little-endian: pointers double to 8 bytes, pushing
+			// every later field out and doubling the pointer-map stride.
+			profile:    arch.Alpha64(),
+			size:       56,
+			align:      8,
+			offsets:    []int{0, 8, 16, 32, 40, 48},
+			ptrOffsets: []int{8, 16, 24},
+		},
+		{
+			// 68k-style 2-byte packing: MaxAlign 2 caps every alignment, so
+			// the float64 sits at an offset no natural-alignment machine
+			// would ever produce and there is almost no padding.
+			profile:    arch.M68K32(),
+			size:       26,
+			align:      2,
+			offsets:    []int{0, 2, 6, 14, 16, 24},
+			ptrOffsets: []int{2, 6, 10},
+		},
+	}
+	d := mixed()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.profile.Name, func(t *testing.T) {
+			l := types.LayoutOf(d, tc.profile)
+			if l.Size != tc.size || l.Align != tc.align {
+				t.Errorf("size/align = %d/%d, want %d/%d", l.Size, l.Align, tc.size, tc.align)
+			}
+			var got []int
+			for _, f := range l.Fields {
+				got = append(got, f.Offset)
+			}
+			if !reflect.DeepEqual(got, tc.offsets) {
+				t.Errorf("field offsets = %v, want %v", got, tc.offsets)
+			}
+			if !reflect.DeepEqual(l.PtrOffsets, tc.ptrOffsets) {
+				t.Errorf("pointer map = %v, want %v", l.PtrOffsets, tc.ptrOffsets)
+			}
+		})
+	}
+}
+
+// TestLayoutWordSizeIndependentCanonical pins the property that makes
+// the layouts above interoperable: the canonical (XDR) size of a type
+// is the same no matter which profile each space runs, so a SPARC and
+// an Alpha exchange identical wire bodies even though their in-memory
+// sizes differ.
+func TestLayoutWordSizeIndependentCanonical(t *testing.T) {
+	d := mixed()
+	want := d.CanonicalSize()
+	for _, p := range []arch.Profile{arch.SPARC32(), arch.Alpha64(), arch.M68K32()} {
+		l := types.LayoutOf(d, p)
+		if l.Size == want {
+			// Not an error — just document that any agreement is
+			// coincidence, not a requirement.
+			t.Logf("%s: in-memory size %d happens to equal canonical size", p.Name, l.Size)
+		}
+		if got := d.CanonicalSize(); got != want {
+			t.Errorf("%s: canonical size %d, want %d", p.Name, got, want)
+		}
+	}
+}
+
+// TestLayoutPointerAlignBelowSize covers the corner where PointerAlign
+// is smaller than PointerSize (legal: alignment and size are separate
+// profile knobs): an 8-byte pointer aligned to 4 may straddle what a
+// natural-alignment machine would consider a boundary.
+func TestLayoutPointerAlignBelowSize(t *testing.T) {
+	p := arch.Profile{
+		Name:         "packed64",
+		PointerSize:  8,
+		PointerAlign: 4,
+		MaxAlign:     8,
+		Order:        arch.LittleEndian,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := &types.Desc{
+		ID: 8, Name: "P",
+		Fields: []types.Field{
+			{Name: "b", Kind: types.Uint32},
+			{Name: "p", Kind: types.Ptr, Elem: 8},
+		},
+	}
+	l := types.LayoutOf(d, p)
+	if l.Fields[1].Offset != 4 {
+		t.Errorf("pointer offset = %d, want 4 (align 4 beats size 8)", l.Fields[1].Offset)
+	}
+	if l.Size != 12 {
+		t.Errorf("size = %d, want 12", l.Size)
+	}
+}

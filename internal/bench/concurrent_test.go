@@ -1,0 +1,73 @@
+package bench
+
+import "testing"
+
+// TestConcurrentDeterministicCounts pins the snapshot contract of the
+// concurrent family: the operation counts are a function of the
+// per-client seed streams alone, so two runs of the same configuration
+// must agree on every drift-checked column even though the real
+// goroutine interleaving differs between them.
+func TestConcurrentDeterministicCounts(t *testing.T) {
+	cfg := ConcurrentConfig{
+		Nodes:      255,
+		Clients:    4,
+		Rounds:     2,
+		Visits:     6,
+		WriteRatio: 0.25,
+		Seed:       42,
+	}
+	a, err := RunConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want := uint64(cfg.Clients * cfg.Rounds); a.Sessions != want {
+		t.Errorf("sessions = %d, want %d", a.Sessions, want)
+	}
+	if total := a.Reads + a.Writes; total != uint64(cfg.Clients*cfg.Rounds*cfg.Visits) {
+		t.Errorf("reads+writes = %d, want %d", total, cfg.Clients*cfg.Rounds*cfg.Visits)
+	}
+	if a.Writes == 0 {
+		t.Error("write ratio 0.25 produced no writes")
+	}
+	if a.CheckedOps == 0 {
+		t.Error("checker saw no operations")
+	}
+	if a.Partitions == 0 {
+		t.Error("checker saw no object partitions")
+	}
+
+	if a.Sessions != b.Sessions || a.Reads != b.Reads || a.Writes != b.Writes ||
+		a.CheckedOps != b.CheckedOps || a.Partitions != b.Partitions {
+		t.Errorf("drift-checked columns differ between identical runs:\n  run 1: %+v\n  run 2: %+v", a, b)
+	}
+}
+
+// TestConcurrentReadOnly covers the ratio-0 row: with no writes every
+// read must return the initial tree values, and the checker still gets
+// a non-trivial history to verify.
+func TestConcurrentReadOnly(t *testing.T) {
+	res, err := RunConcurrent(ConcurrentConfig{
+		Nodes:   255,
+		Clients: 2,
+		Rounds:  2,
+		Visits:  4,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 0 {
+		t.Errorf("read-only run recorded %d writes", res.Writes)
+	}
+	if res.Reads != uint64(2*2*4) {
+		t.Errorf("reads = %d, want %d", res.Reads, 2*2*4)
+	}
+	if res.CheckedOps == 0 {
+		t.Error("checker saw no operations")
+	}
+}

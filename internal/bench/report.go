@@ -33,7 +33,7 @@ type Report struct {
 // ReportRow is one benchmark point.
 type ReportRow struct {
 	// Figure tags the experiment family: fig4, fig6, fetch-batch,
-	// coh-delta, warm-sessions, pipeline, or scaleout.
+	// coh-delta, warm-sessions, pipeline, scaleout, or concurrent.
 	Figure string `json:"figure"`
 	// Config identifies the point within the family.
 	Policy  string  `json:"policy"`
@@ -89,6 +89,19 @@ type ReportRow struct {
 	EncEvictions     uint64 `json:"enc_evictions,omitempty"`
 	EncInvalidations uint64 `json:"enc_invalidations,omitempty"`
 	EncBytes         uint64 `json:"enc_bytes,omitempty"`
+	// Concurrent columns (schema 6, concurrent rows only): committed
+	// sessions, the read/write split, and the linearizability checker's
+	// history size and per-object partition count — all functions of the
+	// per-client seed streams alone, so they are the only columns of a
+	// concurrent row that drift-checking compares (traffic and timing
+	// are interleaving-dependent under real concurrency). ConcCheckSec
+	// is the checker's wall time, host-dependent like WallSec.
+	ConcSessions   uint64  `json:"conc_sessions,omitempty"`
+	ConcReads      uint64  `json:"conc_reads,omitempty"`
+	ConcWrites     uint64  `json:"conc_writes,omitempty"`
+	ConcCheckedOps uint64  `json:"conc_checked_ops,omitempty"`
+	ConcPartitions uint64  `json:"conc_partitions,omitempty"`
+	ConcCheckSec   float64 `json:"conc_check_sec,omitempty"`
 
 	// Host-dependent outputs (regression-checked with slack).
 	WallSec         float64 `json:"wall_sec"`
@@ -118,7 +131,7 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	rep := Report{Schema: 5, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
+	rep := Report{Schema: 6, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
 
 	var points []reportPoint
 	for _, pol := range []struct {
@@ -234,7 +247,77 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
+
+	// The concurrent family (schema 6): K clients holding truly
+	// overlapping sessions over one shared origin, every run verified
+	// linearizable by internal/histcheck. Only the seed-deterministic
+	// operation counts are drift-checked.
+	for _, cp := range []struct {
+		clients int
+		ratio   float64
+	}{
+		{2, 0.25},
+		{4, 0.25},
+		{8, 0},
+		{8, 0.05},
+		{8, 0.25},
+	} {
+		row, err := measureConcurrentPoint(nodes, closure, runs, cp.clients, cp.ratio)
+		if err != nil {
+			return Report{}, fmt.Errorf("report concurrent/%d/%.2f: %w", cp.clients, cp.ratio, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
 	return rep, nil
+}
+
+// measureConcurrentPoint runs one concurrent-sessions configuration and
+// fills a concurrent row. The network model is left free: virtual time
+// is ill-defined when sessions overlap, so the row's timing column is
+// wall clock and its deterministic columns are the operation counts.
+func measureConcurrentPoint(nodes, closure, runs int, clients int, ratio float64) (ReportRow, error) {
+	cfg := ConcurrentConfig{
+		Nodes:       nodes,
+		ClosureSize: closure,
+		Clients:     clients,
+		WriteRatio:  ratio,
+		Seed:        1,
+	}
+	if _, err := RunConcurrent(cfg); err != nil { // warm-up
+		return ReportRow{}, err
+	}
+	var last ConcurrentResult
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		res, err := RunConcurrent(cfg)
+		if err != nil {
+			return ReportRow{}, err
+		}
+		last = res
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms2)
+	return ReportRow{
+		Figure:          "concurrent",
+		Policy:          "smart-concurrent",
+		Ratio:           ratio,
+		Closure:         closure,
+		Clients:         clients,
+		Messages:        last.Messages,
+		NetBytes:        last.Bytes,
+		ConcSessions:    last.Sessions,
+		ConcReads:       last.Reads,
+		ConcWrites:      last.Writes,
+		ConcCheckedOps:  last.CheckedOps,
+		ConcPartitions:  last.Partitions,
+		ConcCheckSec:    last.CheckTime.Seconds(),
+		WallSec:         wall.Seconds() / float64(runs),
+		AllocsPerOp:     (ms2.Mallocs - ms1.Mallocs) / uint64(runs),
+		AllocBytesPerOp: (ms2.TotalAlloc - ms1.TotalAlloc) / uint64(runs),
+	}, nil
 }
 
 // measureScaleoutPoint runs one multi-client scale-out configuration and
@@ -426,6 +509,17 @@ func Check(baseline, cur Report) error {
 			if wantV != gotV {
 				drifts = append(drifts, fmt.Sprintf("%s: %s = %v, baseline %v", rowKey(want), col, gotV, wantV))
 			}
+		}
+		if want.Figure == "concurrent" {
+			// Concurrent rows run K goroutines against one origin: wire
+			// traffic and timing depend on the real interleaving, so only
+			// the seed-deterministic operation counts are compared.
+			check("conc_sessions", float64(want.ConcSessions), float64(got.ConcSessions))
+			check("conc_reads", float64(want.ConcReads), float64(got.ConcReads))
+			check("conc_writes", float64(want.ConcWrites), float64(got.ConcWrites))
+			check("conc_checked_ops", float64(want.ConcCheckedOps), float64(got.ConcCheckedOps))
+			check("conc_partitions", float64(want.ConcPartitions), float64(got.ConcPartitions))
+			continue
 		}
 		check("model_sec", want.ModelSec, got.ModelSec)
 		check("callbacks", float64(want.Callbacks), float64(got.Callbacks))

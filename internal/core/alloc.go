@@ -79,6 +79,7 @@ func (rt *Runtime) ExtendedMalloc(origin uint32, ty types.ID) (Value, error) {
 	if !fresh {
 		return Value{}, fmt.Errorf("core: provisional pointer %v collided", prov)
 	}
+	rt.touchObject(addr)
 	if err := rt.space.Zero(addr, layout.Size); err != nil {
 		return Value{}, err
 	}

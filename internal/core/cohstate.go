@@ -41,8 +41,12 @@ import (
 // a peer edge, in lockstep on both sides because both process the same
 // item stream in the same order; a delta or token item carries the
 // version it applies to, so any desynchronization is detected instead of
-// silently corrupting data. State is session-scoped: it is dropped with
-// the cache at invalidation.
+// silently corrupting data. State is session-scoped: each edge is tagged
+// with the session it was recorded under, and a session's edges are
+// dropped with the cache at that session's invalidation. An origin
+// serving several concurrent sessions therefore keeps one independent
+// edge per client — one client's end-of-session invalidation must not
+// destroy the baselines another client's next delta will patch against.
 //
 // The Options.DisableDeltaShip ablation restores full shipping (the
 // paper's modeled protocol); it must be set identically on every space.
@@ -57,43 +61,71 @@ type cohView struct {
 	bytes []byte
 }
 
+// cohPeer is one edge's ship state: the views recorded for a peer, tagged
+// with the session they belong to. The protocol exchanges coherency items
+// on an edge only within one session at a time (distinct concurrent
+// clients are distinct peers), so a session change on an edge resets it.
+type cohPeer struct {
+	sess  uint64
+	views map[wire.LongPtr]*cohView
+}
+
 // cohState is a runtime's delta-shipping memory, guarded by its own
 // mutex: the send side runs on the session's active thread while the
-// receive side runs on dispatcher-spawned handlers.
+// receive side runs on dispatcher-spawned handlers — with concurrent
+// shared-origin sessions, several of each at once.
 type cohState struct {
 	mu    sync.Mutex
-	peers map[uint32]map[wire.LongPtr]*cohView
+	peers map[uint32]*cohPeer
 }
 
-func (cs *cohState) viewsFor(peer uint32) map[wire.LongPtr]*cohView {
+// viewsFor returns the edge state for (peer, sess). An edge recorded
+// under a different session is reset: its old baselines belong to a
+// session that ended (or died) without this space seeing the teardown,
+// and patching against them would corrupt data silently.
+func (cs *cohState) viewsFor(peer uint32, sess uint64) map[wire.LongPtr]*cohView {
 	if cs.peers == nil {
-		cs.peers = make(map[uint32]map[wire.LongPtr]*cohView)
+		cs.peers = make(map[uint32]*cohPeer)
 	}
-	m := cs.peers[peer]
-	if m == nil {
-		m = make(map[wire.LongPtr]*cohView)
-		cs.peers[peer] = m
+	p := cs.peers[peer]
+	if p == nil || p.sess != sess {
+		p = &cohPeer{sess: sess, views: make(map[wire.LongPtr]*cohView)}
+		cs.peers[peer] = p
 	}
-	return m
+	return p.views
 }
 
-// clear drops all ship state (session teardown and cache invalidation).
+// clear drops all ship state (the failure-reset path: AbortSession).
 func (cs *cohState) clear() {
 	cs.mu.Lock()
 	cs.peers = nil
 	cs.mu.Unlock()
 }
 
+// clearSession drops every edge recorded under sess (end-of-session
+// teardown and received invalidations), leaving other sessions' edges
+// untouched.
+func (cs *cohState) clearSession(sess uint64) {
+	cs.mu.Lock()
+	for peer, p := range cs.peers {
+		if p.sess == sess {
+			delete(cs.peers, peer)
+		}
+	}
+	cs.mu.Unlock()
+}
+
 // deltaShipItems rewrites a coherency-path item batch bound for peer
-// through the ship state: items the peer already holds shrink to tokens
-// (or, when final, disappear), changed items become deltas when
-// profitable, and the rest ship full. Every surviving item advances the
-// datum's crossing version on this edge. final marks shipments after
-// which the receiver has no onward obligation (end-of-session and
-// coherence-writeback deliveries to the origin): there an unchanged item
-// is dropped outright instead of tokenized. The input slice is filtered
-// in place; item bytes are retained as the new recorded view.
-func (rt *Runtime) deltaShipItems(peer uint32, items []wire.DataItem, final bool) []wire.DataItem {
+// through the ship state for session sess: items the peer already holds
+// shrink to tokens (or, when final, disappear), changed items become
+// deltas when profitable, and the rest ship full. Every surviving item
+// advances the datum's crossing version on this edge. final marks
+// shipments after which the receiver has no onward obligation
+// (end-of-session and coherence-writeback deliveries to the origin):
+// there an unchanged item is dropped outright instead of tokenized. The
+// input slice is filtered in place; item bytes are retained as the new
+// recorded view.
+func (rt *Runtime) deltaShipItems(peer uint32, sess uint64, items []wire.DataItem, final bool) []wire.DataItem {
 	if rt.noDeltaShip || len(items) == 0 {
 		// Full shipping (the ablation) still feeds the accounting, so the
 		// two modes compare on the same coherency-path byte counters.
@@ -105,7 +137,7 @@ func (rt *Runtime) deltaShipItems(peer uint32, items []wire.DataItem, final bool
 	}
 	rt.coh.mu.Lock()
 	defer rt.coh.mu.Unlock()
-	views := rt.coh.viewsFor(peer)
+	views := rt.coh.viewsFor(peer, sess)
 	out := items[:0]
 	for _, it := range items {
 		v := views[it.LP]
@@ -158,14 +190,14 @@ func (rt *Runtime) deltaShipItems(peer uint32, items []wire.DataItem, final bool
 
 func pad4(n int) int { return (n + 3) &^ 3 }
 
-// cohReceive resolves an incoming coherency-path item from peer to its
-// full canonical bytes — patching a delta item against the recorded view
-// — and advances the ship state to mirror the sender's. fresh reports
-// whether the bytes differ from what this space last exchanged for the
-// datum: a false return means the local copy is already current and the
-// caller may skip re-installing the value (it must still honor the
-// item's dirty bit).
-func (rt *Runtime) cohReceive(peer uint32, it wire.DataItem) (full []byte, fresh bool, err error) {
+// cohReceive resolves an incoming coherency-path item from peer (within
+// session sess) to its full canonical bytes — patching a delta item
+// against the recorded view — and advances the ship state to mirror the
+// sender's. fresh reports whether the bytes differ from what this space
+// last exchanged for the datum: a false return means the local copy is
+// already current and the caller may skip re-installing the value (it
+// must still honor the item's dirty bit).
+func (rt *Runtime) cohReceive(peer uint32, sess uint64, it wire.DataItem) (full []byte, fresh bool, err error) {
 	if rt.noDeltaShip {
 		if it.Delta {
 			return nil, false, fmt.Errorf("core: delta item for %v received with delta shipping disabled", it.LP)
@@ -174,7 +206,7 @@ func (rt *Runtime) cohReceive(peer uint32, it wire.DataItem) (full []byte, fresh
 	}
 	rt.coh.mu.Lock()
 	defer rt.coh.mu.Unlock()
-	views := rt.coh.viewsFor(peer)
+	views := rt.coh.viewsFor(peer, sess)
 	v := views[it.LP]
 	if it.Delta {
 		if v == nil {

@@ -1,0 +1,676 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"smartrpc/internal/histcheck"
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/wire"
+)
+
+// histGlue is the tracer that wires a runtime's session lifecycle events
+// into a histcheck client, stamping the session-begin and
+// end-of-session-ack times the checker's windows are built from.
+type histGlue struct{ c *histcheck.Client }
+
+func (g histGlue) Trace(e Event) {
+	switch e.Kind {
+	case EvSessionBegin:
+		g.c.OnSessionBegin()
+	case EvSessionEnd:
+		g.c.OnSessionEnd()
+	}
+}
+
+// sharedCluster builds one origin (space 1) plus n client runtimes
+// (spaces 2..n+1) on an in-memory network. The mutator sees every
+// runtime's options.
+func sharedCluster(t testing.TB, n int, mut func(id uint32, o *Options)) (*Runtime, []*Runtime) {
+	t.Helper()
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	reg := newTestRegistry(t)
+	mk := func(id uint32) *Runtime {
+		node, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Concurrent: sessions on different runtimes overlap in real time,
+		// so the modified data set needs precise per-object write tracking.
+		o := Options{ID: id, Node: node, Registry: reg, Concurrent: true}
+		if mut != nil {
+			mut(id, &o)
+		}
+		rt, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = rt.Close() })
+		return rt
+	}
+	origin := mk(1)
+	clients := make([]*Runtime, n)
+	for i := range clients {
+		clients[i] = mk(uint32(i + 2))
+	}
+	return origin, clients
+}
+
+// treeNodeLPs walks a locally built tree and returns every node's long
+// pointer in preorder (matching buildTree's value assignment).
+func treeNodeLPs(t testing.TB, origin *Runtime, root Value) []wire.LongPtr {
+	t.Helper()
+	var out []wire.LongPtr
+	var walk func(v Value)
+	walk = func(v Value) {
+		if v.IsNullPtr() {
+			return
+		}
+		out = append(out, v.LP)
+		ref, err := origin.Deref(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := ref.Ptr("left", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ref.Ptr("right", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk(l)
+		walk(r)
+	}
+	walk(root)
+	return out
+}
+
+// initRecorder seeds the recorder with every node's committed value as
+// built at the origin.
+func initRecorder(t testing.TB, origin *Runtime, rec *histcheck.Recorder, nodes []wire.LongPtr) {
+	t.Helper()
+	for _, lp := range nodes {
+		v, err := origin.ImportPtr(lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := origin.Deref(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ref.Int("data", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Init(lp, d)
+	}
+}
+
+// TestConcurrentSessionsLinearizable is the coherency oracle for
+// concurrent shared-origin sessions: K clients hold overlapping sessions
+// over one origin's tree, each randomly reading and writing node values
+// through the full protocol stack (demand fetch, warm revalidation,
+// speculative prefetch, write-back, invalidate fan-out), while a
+// histcheck recorder captures every operation. The recorded history must
+// be linearizable against a sequential shared-tree model.
+func TestConcurrentSessionsLinearizable(t *testing.T) {
+	const (
+		treeLevels = 5 // 31 nodes
+		rounds     = 5
+		visits     = 6
+	)
+	configs := []struct {
+		name string
+		mut  func(id uint32, o *Options)
+	}{
+		{"full", func(id uint32, o *Options) {
+			// Warm cache, encode cache, and speculative prefetch all on:
+			// the richest machinery racing across sessions. SyncPrefetch
+			// keeps speculation on the workload goroutines so histories
+			// stay reproducible per seed.
+			o.CheckInvariants = true
+			o.Prefetch = true
+			o.SyncPrefetch = true
+			o.PageSize = 256
+			o.ClosureSize = 256
+		}},
+		{"ablated", func(id uint32, o *Options) {
+			// Seed protocol: no warm cache, no encode cache, no prefetch.
+			o.CheckInvariants = true
+			o.DisableWarmCache = true
+			o.DisableEncodeCache = true
+			o.PageSize = 256
+			o.ClosureSize = 256
+		}},
+	}
+	for _, cfg := range configs {
+		for _, k := range []int{2, 4, 8} {
+			for _, ratio := range []float64{0, 0.05, 0.25} {
+				name := fmt.Sprintf("%s/clients=%d/mut=%v", cfg.name, k, ratio)
+				t.Run(name, func(t *testing.T) {
+					origin, clients := sharedCluster(t, k, cfg.mut)
+					root := buildTree(t, origin, treeLevels)
+					nodes := treeNodeLPs(t, origin, root)
+					rec := histcheck.NewRecorder()
+					initRecorder(t, origin, rec, nodes)
+
+					var wg sync.WaitGroup
+					errs := make([]error, k)
+					for ci, rt := range clients {
+						hc := rec.Client(ci)
+						rt.SetTracer(histGlue{c: hc})
+						wg.Add(1)
+						go func(ci int, rt *Runtime, hc *histcheck.Client) {
+							defer wg.Done()
+							rng := rand.New(rand.NewSource(int64(1000*ci) + int64(k)<<20 + int64(ratio*100)))
+							for round := 0; round < rounds; round++ {
+								hs := hc.Begin()
+								if err := rt.BeginSession(); err != nil {
+									errs[ci] = err
+									hs.Abandon()
+									return
+								}
+								var opErr error
+								for v := 0; v < visits; v++ {
+									lp := nodes[rng.Intn(len(nodes))]
+									pv, err := rt.ImportPtr(lp)
+									if err != nil {
+										opErr = err
+										break
+									}
+									ref, err := rt.Deref(pv)
+									if err != nil {
+										opErr = err
+										break
+									}
+									if rng.Float64() < ratio {
+										wv := int64(ci+1)*1_000_000 + int64(round)*1_000 + int64(v)
+										opErr = hs.Write(lp, wv, func() error {
+											return ref.SetInt("data", 0, wv)
+										})
+									} else {
+										_, opErr = hs.Read(lp, func() (int64, error) {
+											return ref.Int("data", 0)
+										})
+									}
+									if opErr != nil {
+										break
+									}
+								}
+								if opErr != nil {
+									errs[ci] = opErr
+									rt.AbortSession()
+									hs.Abandon()
+									return
+								}
+								if err := rt.EndSession(); err != nil {
+									errs[ci] = err
+									rt.AbortSession()
+									hs.Abandon()
+									return
+								}
+								hs.Commit()
+							}
+						}(ci, rt, hc)
+					}
+					wg.Wait()
+					for ci, err := range errs {
+						if err != nil {
+							t.Fatalf("client %d: %v", ci, err)
+						}
+					}
+					start := time.Now()
+					res := rec.Check()
+					elapsed := time.Since(start)
+					if !res.Ok {
+						t.Fatalf("history not linearizable:\n%s", res.Err())
+					}
+					if res.Ops == 0 {
+						t.Fatal("recorder captured no operations")
+					}
+					if elapsed > 5*time.Second {
+						t.Errorf("checking %d ops over %d partitions took %v, want < 5s", res.Ops, res.Partitions, elapsed)
+					}
+					t.Logf("checked %d ops over %d partitions in %v", res.Ops, res.Partitions, elapsed)
+				})
+			}
+		}
+	}
+}
+
+// sessionRead performs one recorded read of lp's data field inside the
+// runtime's current session.
+func sessionRead(t *testing.T, rt *Runtime, hs *histcheck.Session, lp wire.LongPtr) int64 {
+	t.Helper()
+	v, err := rt.ImportPtr(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := rt.Deref(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hs.Read(lp, func() (int64, error) { return ref.Int("data", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestHistcheckCatchesSkippedInvalidate seeds the one coherency fault the
+// runtime can express (skipLocalInvalidate makes EndSession skip §3.4's
+// local invalidation, leaving the session's pages readable afterwards)
+// and proves the history checker catches the resulting stale read with a
+// small, self-explanatory counterexample.
+func TestHistcheckCatchesSkippedInvalidate(t *testing.T) {
+	origin, clients := sharedCluster(t, 2, func(id uint32, o *Options) {
+		// No warm cache: the faulty runtime keeps the stale copy as an
+		// exact resident page, the sharpest version of the bug (warm
+		// demotion would be skipped by the same fault anyway).
+		o.DisableWarmCache = true
+	})
+	reader, writer := clients[0], clients[1]
+	reader.skipLocalInvalidate = true
+
+	root := buildTree(t, origin, 3)
+	nodes := treeNodeLPs(t, origin, root)
+	rootLP := nodes[0]
+	rec := histcheck.NewRecorder()
+	initRecorder(t, origin, rec, nodes)
+	rc, wc := rec.Client(0), rec.Client(1)
+	reader.SetTracer(histGlue{c: rc})
+	writer.SetTracer(histGlue{c: wc})
+
+	// Reader session 1: cache the root (committed value 1).
+	hs := rc.Begin()
+	if err := reader.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sessionRead(t, reader, hs, rootLP); got != 1 {
+		t.Fatalf("initial read = %d, want 1", got)
+	}
+	if err := reader.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	hs.Commit()
+
+	// Writer session: overwrite the root and commit cleanly.
+	ws := wc.Begin()
+	if err := writer.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	wv, err := writer.ImportPtr(rootLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wref, err := writer.Deref(wv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Write(rootLP, 777, func() error { return wref.SetInt("data", 0, 777) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	ws.Commit()
+
+	// Reader session 2: the skipped invalidation left the old page
+	// resident, so this read never faults and observes the stale value.
+	hs2 := rc.Begin()
+	if err := reader.BeginSession(); err != nil {
+		t.Fatal(err)
+	}
+	stale := sessionRead(t, reader, hs2, rootLP)
+	if err := reader.EndSession(); err != nil {
+		t.Fatal(err)
+	}
+	hs2.Commit()
+	if stale != 1 {
+		t.Fatalf("seeded fault did not produce a stale read: got %d (want stale 1)", stale)
+	}
+
+	res := rec.Check()
+	if res.Ok {
+		t.Fatal("checker accepted a history containing a stale read")
+	}
+	if len(res.Counterexamples) != 1 {
+		t.Fatalf("got %d counterexamples, want 1:\n%s", len(res.Counterexamples), res.Err())
+	}
+	ce := res.Counterexamples[0]
+	if len(ce) > 12 {
+		t.Errorf("counterexample has %d operations, want <= 12:\n%s", len(ce), res.Err())
+	}
+	t.Logf("shrunk counterexample (%d ops):\n%s", len(ce), res.Err())
+}
+
+// cloneItems deep-copies a closure reply so it cannot alias scratch
+// buffers that are about to be recycled.
+func cloneItems(items []wire.DataItem) []wire.DataItem {
+	out := make([]wire.DataItem, len(items))
+	for i, it := range items {
+		out[i] = it
+		out[i].Bytes = append([]byte(nil), it.Bytes...)
+	}
+	return out
+}
+
+// itemsDiffer compares two closure replies item by item.
+func itemsDiffer(a, b []wire.DataItem) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("item count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].LP != b[i].LP {
+			return fmt.Sprintf("item %d: LP %v != %v", i, a[i].LP, b[i].LP)
+		}
+		if a[i].Dirty != b[i].Dirty || a[i].Delta != b[i].Delta || a[i].BaseVer != b[i].BaseVer {
+			return fmt.Sprintf("item %d: flags diverge", i)
+		}
+		if !bytes.Equal(a[i].Bytes, b[i].Bytes) {
+			return fmt.Sprintf("item %d: body bytes diverge", i)
+		}
+	}
+	return ""
+}
+
+// TestServeScratchPoolNoAliasing hammers the pooled closure-build scratch
+// from 8 goroutines with interleaved request shapes and byte-compares
+// every reply against a reference built with a private working set:
+// pooled reuse must never let one request's reply alias or inherit
+// another request's state.
+func TestServeScratchPoolNoAliasing(t *testing.T) {
+	rt, _ := pair(t, nil)
+	root := buildTree(t, rt, 5)
+	nodes := treeNodeLPs(t, rt, root)
+
+	// Distinct (wants, budget) shapes, like concurrent clients fetching
+	// different subtrees under different closure budgets.
+	type shape struct {
+		wants  []wire.LongPtr
+		budget int
+		ref    []wire.DataItem
+	}
+	picks := [][]wire.LongPtr{
+		{nodes[0]},
+		{nodes[1], nodes[len(nodes)/2]},
+		{nodes[len(nodes)-1]},
+		{nodes[2], nodes[3], nodes[5]},
+	}
+	budgets := []int{64, 256, 1024, 1 << 16}
+	shapes := make([]shape, 0, len(picks)*len(budgets))
+	for _, wants := range picks {
+		for _, budget := range budgets {
+			ref, err := rt.buildClosureItems(wants, 0, budget, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shapes = append(shapes, shape{wants: wants, budget: budget, ref: cloneItems(ref)})
+		}
+	}
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				s := shapes[(w*7+it)%len(shapes)]
+				// Exactly serveFetch's discipline: pooled scratch, read
+				// lock across the build, reset+return after the reply is
+				// consumed.
+				sc := serveScratchPool.Get().(*serveScratch)
+				rt.serveMu.RLock()
+				items, err := rt.buildClosureItems(s.wants, 0, s.budget, sc)
+				rt.serveMu.RUnlock()
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", w, it, err)
+				} else if d := itemsDiffer(items, s.ref); d != "" {
+					t.Errorf("worker %d iter %d (budget %d): reply diverges from reference: %s",
+						w, it, s.budget, d)
+				}
+				sc.reset()
+				serveScratchPool.Put(sc)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestTraceEventCoverage drives one workload per rare protocol path so
+// that every registered trace event kind fires at least once, then
+// iterates EventKinds(): a newly added event cannot ship without a test
+// that emits it (the history checker depends on trace fidelity).
+func TestTraceEventCoverage(t *testing.T) {
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	reg := newTestRegistry(t)
+	rec := &RecordingTracer{}
+	mk := func(id uint32, mut func(o *Options)) *Runtime {
+		node, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{ID: id, Node: node, Registry: reg}
+		if mut != nil {
+			mut(&o)
+		}
+		rt, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = rt.Close() })
+		rt.SetTracer(rec)
+		return rt
+	}
+	// origin1 serves the main tree with the default encode cache; origin2
+	// has a cache sized to hold one TreeNode encoding per shard but not
+	// two, so serving its tree must evict (a sequential scan over one
+	// tight shared LRU could otherwise complete hit-free AND evict-free).
+	origin1 := mk(1, nil)
+	origin2 := mk(4, func(o *Options) { o.EncodeCacheBytes = 16 * 40 })
+	// clientA exercises the warm-cache revalidation path.
+	clientA := mk(2, func(o *Options) { o.PageSize = 256; o.ClosureSize = 64 })
+	// clientB exercises speculative prefetch; no warm cache, so every
+	// session re-fetches and the origin's encode cache sees repeat serves.
+	clientB := mk(3, func(o *Options) {
+		o.DisableWarmCache = true
+		o.Prefetch = true
+		o.SyncPrefetch = true
+		o.PageSize = 256
+		o.ClosureSize = 64
+	})
+	registerSumProc(t, origin1)
+
+	t1 := buildTree(t, origin1, 5)
+	t2 := buildTree(t, origin2, 5)
+	t1lps := treeNodeLPs(t, origin1, t1)
+	t2lps := treeNodeLPs(t, origin2, t2)
+
+	walk := func(rt *Runtime, lp wire.LongPtr) int64 {
+		t.Helper()
+		v, err := rt.ImportPtr(lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := sumTree(rt, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	begin := func(rt *Runtime) {
+		t.Helper()
+		if err := rt.BeginSession(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := func(rt *Runtime) {
+		t.Helper()
+		if err := rt.EndSession(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// clientA session 1: a Call plus a full walk of origin1's tree.
+	// Call/Fault/Fetch/Install events; origin1's encode cache records its
+	// first-serve misses.
+	begin(clientA)
+	rv, err := clientA.ImportPtr(t1lps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := clientA.Call(1, "sumTree", []Value{rv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].Int64(); got != wantSum(5) {
+		t.Fatalf("remote sum = %d, want %d", got, wantSum(5))
+	}
+	if got := walk(clientA, t1lps[0]); got != wantSum(5) {
+		t.Fatalf("walked sum = %d, want %d", got, wantSum(5))
+	}
+	end(clientA)
+
+	// clientA session 2: revalidate the warm root (hit — nothing changed),
+	// then dirty it so EndSession write-backs and invalidates.
+	begin(clientA)
+	av, err := clientA.ImportPtr(t1lps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	aref, err := clientA.Deref(av)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := aref.Int("data", 0); err != nil || got != 1 {
+		t.Fatalf("root read = %d, %v; want 1", got, err)
+	}
+	if err := aref.SetInt("data", 0, 1001); err != nil {
+		t.Fatal(err)
+	}
+	end(clientA)
+
+	// origin1 mutates two interior nodes locally: proactive encode-cache
+	// invalidation now, warm-validate misses for clientA next session.
+	for _, lp := range []wire.LongPtr{t1lps[1], t1lps[2]} {
+		ov, err := origin1.ImportPtr(lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oref, err := origin1.Deref(ov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := oref.Int("data", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := oref.SetInt("data", 0, d+500); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// clientA session 3: re-walk — the mutated nodes miss revalidation.
+	begin(clientA)
+	if got, want := walk(clientA, t1lps[0]), wantSum(5)+1000+1000; got != want {
+		t.Fatalf("post-mutation sum = %d, want %d", got, want)
+	}
+	end(clientA)
+
+	// clientB session 1: touch only the root; the prefetcher speculates
+	// the rest of the frontier, and those completed-but-unaccessed pages
+	// drain as wasted at session end.
+	begin(clientB)
+	bv, err := clientB.ImportPtr(t1lps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bref, err := clientB.Deref(bv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bref.Int("data", 0); err != nil {
+		t.Fatal(err)
+	}
+	end(clientB)
+
+	// clientB sessions 2+3: two full walks. The second re-fetches
+	// everything (no warm cache) against an unchanged origin, so origin1
+	// serves it from the encode cache.
+	for i := 0; i < 2; i++ {
+		begin(clientB)
+		if got, want := walk(clientB, t1lps[0]), wantSum(5)+1000+1000; got != want {
+			t.Fatalf("clientB walk %d sum = %d, want %d", i, got, want)
+		}
+		end(clientB)
+	}
+
+	// clientB walks origin2's tree: serving it overflows origin2's tiny
+	// encode cache and evicts.
+	begin(clientB)
+	if got, want := walk(clientB, t2lps[0]), wantSum(5); got != want {
+		t.Fatalf("origin2 walk sum = %d, want %d", got, want)
+	}
+	end(clientB)
+
+	// A raw node sends origin1 a sealed-then-corrupted frame; the reply
+	// arrives only after the origin traced the rejection.
+	raw, err := net.Attach(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = raw.Close() })
+	m := wire.Message{Kind: wire.KindFetch, To: 1, Session: 42, Seq: 7}
+	m.Seal()
+	m.Session++ // covered by the checksum; From is stamped post-seal and is not
+	if err := raw.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := raw.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err == "" {
+		t.Fatal("corrupted frame was not rejected")
+	}
+
+	// Rebind-evict finale: origin1 frees a node clientA still holds a
+	// warm (non-resident) row for; the first-fit allocator hands the same
+	// address to clientA's next batched remote alloc, and the rebind must
+	// evict the stale row.
+	freedLP := t1lps[len(t1lps)-1]
+	fv, err := origin1.ImportPtr(freedLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := origin1.ExtendedFree(fv); err != nil {
+		t.Fatal(err)
+	}
+	begin(clientA)
+	if _, err := clientA.ExtendedMalloc(1, nodeType); err != nil {
+		t.Fatal(err)
+	}
+	end(clientA)
+
+	for _, k := range EventKinds() {
+		if rec.Count(k) == 0 {
+			t.Errorf("event kind %v was never emitted by the coverage workload", k)
+		}
+	}
+}

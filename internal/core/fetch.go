@@ -313,7 +313,7 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 	// Fetch replies bypass the delta-shipping state (coh=false): a datum
 	// is fetched at most once per session, so there is no baseline to
 	// diff against and tracking it would desynchronize the edge.
-	if err := rt.installItems(origin, rp.Items, false); err != nil {
+	if err := rt.installItems(origin, sess, rp.Items, false); err != nil {
 		return false, fmt.Errorf("fetch from space %d: install: %w", origin, err)
 	}
 	if spec {
@@ -696,7 +696,7 @@ func (rt *Runtime) writeOne(lp wire.LongPtr, data []byte) error {
 	// Repeated read-modify-write of the same datum is the lazy baseline's
 	// whole life; ship only what changed since the origin last saw it,
 	// and nothing at all when the value is unchanged.
-	items := rt.deltaShipItems(lp.Space, []wire.DataItem{{LP: lp, Bytes: data}}, true)
+	items := rt.deltaShipItems(lp.Space, sess, []wire.DataItem{{LP: lp, Bytes: data}}, true)
 	if len(items) == 0 {
 		return nil
 	}

@@ -143,11 +143,14 @@ func (rt *Runtime) CheckLocalInvariants() error {
 	// modifications circulating, §3.4).
 	rt.modMu.Lock()
 	var badMod *wire.LongPtr
-	for lp := range rt.sessionModified {
-		if lp.Space != rt.id {
-			cp := lp
-			badMod = &cp
-			break
+modScan:
+	for _, set := range rt.sessionModified {
+		for lp := range set {
+			if lp.Space != rt.id {
+				cp := lp
+				badMod = &cp
+				break modScan
+			}
 		}
 	}
 	rt.modMu.Unlock()
@@ -225,9 +228,9 @@ func (rt *Runtime) CheckIdleInvariants() error {
 	}
 	rt.coh.mu.Lock()
 	var cohDetail string
-	for peer, views := range rt.coh.peers {
-		cohDetail += fmt.Sprintf(" peer %d:%d views", peer, len(views))
-		for lp := range views {
+	for peer, p := range rt.coh.peers {
+		cohDetail += fmt.Sprintf(" peer %d sess %#x:%d views", peer, p.sess, len(p.views))
+		for lp := range p.views {
 			cohDetail += fmt.Sprintf(" %v", lp)
 		}
 	}
@@ -239,7 +242,10 @@ func (rt *Runtime) CheckIdleInvariants() error {
 		return invariantErr(rt.id, "idle with %d batched allocation operations", n)
 	}
 	rt.modMu.Lock()
-	mods := len(rt.sessionModified)
+	mods := 0
+	for _, set := range rt.sessionModified {
+		mods += len(set)
+	}
 	rt.modMu.Unlock()
 	if mods != 0 {
 		return invariantErr(rt.id, "idle with %d session-modified entries", mods)
@@ -265,8 +271,18 @@ func CheckCohLockstep(a, b *Runtime) error {
 	hi.coh.mu.Lock()
 	defer hi.coh.mu.Unlock()
 
-	av := a.coh.peers[b.id]
-	bv := b.coh.peers[a.id]
+	var av, bv map[wire.LongPtr]*cohView
+	ap, bp := a.coh.peers[b.id], b.coh.peers[a.id]
+	if ap != nil {
+		av = ap.views
+	}
+	if bp != nil {
+		bv = bp.views
+	}
+	if ap != nil && bp != nil && ap.sess != bp.sess {
+		return invariantErr(a.id, "edge %d<->%d: ship state session split: %#x on space %d vs %#x on space %d",
+			a.id, b.id, ap.sess, a.id, bp.sess, b.id)
+	}
 	for lp, view := range av {
 		peer, ok := bv[lp]
 		if !ok {

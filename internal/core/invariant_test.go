@@ -108,9 +108,7 @@ func TestInvariantCatchesForeignModifiedEntry(t *testing.T) {
 	if err := caller.CheckLocalInvariants(); err != nil {
 		t.Fatalf("clean runtime fails local check: %v", err)
 	}
-	caller.modMu.Lock()
-	caller.sessionModified[wire.LongPtr{Space: 99, Addr: 0x1_0000, Type: nodeType}] = true
-	caller.modMu.Unlock()
+	caller.markModified(1, wire.LongPtr{Space: 99, Addr: 0x1_0000, Type: nodeType})
 	err := caller.CheckLocalInvariants()
 	if !errors.Is(err, ErrInvariant) {
 		t.Fatalf("foreign modified entry not caught, err = %v", err)
@@ -203,12 +201,12 @@ func TestInvariantCatchesVersionSplit(t *testing.T) {
 	// Advance one datum's crossing version on the caller side only —
 	// exactly what a dropped or duplicated items frame would cause.
 	caller.coh.mu.Lock()
-	views := caller.coh.peers[callee.ID()]
-	if len(views) == 0 {
+	edge := caller.coh.peers[callee.ID()]
+	if edge == nil || len(edge.views) == 0 {
 		caller.coh.mu.Unlock()
 		t.Fatal("no delta-shipping views recorded on the edge")
 	}
-	for _, v := range views {
+	for _, v := range edge.views {
 		v.ver++
 		break
 	}

@@ -138,8 +138,13 @@ type Options struct {
 	// Concurrent makes the simulated address space take an internal lock
 	// on data copies, giving word-level atomicity between application
 	// goroutines that share the runtime outside the RPC protocol (e.g. a
-	// multithreaded TCP server). The default relies on the protocol's
-	// single-active-thread property (§3.1, §3.4) and is lock-free.
+	// multithreaded TCP server). It also switches the modified data set
+	// to precise per-object write tracking: when other clients' sessions
+	// can commit between this space's fetch and its write-back,
+	// page-grain dirty shipping would carry stale unwritten neighbors
+	// home and overwrite their committed values. The default relies on
+	// the protocol's single-active-thread property (§3.1, §3.4) and is
+	// lock-free, shipping at page grain exactly as the paper specifies.
 	Concurrent bool
 	// CallTimeout bounds every remote round trip this runtime issues:
 	// Call requests, fetches, write-backs, invalidations, and alloc-batch
@@ -347,8 +352,26 @@ type Runtime struct {
 	noDeltaShip   bool
 	noWarmCache   bool
 	adaptiveEager bool
+	concurrent    bool
 	callTimeout   time.Duration
 	checkInv      bool
+
+	// skipLocalInvalidate, when set, makes EndSession skip the local
+	// demote/invalidate of this space's own cache after write-back. It
+	// exists solely so tests can seed a coherency violation (a stale read
+	// in the next session) and prove the history checker catches it;
+	// nothing in the runtime ever sets it.
+	skipLocalInvalidate bool
+
+	// touched records, per session, the cache addresses of foreign
+	// objects this space actually wrote (Ref setters), allocated
+	// (ExtendedMalloc), or adopted a dirty obligation for (installItems).
+	// Dirty-page tracking alone is too coarse for the modified data set:
+	// a page holds several objects, and with concurrent sessions over a
+	// shared origin, writing back a stale unmodified neighbor from a
+	// dirty page would clobber another client's committed write.
+	touchedMu sync.Mutex
+	touched   map[vmem.VAddr]bool
 
 	hintMu sync.RWMutex
 	hints  map[types.ID]map[string]bool
@@ -423,16 +446,18 @@ type Runtime struct {
 	// per batch, not per allocation) and stores it here.
 	provMap atomic.Pointer[map[wire.LongPtr]wire.LongPtr]
 
-	// sessionModified tracks locally owned data modified during the
-	// current session by other spaces. The paper's protocol keeps the
-	// modified data set circulating with the thread of control until the
-	// session ends ("the modified data set is passed among the address
-	// spaces with the transition of thread activation"), so the origin
-	// must keep re-sending these with every outgoing transfer even after
-	// applying them — otherwise a space that cached the datum before the
-	// modification would read a stale copy.
+	// sessionModified tracks locally owned data modified by other spaces,
+	// keyed by the session that modified it. The paper's protocol keeps
+	// the modified data set circulating with the thread of control until
+	// the session ends ("the modified data set is passed among the
+	// address spaces with the transition of thread activation"), so the
+	// origin must keep re-sending these with every outgoing transfer even
+	// after applying them — otherwise a space that cached the datum
+	// before the modification would read a stale copy. Keying by session
+	// lets an origin serving several concurrent sessions drop one
+	// session's set at its end without disturbing the others'.
 	modMu           sync.Mutex
-	sessionModified map[wire.LongPtr]bool
+	sessionModified map[uint64]map[wire.LongPtr]bool
 	modScratch      []wire.LongPtr // reusable key buffer for modifiedSetItems
 
 	// coh is the delta-shipping ship state (cohstate.go).
@@ -512,6 +537,7 @@ func New(opts Options) (*Runtime, error) {
 		noDeltaShip:     opts.DisableDeltaShip,
 		noWarmCache:     opts.DisableWarmCache,
 		adaptiveEager:   opts.AdaptiveEagerness,
+		concurrent:      opts.Concurrent,
 		callTimeout:     opts.CallTimeout,
 		checkInv:        opts.CheckInvariants,
 		procs:           make(map[string]Handler),
@@ -520,7 +546,7 @@ func New(opts Options) (*Runtime, error) {
 		dups:            make(map[uint32]*seqWindow),
 		parts:           make(map[uint32]bool),
 		batch:           make(map[uint32]*originBatch),
-		sessionModified: make(map[wire.LongPtr]bool),
+		sessionModified: make(map[uint64]map[wire.LongPtr]bool),
 		stop:            make(chan struct{}),
 		done:            make(chan struct{}),
 	}

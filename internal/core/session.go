@@ -47,6 +47,10 @@ func (rt *Runtime) BeginSession() error {
 	rt.sess = uint64(rt.id)<<32 | (sessionCounter.Add(1) & 0xffffffff)
 	rt.ground = true
 	rt.parts = make(map[uint32]bool)
+	// Defensive: a fresh session must start with no write obligations; a
+	// torn-down adopted session that never saw its invalidate could
+	// otherwise leak touched addresses into reused cache slots.
+	rt.clearTouched()
 	rt.pfBegin(rt.sess)
 	rt.trace(Event{Kind: EvSessionBegin})
 	return nil
@@ -120,7 +124,7 @@ func (rt *Runtime) EndSession() error {
 		}
 		// The ship-state transform runs sequentially (it mutates shared
 		// per-peer views); only the network round trips overlap below.
-		items = rt.deltaShipItems(origin, items, true)
+		items = rt.deltaShipItems(origin, sess, items, true)
 		if len(items) == 0 {
 			// The origin already holds every final value (it received
 			// them on an earlier crossing): no write-back needed.
@@ -190,7 +194,11 @@ func (rt *Runtime) EndSession() error {
 	// dirty collection above already encoded every modified datum on this
 	// crossing; hand those bytes to the demotion so it does not encode the
 	// same objects a second time.
-	if rt.warmEnabled() {
+	if rt.skipLocalInvalidate {
+		// Test-only fault injection: leave the local cache readable across
+		// the session boundary so the history checker can prove it catches
+		// the resulting stale read. Never set outside tests.
+	} else if rt.warmEnabled() {
 		var preEnc map[wire.LongPtr][]byte
 		if len(dirty) > 0 {
 			preEnc = make(map[wire.LongPtr][]byte, len(dirty))
@@ -203,8 +211,12 @@ func (rt *Runtime) EndSession() error {
 		rt.space.InvalidateCache()
 		rt.table.Invalidate()
 	}
-	rt.clearModified()
-	rt.coh.clear()
+	// Teardown is session-selective: this runtime may simultaneously be a
+	// passive origin for other clients' sessions, whose delta baselines
+	// and circulating modified sets must survive this session's end.
+	rt.clearTouched()
+	rt.clearModified(sess)
+	rt.coh.clearSession(sess)
 	rt.trace(Event{Kind: EvSessionEnd})
 	rt.sessMu.Lock()
 	rt.sess = 0
@@ -244,7 +256,11 @@ func (rt *Runtime) AbortSession() {
 	rt.allocMu.Lock()
 	rt.batch = make(map[uint32]*originBatch)
 	rt.allocMu.Unlock()
-	rt.clearModified()
+	// The abort clears are deliberately global (unlike EndSession's):
+	// recovery drives every space back to a zero-coherency-state idle, and
+	// a wedged peer session's leftovers must not survive it.
+	rt.clearTouched()
+	rt.clearAllModified()
 	rt.coh.clear()
 	rt.trace(Event{Kind: EvSessionEnd})
 }
@@ -352,7 +368,7 @@ func (rt *Runtime) Call(target uint32, proc string, args []Value) ([]Value, erro
 		if len(reply.Payload) > 0 {
 			if rp, derr := wire.DecodeCallPayload(reply.Payload); derr == nil {
 				rt.mergeParts(rp.Parts)
-				_ = rt.installItems(target, rp.Items, true)
+				_ = rt.installItems(target, sess, rp.Items, true)
 			}
 		}
 		return nil, fmt.Errorf("call %s@%d: remote: %s", proc, target, reply.Err)
@@ -362,7 +378,7 @@ func (rt *Runtime) Call(target uint32, proc string, args []Value) ([]Value, erro
 		return nil, fmt.Errorf("call %s@%d: decode return: %w", proc, target, err)
 	}
 	rt.mergeParts(rp.Parts)
-	if err := rt.installItems(target, rp.Items, true); err != nil {
+	if err := rt.installItems(target, sess, rp.Items, true); err != nil {
 		return nil, fmt.Errorf("call %s@%d: install returned data: %w", proc, target, err)
 	}
 	return rt.argsToValues(rp.Args)
@@ -403,7 +419,7 @@ func (rt *Runtime) buildTransferPayload(sess uint64, peer uint32, args []Value) 
 		} else {
 			items = dirty
 		}
-		circulating, err := rt.modifiedSetItems()
+		circulating, err := rt.modifiedSetItems(sess)
 		if err != nil {
 			return nil, err
 		}
@@ -416,7 +432,7 @@ func (rt *Runtime) buildTransferPayload(sess uint64, peer uint32, args []Value) 
 		}
 		items = append(items, closure...)
 	}
-	items = rt.deltaShipItems(peer, items, false)
+	items = rt.deltaShipItems(peer, sess, items, false)
 	if rt.checkInv {
 		if err := rt.CheckLocalInvariants(); err != nil {
 			return nil, err
@@ -426,9 +442,9 @@ func (rt *Runtime) buildTransferPayload(sess uint64, peer uint32, args []Value) 
 }
 
 // modifiedSetItems encodes the current values of locally owned data that
-// was modified during this session, so the modified data set keeps
+// was modified during session sess, so the modified data set keeps
 // traveling with the thread of control (§3.4).
-func (rt *Runtime) modifiedSetItems() ([]wire.DataItem, error) {
+func (rt *Runtime) modifiedSetItems(sess uint64) ([]wire.DataItem, error) {
 	// The snapshot runs on every boundary crossing; reuse one scratch
 	// slice instead of allocating a fresh one each time. The scratch is
 	// claimed under modMu for the duration of the call (concurrent
@@ -436,7 +452,7 @@ func (rt *Runtime) modifiedSetItems() ([]wire.DataItem, error) {
 	rt.modMu.Lock()
 	lps := rt.modScratch[:0]
 	rt.modScratch = nil
-	for lp := range rt.sessionModified {
+	for lp := range rt.sessionModified[sess] {
 		lps = append(lps, lp)
 	}
 	rt.modMu.Unlock()
@@ -500,18 +516,40 @@ func (rt *Runtime) modifiedSetItems() ([]wire.DataItem, error) {
 	return items, nil
 }
 
-// dropModified forgets session-modified tracking for lp (used when the
-// datum is freed mid-session).
-func (rt *Runtime) dropModified(lp wire.LongPtr) {
+// markModified records lp in session sess's circulating modified set.
+func (rt *Runtime) markModified(sess uint64, lp wire.LongPtr) {
 	rt.modMu.Lock()
-	delete(rt.sessionModified, lp)
+	set := rt.sessionModified[sess]
+	if set == nil {
+		set = make(map[wire.LongPtr]bool)
+		rt.sessionModified[sess] = set
+	}
+	set[lp] = true
 	rt.modMu.Unlock()
 }
 
-// clearModified resets the session-modified set at session teardown. The
-// map is cleared rather than reallocated: its buckets are warm again by
-// the next session.
-func (rt *Runtime) clearModified() {
+// dropModified forgets session-modified tracking for lp across every
+// session (used when the datum is freed mid-session: the address may be
+// recycled, so no session may keep re-encoding it).
+func (rt *Runtime) dropModified(lp wire.LongPtr) {
+	rt.modMu.Lock()
+	for _, set := range rt.sessionModified {
+		delete(set, lp)
+	}
+	rt.modMu.Unlock()
+}
+
+// clearModified drops session sess's modified set at its teardown,
+// leaving other concurrent sessions' sets untouched.
+func (rt *Runtime) clearModified(sess uint64) {
+	rt.modMu.Lock()
+	delete(rt.sessionModified, sess)
+	rt.modMu.Unlock()
+}
+
+// clearAllModified resets every session's modified set (the failure
+// recovery path).
+func (rt *Runtime) clearAllModified() {
 	rt.modMu.Lock()
 	clear(rt.sessionModified)
 	rt.modMu.Unlock()
@@ -531,7 +569,7 @@ func (rt *Runtime) sendDirtyHome(sess uint64, dirty []wire.DataItem) error {
 			}
 			continue
 		}
-		items = rt.deltaShipItems(origin, items, true)
+		items = rt.deltaShipItems(origin, sess, items, true)
 		if len(items) == 0 {
 			continue // origin already holds every value
 		}
@@ -565,7 +603,7 @@ func (rt *Runtime) serveCall(m wire.Message) {
 		return
 	}
 	rt.mergeParts(p.Parts)
-	if err := rt.installItems(m.From, p.Items, true); err != nil {
+	if err := rt.installItems(m.From, m.Session, p.Items, true); err != nil {
 		rt.reply(m, wire.KindReturn, nil, fmt.Sprintf("install: %v", err))
 		return
 	}
@@ -610,7 +648,39 @@ func (rt *Runtime) serveCall(m wire.Message) {
 // table rows are demoted to revalidatable stale copies instead of being
 // dropped; the seed behavior (discard outright) remains for the other
 // policies and for DisableWarmCache.
+//
+// How much state goes depends on whether this space was adopted into the
+// ending session. A participant (rt.sess == m.Session) tears down fully:
+// cache, table, session identifier, batched allocations. A space that
+// merely served the session as a passive origin — including an origin
+// concurrently inside a *different* session of its own, or serving other
+// clients' sessions — must lose only the ending session's edges: its
+// delta-ship baselines and circulating modified set. Wiping another
+// client's baselines here is exactly the single-client assumption this
+// split removes ("delta ... without a baseline" failures when sessions
+// overlap on one origin).
 func (rt *Runtime) serveInvalidate(m wire.Message) {
+	rt.sessMu.Lock()
+	adopted := rt.sess == m.Session
+	rt.sessMu.Unlock()
+	if !adopted {
+		rt.clearModified(m.Session)
+		rt.coh.clearSession(m.Session)
+		if rt.checkInv {
+			// Other sessions' serves may be mutating the heap and cache
+			// concurrently; hold the serve lock so the checker reads a
+			// consistent snapshot.
+			rt.serveMu.RLock()
+			err := rt.CheckLocalInvariants()
+			rt.serveMu.RUnlock()
+			if err != nil {
+				rt.reply(m, wire.KindInvalidateAck, nil, err.Error())
+				return
+			}
+		}
+		rt.reply(m, wire.KindInvalidateAck, nil, "")
+		return
+	}
 	// Quiesce speculation before touching the cache (see EndSession). The
 	// wait cannot starve the ground's invalidation round trip: this serve
 	// runs on a pool worker, so the receive loop keeps routing the fetch
@@ -632,8 +702,12 @@ func (rt *Runtime) serveInvalidate(m wire.Message) {
 	rt.allocMu.Lock()
 	rt.batch = make(map[uint32]*originBatch)
 	rt.allocMu.Unlock()
-	rt.clearModified()
-	rt.coh.clear()
+	// The adopted session's write obligations died with its cache; a
+	// leftover touched address would misfire on whatever object a later
+	// session's swizzle places at the same cache slot.
+	rt.clearTouched()
+	rt.clearModified(m.Session)
+	rt.coh.clearSession(m.Session)
 	if rt.checkInv {
 		if err := rt.CheckIdleInvariants(); err != nil {
 			rt.reply(m, wire.KindInvalidateAck, nil, err.Error())
@@ -643,14 +717,60 @@ func (rt *Runtime) serveInvalidate(m wire.Message) {
 	rt.reply(m, wire.KindInvalidateAck, nil, "")
 }
 
-// collectDirtyItems encodes every object on a dirty cache page, clears the
-// dirty bits, and drops the pages back to read-only so later writes fault
-// again. This is the "modified data set" that travels with the thread of
-// control.
+// touchObject records that the cached foreign object at addr carries a
+// write-back obligation for the current session: this space wrote it,
+// allocated it, or adopted it as a circulating dirty item.
+func (rt *Runtime) touchObject(addr vmem.VAddr) {
+	rt.touchedMu.Lock()
+	if rt.touched == nil {
+		rt.touched = make(map[vmem.VAddr]bool)
+	}
+	rt.touched[addr] = true
+	rt.touchedMu.Unlock()
+}
+
+// touchedSnapshot returns the current session's touched set (nil when
+// nothing was written).
+func (rt *Runtime) touchedSnapshot() map[vmem.VAddr]bool {
+	rt.touchedMu.Lock()
+	defer rt.touchedMu.Unlock()
+	return rt.touched
+}
+
+// clearTouched drops the touched set at session end or abort.
+func (rt *Runtime) clearTouched() {
+	rt.touchedMu.Lock()
+	rt.touched = nil
+	rt.touchedMu.Unlock()
+}
+
+// touchedHas reports whether the object at addr carries a write-back
+// obligation in the current session.
+func (rt *Runtime) touchedHas(addr vmem.VAddr) bool {
+	rt.touchedMu.Lock()
+	defer rt.touchedMu.Unlock()
+	return rt.touched[addr]
+}
+
+// collectDirtyItems encodes every touched object on a dirty cache page,
+// clears the dirty bits, and drops the pages back to read-only so later
+// writes fault again. This is the "modified data set" that travels with
+// the thread of control. Dirty pages locate candidates; under
+// Options.Concurrent the touched set decides — a resident neighbor that
+// shares a dirty page but was never written this session must not
+// travel, or its (possibly stale) cached value would overwrite a
+// concurrent session's committed write at the origin. Without
+// Concurrent the single-active-thread property makes the neighbor's
+// bytes identical to the origin's committed value, so page-grain
+// shipping (the paper's protocol) stays byte-for-byte intact.
 func (rt *Runtime) collectDirtyItems() ([]wire.DataItem, error) {
 	pages := rt.space.DirtyPages()
 	if len(pages) == 0 {
 		return nil, nil
+	}
+	var touched map[vmem.VAddr]bool
+	if rt.concurrent {
+		touched = rt.touchedSnapshot()
 	}
 	slices.Sort(pages)
 	dirtySet := make(map[uint32]bool, len(pages))
@@ -675,7 +795,7 @@ func (rt *Runtime) collectDirtyItems() ([]wire.DataItem, error) {
 				break
 			}
 		}
-		if !hit {
+		if !hit || (rt.concurrent && !touched[e.Addr]) {
 			continue
 		}
 		rv, err := rt.res.Resolve(e.LP.Type)
@@ -769,7 +889,7 @@ func (rt *Runtime) serveWriteBack(m wire.Message) {
 	rt.serveMu.Lock()
 	defer rt.serveMu.Unlock()
 	for _, it := range p.Items {
-		full, fresh, err := rt.cohReceive(m.From, it)
+		full, fresh, err := rt.cohReceive(m.From, m.Session, it)
 		if err != nil {
 			rt.reply(m, wire.KindWriteBackAck, nil, err.Error())
 			return
@@ -785,14 +905,14 @@ func (rt *Runtime) serveWriteBack(m wire.Message) {
 	rt.reply(m, wire.KindWriteBackAck, nil, "")
 }
 
-// installItems caches incoming data items from space `from`: the
-// receiving half of fetch replies and of the piggybacked modified data
-// set. Items whose origin is this space are applied directly to the heap
-// (the modification has come home). For the rest, the object's bytes are
-// installed in its protected page area slot; a page's protection is
-// released only once every entry on it is resident, and released pages
-// are sealed against further allocation so first accesses stay
-// detectable.
+// installItems caches incoming data items from space `from` within
+// session sess: the receiving half of fetch replies and of the
+// piggybacked modified data set. Items whose origin is this space are
+// applied directly to the heap (the modification has come home). For the
+// rest, the object's bytes are installed in its protected page area
+// slot; a page's protection is released only once every entry on it is
+// resident, and released pages are sealed against further allocation so
+// first accesses stay detectable.
 //
 // coh marks items on the coherency path (Call/Return piggybacks): those
 // resolve through the ship state for the sender's edge, so delta bodies
@@ -800,7 +920,7 @@ func (rt *Runtime) serveWriteBack(m wire.Message) {
 // decode entirely — the local copy is known current, and only the item's
 // dirty obligation is honored. Fetch replies (coh=false) bypass the ship
 // state; a delta item there is a protocol error.
-func (rt *Runtime) installItems(from uint32, items []wire.DataItem, coh bool) error {
+func (rt *Runtime) installItems(from uint32, sess uint64, items []wire.DataItem, coh bool) error {
 	if len(items) == 0 {
 		return nil
 	}
@@ -817,7 +937,7 @@ func (rt *Runtime) installItems(from uint32, items []wire.DataItem, coh bool) er
 		fresh := true
 		if coh {
 			var err error
-			body, fresh, err = rt.cohReceive(from, it)
+			body, fresh, err = rt.cohReceive(from, sess, it)
 			if err != nil {
 				return err
 			}
@@ -834,15 +954,33 @@ func (rt *Runtime) installItems(from uint32, items []wire.DataItem, coh bool) er
 				// Keep the modification circulating until session end so
 				// spaces holding older cached copies see it on the next
 				// control transfer.
-				rt.modMu.Lock()
-				rt.sessionModified[it.LP] = true
-				rt.modMu.Unlock()
+				rt.markModified(sess, it.LP)
 			}
 			continue
 		}
 		addr, _, err := rt.table.Swizzle(it.LP)
 		if err != nil {
 			return err
+		}
+		if fresh && !coh {
+			// An object this session already wrote (or allocated) must not
+			// be clobbered by a fetch-path copy arriving afterwards: the
+			// bounded eager closure and the prefetcher both over-deliver,
+			// and a ride-along body encoded from the origin's pre-write
+			// state would silently revert the pending local modification
+			// before it is collected. Coherency-path items are exempt — a
+			// circulating modified set travels in thread-of-control order,
+			// so its value supersedes the local copy (e.g. a chained call
+			// that rewrote the same object downstream).
+			if e, ok := rt.table.LookupAddr(addr); ok && e.Resident && rt.touchedHas(addr) {
+				fresh = false
+			}
+		}
+		if it.Dirty {
+			// Adopting a circulating modification adopts its write-back
+			// obligation: the item must survive the touched-set filter when
+			// this session's modified data set is collected.
+			rt.touchObject(addr)
 		}
 		if fresh {
 			rv, err := rt.res.Resolve(it.LP.Type)

@@ -47,11 +47,28 @@ var eventNames = map[EventKind]string{
 	EvWriteBackSent: "write-back-sent", EvInvalidateSent: "invalidate-sent",
 	EvAllocFlush: "alloc-flush", EvChecksumReject: "checksum-reject",
 	EvValidateSent: "validate-sent", EvValidateHit: "validate-hit",
-	EvValidateMiss: "validate-miss",
+	EvValidateMiss:   "validate-miss",
 	EvPrefetchIssued: "prefetch-issued", EvPrefetchHit: "prefetch-hit",
 	EvPrefetchWasted: "prefetch-wasted", EvRebindEvict: "rebind-evict",
 	EvEncCacheHit: "enc-cache-hit", EvEncCacheMiss: "enc-cache-miss",
 	EvEncCacheEvict: "enc-cache-evict", EvEncCacheInvalidate: "enc-cache-invalidate",
+}
+
+// EventKinds returns every defined event kind, in declaration order.
+// Tests iterate it so a newly added event cannot silently escape
+// coverage (the history checker depends on trace fidelity).
+func EventKinds() []EventKind {
+	out := make([]EventKind, 0, len(eventNames))
+	for k := EvSessionBegin; ; k++ {
+		if _, ok := eventNames[k]; !ok {
+			break
+		}
+		out = append(out, k)
+	}
+	if len(out) != len(eventNames) {
+		panic("core: eventNames holds kinds outside the contiguous Ev* range")
+	}
+	return out
 }
 
 // String names the event kind.

@@ -300,9 +300,13 @@ func (r *Ref) SetUint(name string, idx int, v uint64) error {
 	}
 	// A write to a locally owned object obsoletes its cached encoding. The
 	// page-version bump inside the store already guarantees that; the
-	// proactive drop keeps the invalidation counter deterministic.
+	// proactive drop keeps the invalidation counter deterministic. A write
+	// to a cached foreign object instead joins the session's modified data
+	// set (only objects actually written travel home at session end).
 	if r.rt.space.InHeap(r.addr) {
 		r.rt.encInvalidate(r.addr)
+	} else {
+		r.rt.touchObject(r.addr)
 	}
 	return nil
 }
@@ -399,6 +403,8 @@ func (r *Ref) SetPtr(name string, idx int, v Value) error {
 	}
 	if r.rt.space.InHeap(r.addr) {
 		r.rt.encInvalidate(r.addr)
+	} else {
+		r.rt.touchObject(r.addr)
 	}
 	return nil
 }

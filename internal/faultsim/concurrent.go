@@ -1,0 +1,261 @@
+package faultsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"smartrpc/internal/core"
+	"smartrpc/internal/histcheck"
+	"smartrpc/internal/wire"
+)
+
+// This file is the concurrent-sessions side of the harness. Where
+// runOp (workload.go) drives one ground session at a time and checks
+// exact values against a pure-Go model, runConcurrent gives every
+// non-ground space its own goroutine holding overlapping sessions over
+// one shared ground-owned tree — concurrent EndSession write-back and
+// invalidate fan-outs racing other clients' demand fetches, warm
+// revalidates, and speculative prefetches through the serve pool. An
+// exact value model is meaningless under that interleaving, so the
+// oracle is internal/histcheck: every read and write is recorded with
+// its real-time window and the whole multi-client history must be
+// linearizable against a sequential register per tree node.
+
+// histTracer forwards a runtime's session lifecycle trace events into a
+// histcheck client, stamping the session-begin and end-of-session-ack
+// times the checker's windows are built from.
+type histTracer struct{ c *histcheck.Client }
+
+func (t histTracer) Trace(e core.Event) {
+	switch e.Kind {
+	case core.EvSessionBegin:
+		t.c.OnSessionBegin()
+	case core.EvSessionEnd:
+		t.c.OnSessionEnd()
+	}
+}
+
+// collectNodes walks a ground-local tree in preorder and returns every
+// node's long pointer alongside its committed data value, seeding the
+// recorder's initial state.
+func collectNodes(rt *core.Runtime, root core.Value) ([]wire.LongPtr, []int64, error) {
+	var lps []wire.LongPtr
+	var vals []int64
+	var walk func(v core.Value) error
+	walk = func(v core.Value) error {
+		if v.IsNullPtr() {
+			return nil
+		}
+		ref, err := rt.Deref(v)
+		if err != nil {
+			return err
+		}
+		d, err := ref.Int("data", 0)
+		if err != nil {
+			return err
+		}
+		lps = append(lps, v.LP)
+		vals = append(vals, d)
+		for _, f := range []string{"left", "right"} {
+			c, err := ref.Ptr(f, 0)
+			if err != nil {
+				return err
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, nil, err
+	}
+	return lps, vals, nil
+}
+
+// runConcurrent executes a Scenario with Concurrent set: spaces 2..N
+// each run sc.Ops sessions over the shared tree on their own goroutine,
+// crash-restarting their own runtime and partitioning their own edge to
+// ground between sessions (the ground space, which owns the data, is
+// never crashed — clients have nothing to recover for it). A session
+// that fails is abandoned (all its writes become maybe-operations) and
+// the client moves on; at the end the network must quiesce to
+// idle-clean and the recorded history must be linearizable.
+func (h *harness) runConcurrent() error {
+	levels := 4 + h.rng.Intn(2) // 15 or 31 nodes
+	root, _, err := buildTree(h.ground(), h.rng, levels)
+	if err != nil {
+		return h.fail("concurrent: build shared tree: %v", err)
+	}
+	nodes, vals, err := collectNodes(h.ground(), root)
+	if err != nil {
+		return h.fail("concurrent: collect tree nodes: %v", err)
+	}
+	rec := histcheck.NewRecorder()
+	for i, lp := range nodes {
+		rec.Init(lp, vals[i])
+	}
+
+	clients := h.sc.Spaces - 1
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards h.res counters and the failure slot
+	var failure *FailureError
+	setFailure := func(fe *FailureError) {
+		mu.Lock()
+		if failure == nil {
+			failure = fe
+		}
+		mu.Unlock()
+	}
+
+	for ci := 0; ci < clients; ci++ {
+		idx := ci + 1 // h.rts index; space id is idx+1
+		hc := rec.Client(ci)
+		h.rts[idx].SetTracer(histTracer{c: hc})
+		wg.Add(1)
+		go func(ci, idx int, hc *histcheck.Client) {
+			defer wg.Done()
+			// Each client's decisions derive from its own stream so one
+			// client's fault reactions cannot reshape another's workload.
+			crng := rand.New(rand.NewSource(int64(splitmix64(h.sc.Seed ^ 0xc0c0 ^ uint64(ci)))))
+			for round := 0; round < h.sc.Ops; round++ {
+				rt := h.rts[idx]
+				// Crash-restart between sessions: only this goroutine's own
+				// runtime, so nobody else is mid-call into it.
+				if crng.Intn(1000) < h.sc.CrashPermille {
+					_ = rt.Close()
+					nrt, err := h.newRuntime(uint32(idx + 1))
+					if err != nil {
+						setFailure(h.fail("concurrent: re-attach space %d after crash: %v", idx+1, err))
+						return
+					}
+					nrt.SetTracer(histTracer{c: hc})
+					h.rts[idx] = nrt
+					rt = nrt
+					mu.Lock()
+					h.res.Crashes++
+					mu.Unlock()
+				}
+				// One-way partition on this client's own edge to ground for
+				// the duration of one session.
+				heal := func() {}
+				if crng.Intn(1000) < h.sc.PartitionPermille {
+					from, to := uint32(idx+1), uint32(1)
+					if crng.Intn(2) == 0 {
+						from, to = to, from
+					}
+					h.chaos.PartitionOneWay(from, to, true)
+					heal = func() { h.chaos.PartitionOneWay(from, to, false) }
+				}
+				mu.Lock()
+				h.res.Ops++
+				mu.Unlock()
+				sessErr := h.concurrentSession(rt, hc, crng, nodes, ci, round)
+				heal()
+				if sessErr != nil {
+					if errors.Is(sessErr, core.ErrInvariant) {
+						setFailure(h.fail("concurrent: client %d round %d: invariant violation: %v", ci, round, sessErr))
+						return
+					}
+					mu.Lock()
+					h.res.Errors++
+					mu.Unlock()
+				}
+			}
+		}(ci, idx, hc)
+	}
+	wg.Wait()
+	if failure != nil {
+		return failure
+	}
+
+	h.res.Faults = h.chaos.Total()
+	if h.res.Faults == 0 && h.res.Errors > 0 {
+		return h.fail("concurrent: %d sessions failed with no fault injected", h.res.Errors)
+	}
+
+	// Quiesce: let anything blocked on a dropped round trip hit its
+	// deadline, discard held frames, then abort-retry every space to
+	// idle-clean (frames still in flight can re-populate a space after
+	// its abort, so the check retries before declaring failure).
+	if h.res.Errors > 0 {
+		time.Sleep(3 * h.sc.CallTimeout)
+	}
+	h.chaos.Drain()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, rt := range h.rts {
+			rt.AbortSession()
+		}
+		ferr := h.checkAllIdle(-1, "after concurrent rounds")
+		if ferr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return ferr
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := core.CheckNetworkInvariants(nil, h.rts); err != nil {
+		return h.fail("concurrent: network invariants after quiesce: %v", err)
+	}
+
+	// The oracle: no interleaving excuse survives this.
+	cres := rec.Check()
+	h.res.Verified += cres.Ops
+	if !cres.Ok {
+		return h.fail("concurrent history not linearizable:\n%s", cres.Err())
+	}
+	return nil
+}
+
+// concurrentSession runs one recorded session: a handful of random node
+// visits, each a read or (1 in 4) a write of a value unique to
+// (client, round, visit) so the checker can attribute every observation.
+// Any error aborts the session and abandons its history (writes become
+// maybe-operations — their write-back may or may not have landed).
+func (h *harness) concurrentSession(rt *core.Runtime, hc *histcheck.Client, rng *rand.Rand, nodes []wire.LongPtr, ci, round int) error {
+	hs := hc.Begin()
+	if err := rt.BeginSession(); err != nil {
+		hs.Abandon()
+		return err
+	}
+	abort := func(err error) error {
+		rt.AbortSession()
+		hs.Abandon()
+		return err
+	}
+	visits := 3 + rng.Intn(4)
+	for v := 0; v < visits; v++ {
+		lp := nodes[rng.Intn(len(nodes))]
+		pv, err := rt.ImportPtr(lp)
+		if err != nil {
+			return abort(err)
+		}
+		ref, err := rt.Deref(pv)
+		if err != nil {
+			return abort(err)
+		}
+		if rng.Intn(4) == 0 {
+			wv := int64(ci+1)*1_000_000 + int64(round)*1_000 + int64(v)
+			if err := hs.Write(lp, wv, func() error {
+				return ref.SetInt("data", 0, wv)
+			}); err != nil {
+				return abort(err)
+			}
+		} else {
+			if _, err := hs.Read(lp, func() (int64, error) {
+				return ref.Int("data", 0)
+			}); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	if err := rt.EndSession(); err != nil {
+		return abort(err)
+	}
+	hs.Commit()
+	return nil
+}

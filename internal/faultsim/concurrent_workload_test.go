@@ -1,0 +1,70 @@
+package faultsim
+
+import (
+	"testing"
+)
+
+// TestConcurrentFaultFreeLinearizable: with no faults configured, every
+// concurrent session must commit and the recorded multi-client history
+// must be linearizable (the checker runs inside Run; an error here is a
+// real coherency bug, not an injection artifact).
+func TestConcurrentFaultFreeLinearizable(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		sc := DefaultScenario(seed)
+		sc.Concurrent = true
+		sc.Faults = Config{}
+		sc.CrashPermille = 0
+		sc.PartitionPermille = 0
+		sc.Ops = 6
+		res, err := RunWithTimeout(sc, scenarioTimeout)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("seed %d: %d errored sessions in a fault-free concurrent run", seed, res.Errors)
+		}
+		if res.Verified == 0 {
+			t.Errorf("seed %d: history checker verified zero operations", seed)
+		}
+		if res.Faults != 0 {
+			t.Errorf("seed %d: %d faults injected with zero config", seed, res.Faults)
+		}
+	}
+}
+
+// TestConcurrentChaosSoak forces the concurrent workload under the full
+// default fault mix (drops, dups, corruption, delays, per-client
+// crash-restarts and partitions): sessions may fail with typed errors,
+// but the surviving history must still be linearizable and every space
+// must quiesce to idle-clean.
+func TestConcurrentChaosSoak(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 4
+	}
+	var ops, errs, verified int
+	var faults uint64
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		sc := DefaultScenario(seed)
+		sc.Concurrent = true
+		if sc.Spaces < 3 {
+			sc.Spaces = 3
+		}
+		res, err := RunWithTimeout(sc, scenarioTimeout)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ops += res.Ops
+		errs += res.Errors
+		verified += res.Verified
+		faults += res.Faults
+	}
+	t.Logf("concurrent soak: %d seeds, %d sessions, %d typed errors, %d checked ops, %d faults injected",
+		seeds, ops, errs, verified, faults)
+	if faults == 0 {
+		t.Error("concurrent soak injected zero faults — fault mix is miswired")
+	}
+	if verified == 0 {
+		t.Error("concurrent soak verified zero operations — history oracle is miswired")
+	}
+}

@@ -53,6 +53,13 @@ type Scenario struct {
 	// construction) also runs with cached serve paths and their
 	// invalidation machinery engaged.
 	EncodeCache bool
+	// Concurrent switches the workload from one ground session at a time
+	// to a goroutine per non-ground space, all holding overlapping
+	// sessions over one shared ground-owned tree (concurrent.go). The
+	// value oracle becomes the internal/histcheck linearizability
+	// checker; the policy is forced to smart (the coherency protocol
+	// under test is the smart-pointer one).
+	Concurrent  bool
 	CallTimeout time.Duration
 }
 
@@ -91,6 +98,14 @@ func DefaultScenario(seed uint64) Scenario {
 	// production default), off for some so the ablated serve paths soak
 	// too.
 	sc.EncodeCache = rng.Intn(4) != 0
+	// Drawn last of all: a third of seeds run the concurrent multi-client
+	// workload, with 2–4 clients sharing the ground tree. The extra
+	// Spaces draw happens only on concurrent seeds, so non-concurrent
+	// scenarios older seeds derive stay unchanged in every dimension.
+	sc.Concurrent = rng.Intn(3) == 0
+	if sc.Concurrent {
+		sc.Spaces = 3 + rng.Intn(3)
+	}
 	return sc
 }
 
@@ -388,13 +403,17 @@ func (h *harness) newRuntime(id uint32) (*core.Runtime, error) {
 		ID:               id,
 		Node:             node,
 		Registry:         h.reg,
-		Policy:             h.sc.Policy,
-		DisableDeltaShip:   h.sc.DisableDeltaShip,
-		Prefetch:           h.sc.Prefetch,
+		Policy:           h.sc.Policy,
+		DisableDeltaShip: h.sc.DisableDeltaShip,
+		Prefetch:         h.sc.Prefetch,
+		// Concurrent scenarios keep speculation on the workload
+		// goroutines so each client's frame stream stays a function of
+		// its own seed stream.
+		SyncPrefetch:       h.sc.Concurrent && h.sc.Prefetch,
 		DisableEncodeCache: !h.sc.EncodeCache,
-		Concurrent:       true,
-		CallTimeout:      h.sc.CallTimeout,
-		CheckInvariants:  true,
+		Concurrent:         true,
+		CallTimeout:        h.sc.CallTimeout,
+		CheckInvariants:    true,
 	})
 	if err != nil {
 		return nil, err
@@ -420,6 +439,12 @@ func Run(sc Scenario) (res Result, err error) {
 	}
 	if sc.CallTimeout <= 0 {
 		sc.CallTimeout = 100 * time.Millisecond
+	}
+	if sc.Concurrent {
+		if sc.Spaces < 3 {
+			sc.Spaces = 3 // at least two clients, or nothing overlaps
+		}
+		sc.Policy = core.PolicySmart
 	}
 	sc.Faults.Seed = sc.Seed
 
@@ -454,6 +479,14 @@ func Run(sc Scenario) (res Result, err error) {
 		}
 	}()
 
+	h.res.Trusted = true
+	if sc.Concurrent {
+		if ferr := h.runConcurrent(); ferr != nil {
+			return h.res, ferr
+		}
+		return h.res, nil
+	}
+
 	// Seed data: a couple of ground-owned trees, built locally (no
 	// network traffic, so no faults can touch the baseline).
 	for i := 0; i < 2; i++ {
@@ -464,7 +497,6 @@ func Run(sc Scenario) (res Result, err error) {
 		h.trees = append(h.trees, &tree{root: root, model: model})
 	}
 
-	h.res.Trusted = true
 	for op := 0; op < sc.Ops; op++ {
 		if ferr := h.runOp(op); ferr != nil {
 			return h.res, ferr

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -86,7 +87,11 @@ func TestCrashRestartScenario(t *testing.T) {
 // TestChaosSoak is the main acceptance run: N seeded scenarios with the
 // full fault mix, every invariant check enabled. The seed count scales
 // with -short and the CHAOS_SEEDS env var (CI soak uses ~100, the local
-// acceptance run 500).
+// acceptance run 500). About a third of the seeds draw a concurrent
+// scenario (goroutine-per-space workload with the histcheck oracle);
+// CHAOS_CONCURRENT=1 forces it for every seed, which is what the
+// nightly soak runs. On failure the shrunk repro is written to
+// $CHAOS_ARTIFACT_DIR (if set) so CI can upload it.
 func TestChaosSoak(t *testing.T) {
 	seeds := 25
 	if testing.Short() {
@@ -107,17 +112,34 @@ func TestChaosSoak(t *testing.T) {
 		}
 		start = n
 	}
+	forceConcurrent := os.Getenv("CHAOS_CONCURRENT") == "1"
+	scenario := func(seed uint64) Scenario {
+		sc := DefaultScenario(seed)
+		if forceConcurrent {
+			sc.Concurrent = true
+		}
+		return sc
+	}
 	var ops, errs, verified int
 	var faults uint64
 	for i := 0; i < seeds; i++ {
 		seed := start + uint64(i)
-		res, err := RunWithTimeout(DefaultScenario(seed), scenarioTimeout)
+		res, err := RunWithTimeout(scenario(seed), scenarioTimeout)
 		if err != nil {
 			var fe *FailureError
 			if errors.As(err, &fe) {
-				min, minErr := Shrink(DefaultScenario(seed), scenarioTimeout)
-				t.Fatalf("seed %d failed: %v\n\nshrunk repro: %+v\nshrunk failure: %v",
+				min, minErr := Shrink(scenario(seed), scenarioTimeout)
+				report := fmt.Sprintf("seed %d failed: %v\n\nshrunk repro: %+v\nshrunk failure: %v",
 					seed, err, min, minErr)
+				if dir := os.Getenv("CHAOS_ARTIFACT_DIR"); dir != "" {
+					path := filepath.Join(dir, fmt.Sprintf("chaos-seed-%d.txt", seed))
+					if werr := os.WriteFile(path, []byte(report+"\n"), 0o644); werr != nil {
+						t.Logf("writing failure artifact: %v", werr)
+					} else {
+						t.Logf("failure artifact written to %s", path)
+					}
+				}
+				t.Fatal(report)
 			}
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -1,0 +1,238 @@
+package histcheck
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"strings"
+
+	"smartrpc/internal/wire"
+)
+
+// This file is the linearizability search. Linearizability is
+// P-compositional: a history is linearizable over all objects iff its
+// per-object projections are each linearizable (Herlihy & Wing), so the
+// checker partitions by object identity and searches each partition
+// independently — what makes 8-client histories check in milliseconds.
+//
+// Each partition is checked against a sequential register with the
+// object's recorded initial value, using the Wing–Gong tree search with
+// memoization on (completed-operation set, register value): at every
+// step some minimal remaining operation — one invoked before the
+// earliest response among remaining operations, and first in its
+// client's program order — is chosen to take effect next. Reads must
+// observe the register; writes set it; a maybe-write (unclean session)
+// additionally branches into "never took effect". On failure the
+// partition is shrunk to a 1-minimal counterexample by greedy removal.
+
+// Result is the outcome of a history check.
+type Result struct {
+	Ok bool
+	// Violations holds one human-readable entry per failed partition
+	// (plus any read-your-own-writes violations caught at record time).
+	Violations []string
+	// Counterexamples holds the shrunk failing partitions, parallel to
+	// the per-partition entries of Violations.
+	Counterexamples [][]Op
+	Partitions      int
+	Ops             int
+}
+
+// Err renders the result as one error-shaped string (empty when Ok).
+func (r *Result) Err() string {
+	if r.Ok {
+		return ""
+	}
+	return strings.Join(r.Violations, "\n")
+}
+
+// searchBudget caps the number of distinct (done-set, register) states
+// one partition search may visit. Session-grain histories stay far
+// below it; a pathological partition that exceeds the budget is treated
+// as undecided and reported as passing rather than false-alarming.
+const searchBudget = 5_000_000
+
+// Check verifies that ops is linearizable against per-object sequential
+// registers initialized from init (objects absent from init start at
+// zero — but a read of a never-written, never-initialized value fails).
+func Check(init map[wire.LongPtr]int64, ops []Op) *Result {
+	parts := make(map[wire.LongPtr][]Op)
+	for _, o := range ops {
+		parts[o.Obj] = append(parts[o.Obj], o)
+	}
+	objs := make([]wire.LongPtr, 0, len(parts))
+	for obj := range parts {
+		objs = append(objs, obj)
+	}
+	slices.SortFunc(objs, func(a, b wire.LongPtr) int {
+		if c := cmp.Compare(a.Space, b.Space); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Addr, b.Addr); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Type, b.Type)
+	})
+	res := &Result{Ok: true, Partitions: len(parts), Ops: len(ops)}
+	for _, obj := range objs {
+		pops := parts[obj]
+		if checkPartition(init[obj], pops) {
+			continue
+		}
+		res.Ok = false
+		minimal := shrinkPartition(init[obj], pops)
+		res.Counterexamples = append(res.Counterexamples, minimal)
+		res.Violations = append(res.Violations, formatCounterexample(obj, init[obj], minimal))
+	}
+	return res
+}
+
+type stateKey struct {
+	done string
+	reg  int64
+}
+
+// checkPartition reports whether one object's operations are
+// linearizable against a register starting at init. Operations of one
+// client must keep their slice order (program order — the recorder
+// flushes each client's operations in execution order).
+func checkPartition(init int64, ops []Op) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	// Per-client operation index lists, in program order.
+	clientIdx := make(map[int][]int)
+	var clientOrder []int
+	for i, o := range ops {
+		if _, ok := clientIdx[o.Client]; !ok {
+			clientOrder = append(clientOrder, o.Client)
+		}
+		clientIdx[o.Client] = append(clientIdx[o.Client], i)
+	}
+	done := make([]uint64, (n+63)/64)
+	// pos[k] is how many of client clientOrder[k]'s ops are done.
+	pos := make([]int, len(clientOrder))
+	lists := make([][]int, len(clientOrder))
+	for k, cl := range clientOrder {
+		lists[k] = clientIdx[cl]
+	}
+	memo := make(map[stateKey]bool)
+	budget := searchBudget
+
+	keyOf := func(reg int64) stateKey {
+		var b strings.Builder
+		b.Grow(len(done) * 8)
+		for _, w := range done {
+			for s := 0; s < 64; s += 8 {
+				b.WriteByte(byte(w >> s))
+			}
+		}
+		return stateKey{done: b.String(), reg: reg}
+	}
+
+	var rec func(reg int64, remaining int) bool
+	rec = func(reg int64, remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		k := keyOf(reg)
+		if memo[k] {
+			return false
+		}
+		if budget <= 0 {
+			return true // undecided; do not false-alarm
+		}
+		budget--
+		memo[k] = true
+		// Minimality bound: an op may take effect next only if it was
+		// invoked no later than the earliest response among remaining ops.
+		minHi := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if done[i/64]&(1<<(i%64)) == 0 && ops[i].Hi < minHi {
+				minHi = ops[i].Hi
+			}
+		}
+		for k2 := range lists {
+			if pos[k2] >= len(lists[k2]) {
+				continue
+			}
+			i := lists[k2][pos[k2]]
+			op := ops[i]
+			take := func(newReg int64) bool {
+				done[i/64] |= 1 << (i % 64)
+				pos[k2]++
+				ok := rec(newReg, remaining-1)
+				pos[k2]--
+				done[i/64] &^= 1 << (i % 64)
+				return ok
+			}
+			// A maybe-write may simply never have taken effect; dropping
+			// it is legal regardless of real-time order.
+			if op.Maybe && take(reg) {
+				return true
+			}
+			if op.Lo > minHi {
+				continue
+			}
+			switch op.Kind {
+			case OpRead:
+				if op.Value == reg && take(reg) {
+					return true
+				}
+			case OpWrite:
+				if take(op.Value) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(init, n)
+}
+
+// shrinkPartition greedily removes operations while the remainder still
+// fails, yielding a minimal counterexample: removing any single
+// remaining operation (other than a write kept to explain a remaining
+// read's value — dropping those would leave a terse "value from
+// nowhere" report) makes the history linearizable.
+func shrinkPartition(init int64, ops []Op) []Op {
+	cur := slices.Clone(ops)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			if cur[i].Kind == OpWrite && explainsRead(cur, i) {
+				continue
+			}
+			cand := slices.Concat(cur[:i], cur[i+1:])
+			if !checkPartition(init, cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// explainsRead reports whether ops[i] (a write) supplies the value some
+// remaining read observed.
+func explainsRead(ops []Op, i int) bool {
+	for j, o := range ops {
+		if j != i && o.Kind == OpRead && o.Value == ops[i].Value {
+			return true
+		}
+	}
+	return false
+}
+
+func formatCounterexample(obj wire.LongPtr, init int64, ops []Op) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "histcheck: object %v (initial value %d): no linearization explains these %d operations:",
+		obj, init, len(ops))
+	for _, o := range ops {
+		b.WriteString("\n  ")
+		b.WriteString(o.String())
+	}
+	return b.String()
+}

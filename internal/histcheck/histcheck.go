@@ -1,0 +1,317 @@
+// Package histcheck records per-client operation histories for
+// concurrent shared-origin sessions and checks them against a
+// sequential shared-memory model with a Porcupine-style linearizability
+// search (check.go).
+//
+// The protocol under test (§3.4 of the paper) gives a session
+// snapshot-at-fetch semantics: a client reads whatever the origin had
+// committed when the page was fetched (or revalidated) during its
+// session, and its writes become visible to other clients when its
+// end-of-session write-back is applied. Those semantics translate into
+// per-operation time windows over a single logical clock:
+//
+//   - a read of object o returning v is linearizable anywhere in
+//     [session begin, read return]: the fetch that produced v happened
+//     at some point in that interval, and at that point v was the
+//     origin's committed value;
+//   - a write of v is linearizable in [write invocation, end-of-session
+//     ack]: the value cannot reach the origin before the client issues
+//     it, and the clean EndSession return guarantees the write-back was
+//     applied and acknowledged;
+//   - a write whose session did NOT end cleanly (EndSession failed, the
+//     client aborted) is a "maybe" operation: its write-back may have
+//     been applied at any later point — a delayed frame can land long
+//     after the abort — or never. The checker tries both.
+//
+// Reads that follow the client's own write to the same object in the
+// same session are served from the client's dirty cache page, not from
+// anything the origin committed; they are checked directly
+// (read-your-own-writes) and excluded from the global history.
+//
+// The recorder is glued to a runtime through the existing trace-event
+// hooks: a core.Tracer forwards EvSessionBegin/EvSessionEnd to
+// Client.OnSessionBegin/OnSessionEnd, which stamp the session-begin and
+// end-of-session-ack times the windows above are built from. The
+// package deliberately depends only on internal/wire so that
+// internal/core's own tests can import it.
+package histcheck
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"smartrpc/internal/wire"
+)
+
+// OpKind distinguishes the two model operations.
+type OpKind uint8
+
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+)
+
+func (k OpKind) String() string {
+	if k == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Op is one completed operation in a history. Lo and Hi are the
+// inclusive bounds (on the recorder's logical clock) within which the
+// operation must take effect atomically for the history to be
+// linearizable.
+type Op struct {
+	Client int
+	Sess   int // client-local session ordinal, for reporting
+	Kind   OpKind
+	Obj    wire.LongPtr
+	Value  int64
+	Lo, Hi int64
+	// Maybe marks a write from an unclean session: it may have taken
+	// effect anywhere in [Lo, ∞) or not at all.
+	Maybe bool
+}
+
+func (o Op) String() string {
+	hi := fmt.Sprintf("%d", o.Hi)
+	if o.Hi == math.MaxInt64 {
+		hi = "inf"
+	}
+	maybe := ""
+	if o.Maybe {
+		maybe = " (maybe)"
+	}
+	return fmt.Sprintf("client %d sess %d: %s %v = %d @[%d,%s]%s",
+		o.Client, o.Sess, o.Kind, o.Obj, o.Value, o.Lo, hi, maybe)
+}
+
+// Recorder accumulates a multi-client history against one shared tree.
+// All methods are safe for concurrent use; each Client must be driven
+// from a single goroutine (matching one runtime's session discipline).
+type Recorder struct {
+	clock atomic.Int64
+
+	mu      sync.Mutex
+	init    map[wire.LongPtr]int64
+	ops     []Op
+	viol    []string
+	clients map[int]*Client
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		init:    make(map[wire.LongPtr]int64),
+		clients: make(map[int]*Client),
+	}
+}
+
+func (r *Recorder) now() int64 { return r.clock.Add(1) }
+
+// Init records obj's committed value before any recorded session ran
+// (the tree as built at the origin).
+func (r *Recorder) Init(obj wire.LongPtr, v int64) {
+	r.mu.Lock()
+	r.init[obj] = v
+	r.mu.Unlock()
+}
+
+// Client returns (creating on first use) the per-client recording
+// handle for id.
+func (r *Recorder) Client(id int) *Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.clients[id]
+	if c == nil {
+		c = &Client{r: r, id: id}
+		r.clients[id] = c
+	}
+	return c
+}
+
+func (r *Recorder) violation(format string, args ...any) {
+	r.mu.Lock()
+	r.viol = append(r.viol, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+func (r *Recorder) flush(ops []Op) {
+	r.mu.Lock()
+	r.ops = append(r.ops, ops...)
+	r.mu.Unlock()
+}
+
+// History snapshots the flushed operations (sessions still open are not
+// included).
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Check runs the linearizability search over everything recorded so
+// far, folding in any read-your-own-writes violations caught at record
+// time.
+func (r *Recorder) Check() *Result {
+	r.mu.Lock()
+	ops := make([]Op, len(r.ops))
+	copy(ops, r.ops)
+	init := make(map[wire.LongPtr]int64, len(r.init))
+	for k, v := range r.init {
+		init[k] = v
+	}
+	viol := make([]string, len(r.viol))
+	copy(viol, r.viol)
+	r.mu.Unlock()
+	res := Check(init, ops)
+	if len(viol) > 0 {
+		res.Ok = false
+		res.Violations = append(viol, res.Violations...)
+	}
+	return res
+}
+
+// Client records one client's sessions. Begin/OnSessionBegin/
+// OnSessionEnd and the Session methods must all run on the client's own
+// goroutine (trace hooks for EvSessionBegin/EvSessionEnd fire
+// synchronously inside BeginSession/EndSession/AbortSession, so this
+// holds naturally).
+type Client struct {
+	r       *Recorder
+	id      int
+	cur     atomic.Pointer[Session]
+	sessSeq int
+}
+
+// Begin arms the client for its next session: the following
+// OnSessionBegin stamps the session-begin time. Call it immediately
+// before the runtime's BeginSession.
+func (c *Client) Begin() *Session {
+	c.sessSeq++
+	s := &Session{
+		c:     c,
+		seq:   c.sessSeq,
+		begin: -1,
+		wrote: make(map[wire.LongPtr]int64),
+	}
+	c.cur.Store(s)
+	return s
+}
+
+// OnSessionBegin stamps the armed session's begin time. Wire it to the
+// runtime's EvSessionBegin trace event.
+func (c *Client) OnSessionBegin() {
+	if s := c.cur.Load(); s != nil && s.begin < 0 {
+		s.begin = c.r.now()
+	}
+}
+
+// OnSessionEnd stamps the armed session's end-of-session-ack time. Wire
+// it to the runtime's EvSessionEnd trace event (EndSession traces it
+// after every write-back and invalidation has been acknowledged;
+// AbortSession traces it too).
+func (c *Client) OnSessionEnd() {
+	if s := c.cur.Load(); s != nil {
+		s.endAck = c.r.now()
+	}
+}
+
+// Session records the operations of one client session.
+type Session struct {
+	c      *Client
+	seq    int
+	begin  int64
+	endAck int64
+	ops    []Op                   // program order; write Hi patched at close
+	wrote  map[wire.LongPtr]int64 // own writes, for read-your-own-writes
+}
+
+// Read runs do (the actual remote-pointer read) and records the
+// returned value. A failed read records nothing.
+func (s *Session) Read(obj wire.LongPtr, do func() (int64, error)) (int64, error) {
+	v, err := do()
+	hi := s.c.r.now()
+	if err != nil {
+		return v, err
+	}
+	if s.begin < 0 {
+		s.c.r.violation("client %d sess %d: read of %v before OnSessionBegin stamped the session (tracer not wired?)",
+			s.c.id, s.seq, obj)
+		return v, nil
+	}
+	if wv, ok := s.wrote[obj]; ok {
+		// Served from the client's own dirty page: check directly,
+		// keep it out of the global history.
+		if wv != v {
+			s.c.r.violation("client %d sess %d: read own write of %v: got %d, wrote %d",
+				s.c.id, s.seq, obj, v, wv)
+		}
+		return v, nil
+	}
+	s.ops = append(s.ops, Op{
+		Client: s.c.id, Sess: s.seq, Kind: OpRead, Obj: obj, Value: v,
+		Lo: s.begin, Hi: hi,
+	})
+	return v, nil
+}
+
+// Write runs do (the actual remote-pointer write of v) and records it.
+// A failed do is recorded as a maybe-write: the attempt may still have
+// reached the origin.
+func (s *Session) Write(obj wire.LongPtr, v int64, do func() error) error {
+	lo := s.c.r.now()
+	err := do()
+	if err != nil {
+		s.ops = append(s.ops, Op{
+			Client: s.c.id, Sess: s.seq, Kind: OpWrite, Obj: obj, Value: v,
+			Lo: lo, Hi: math.MaxInt64, Maybe: true,
+		})
+		return err
+	}
+	s.ops = append(s.ops, Op{
+		Client: s.c.id, Sess: s.seq, Kind: OpWrite, Obj: obj, Value: v,
+		Lo: lo, Hi: -1, // patched at Commit/Abandon
+	})
+	s.wrote[obj] = v
+	return nil
+}
+
+// Commit closes a session whose EndSession returned cleanly: writes
+// became durable no later than the end-of-session ack.
+func (s *Session) Commit() {
+	end := s.endAck
+	if end == 0 {
+		end = s.c.r.now()
+	}
+	for i := range s.ops {
+		if s.ops[i].Kind == OpWrite && s.ops[i].Hi < 0 {
+			s.ops[i].Hi = end
+		}
+	}
+	s.close()
+}
+
+// Abandon closes a session that did not end cleanly (EndSession failed
+// and the client aborted): every write becomes a maybe-operation, reads
+// remain real observations.
+func (s *Session) Abandon() {
+	for i := range s.ops {
+		if s.ops[i].Kind == OpWrite {
+			s.ops[i].Hi = math.MaxInt64
+			s.ops[i].Maybe = true
+		}
+	}
+	s.close()
+}
+
+func (s *Session) close() {
+	s.c.cur.CompareAndSwap(s, nil)
+	s.c.r.flush(s.ops)
+	s.ops = nil
+}

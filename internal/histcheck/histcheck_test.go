@@ -1,0 +1,379 @@
+package histcheck
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"smartrpc/internal/vmem"
+	"smartrpc/internal/wire"
+)
+
+func obj(n uint32) wire.LongPtr {
+	return wire.LongPtr{Space: 1, Addr: vmem.VAddr(0x100 * n), Type: 1}
+}
+
+func read(client, sess int, o wire.LongPtr, v, lo, hi int64) Op {
+	return Op{Client: client, Sess: sess, Kind: OpRead, Obj: o, Value: v, Lo: lo, Hi: hi}
+}
+
+func write(client, sess int, o wire.LongPtr, v, lo, hi int64) Op {
+	return Op{Client: client, Sess: sess, Kind: OpWrite, Obj: o, Value: v, Lo: lo, Hi: hi}
+}
+
+func maybeWrite(client, sess int, o wire.LongPtr, v, lo int64) Op {
+	return Op{Client: client, Sess: sess, Kind: OpWrite, Obj: o, Value: v,
+		Lo: lo, Hi: math.MaxInt64, Maybe: true}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	x := obj(1)
+	init := map[wire.LongPtr]int64{x: 5}
+	ops := []Op{
+		read(1, 1, x, 5, 1, 10),
+		write(1, 1, x, 7, 11, 20),
+		read(2, 1, x, 7, 21, 30),
+		write(2, 1, x, 9, 31, 40),
+		read(1, 2, x, 9, 41, 50),
+	}
+	res := Check(init, ops)
+	if !res.Ok {
+		t.Fatalf("sequential history rejected:\n%s", res.Err())
+	}
+}
+
+// A session-grain stale read inside an overlapping session is legal:
+// the reader's window reaches back to its session begin, before the
+// writer's commit.
+func TestOverlappingSessionStaleReadLegal(t *testing.T) {
+	x := obj(1)
+	init := map[wire.LongPtr]int64{x: 5}
+	ops := []Op{
+		// Client 2 commits 7 at t=20.
+		write(2, 1, x, 7, 10, 20),
+		// Client 1's session began at t=2; a read returning at t=30 may
+		// still observe the snapshot fetched before the commit.
+		read(1, 1, x, 5, 2, 30),
+		// And a different client whose session began after the commit
+		// must see the new value.
+		read(3, 1, x, 7, 25, 40),
+	}
+	if res := Check(init, ops); !res.Ok {
+		t.Fatalf("legal session-grain staleness rejected:\n%s", res.Err())
+	}
+}
+
+// A read that starts strictly after a committed write's ack and still
+// observes the old value is the real coherency violation.
+func TestStaleReadAfterCommitCaught(t *testing.T) {
+	x := obj(1)
+	init := map[wire.LongPtr]int64{x: 5}
+	ops := []Op{
+		write(2, 1, x, 7, 10, 20),
+		read(1, 2, x, 5, 25, 30), // session began at 25 > ack 20
+	}
+	res := Check(init, ops)
+	if res.Ok {
+		t.Fatal("stale read after commit not caught")
+	}
+	if len(res.Counterexamples) != 1 {
+		t.Fatalf("got %d counterexamples, want 1", len(res.Counterexamples))
+	}
+	cex := res.Counterexamples[0]
+	if len(cex) != 2 {
+		t.Fatalf("counterexample not shrunk to the 2 essential ops:\n%s", res.Err())
+	}
+	// 1-minimality: removing either remaining op must make it pass.
+	for i := range cex {
+		rest := append(append([]Op{}, cex[:i]...), cex[i+1:]...)
+		if !checkPartition(init[x], rest) {
+			t.Errorf("counterexample not 1-minimal: still fails without %v", cex[i])
+		}
+	}
+}
+
+// A maybe-write (unclean session) may have taken effect or not; the
+// checker must accept histories explained by either branch, and reject
+// histories explained by neither.
+func TestMaybeWriteBranches(t *testing.T) {
+	x := obj(1)
+	init := map[wire.LongPtr]int64{x: 5}
+
+	dropped := []Op{
+		maybeWrite(1, 1, x, 7, 10),
+		read(2, 1, x, 5, 30, 40), // old value: write never landed
+	}
+	if res := Check(init, dropped); !res.Ok {
+		t.Fatalf("maybe-write drop branch rejected:\n%s", res.Err())
+	}
+
+	applied := []Op{
+		maybeWrite(1, 1, x, 7, 10),
+		read(2, 1, x, 7, 30, 40), // new value: delayed write-back landed
+	}
+	if res := Check(init, applied); !res.Ok {
+		t.Fatalf("maybe-write apply branch rejected:\n%s", res.Err())
+	}
+
+	// Seen applied by an early reader, then unseen by a later one:
+	// neither branch explains it (a register cannot revert).
+	neither := []Op{
+		maybeWrite(1, 1, x, 7, 10),
+		read(2, 1, x, 7, 20, 25),
+		read(2, 2, x, 5, 30, 40),
+	}
+	if res := Check(init, neither); res.Ok {
+		t.Fatal("reverting maybe-write accepted")
+	}
+}
+
+// Operations of one client must linearize in program order even when
+// their recorded windows overlap completely.
+func TestClientProgramOrderEnforced(t *testing.T) {
+	x := obj(1)
+	init := map[wire.LongPtr]int64{x: 0}
+	ops := []Op{
+		write(1, 1, x, 1, 1, 100),
+		write(1, 1, x, 2, 2, 100),
+		// Client 2 observes 2 then 1: only explainable by reordering
+		// client 1's writes, which program order forbids.
+		read(2, 1, x, 2, 3, 100),
+		read(2, 1, x, 1, 4, 100),
+	}
+	if res := Check(init, ops); res.Ok {
+		t.Fatal("program-order violation accepted")
+	}
+}
+
+func TestUnknownValueCaught(t *testing.T) {
+	x := obj(1)
+	res := Check(nil, []Op{read(1, 1, x, 42, 1, 10)})
+	if res.Ok {
+		t.Fatal("read of a never-written value accepted")
+	}
+}
+
+// Recorder end-to-end: sessions stamped through the trace-hook entry
+// points, read-your-own-writes filtered from the global history but
+// checked directly.
+func TestRecorderFlow(t *testing.T) {
+	r := NewRecorder()
+	x := obj(1)
+	r.Init(x, 5)
+
+	c1 := r.Client(1)
+	s := c1.Begin()
+	c1.OnSessionBegin()
+	if _, err := s.Read(x, func() (int64, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(x, 7, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Own-write read: filtered, not part of the global history.
+	if _, err := s.Read(x, func() (int64, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c1.OnSessionEnd()
+	s.Commit()
+
+	c2 := r.Client(2)
+	s2 := c2.Begin()
+	c2.OnSessionBegin()
+	if _, err := s2.Read(x, func() (int64, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c2.OnSessionEnd()
+	s2.Commit()
+
+	if got := len(r.History()); got != 3 {
+		t.Fatalf("history holds %d ops, want 3 (own-write read filtered)", got)
+	}
+	if res := r.Check(); !res.Ok {
+		t.Fatalf("clean recorded history rejected:\n%s", res.Err())
+	}
+}
+
+func TestRecorderReadOwnWriteViolation(t *testing.T) {
+	r := NewRecorder()
+	x := obj(1)
+	c := r.Client(1)
+	s := c.Begin()
+	c.OnSessionBegin()
+	if err := s.Write(x, 7, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(x, func() (int64, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.OnSessionEnd()
+	s.Commit()
+	res := r.Check()
+	if res.Ok {
+		t.Fatal("read-own-write mismatch not caught")
+	}
+}
+
+func TestRecorderAbandonMakesWritesMaybe(t *testing.T) {
+	r := NewRecorder()
+	x := obj(1)
+	r.Init(x, 5)
+	c := r.Client(1)
+	s := c.Begin()
+	c.OnSessionBegin()
+	if err := s.Write(x, 7, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.OnSessionEnd() // AbortSession also traces EvSessionEnd
+	s.Abandon()
+
+	c2 := r.Client(2)
+	s2 := c2.Begin()
+	c2.OnSessionBegin()
+	if _, err := s2.Read(x, func() (int64, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c2.OnSessionEnd()
+	s2.Commit()
+	if res := r.Check(); !res.Ok {
+		t.Fatalf("abandoned write treated as committed:\n%s", res.Err())
+	}
+}
+
+func TestRecorderFailedWriteIsMaybe(t *testing.T) {
+	r := NewRecorder()
+	x := obj(1)
+	r.Init(x, 5)
+	c := r.Client(1)
+	s := c.Begin()
+	c.OnSessionBegin()
+	wantErr := errors.New("boom")
+	if err := s.Write(x, 7, func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("Write did not forward the error: %v", err)
+	}
+	c.OnSessionEnd()
+	s.Commit()
+	h := r.History()
+	if len(h) != 1 || !h[0].Maybe {
+		t.Fatalf("failed write not recorded as maybe: %+v", h)
+	}
+}
+
+// A large, genuinely overlapping multi-client history must check well
+// under the 5-second acceptance bound (it should take milliseconds).
+func TestCheckerPerformance(t *testing.T) {
+	const (
+		clients = 8
+		rounds  = 60
+		objects = 24
+	)
+	init := make(map[wire.LongPtr]int64)
+	committed := make(map[wire.LongPtr]int64)
+	for k := uint32(0); k < objects; k++ {
+		init[obj(k)] = int64(k)
+		committed[obj(k)] = int64(k)
+	}
+	var ops []Op
+	for r := 0; r < rounds; r++ {
+		base := int64(r) * 1000
+		// One writer per round rotates through the objects; everyone
+		// else reads — half observe the pre-round value with windows
+		// spanning the write, half observe the new value late in the
+		// round. All sessions overlap in time.
+		wObj := obj(uint32(r % objects))
+		writer := 1 + r%clients
+		newV := int64(10_000 + r)
+		for c := 1; c <= clients; c++ {
+			sess := r + 1
+			begin := base + int64(c)
+			if c == writer {
+				ops = append(ops, write(c, sess, wObj, newV, base+200, base+900))
+				continue
+			}
+			// Reads of two untouched objects plus the contended one.
+			for j := 0; j < 2; j++ {
+				o := obj(uint32((r + c + j*7) % objects))
+				if o == wObj {
+					continue
+				}
+				ops = append(ops, read(c, sess, o, committed[o], begin, base+300+int64(c)))
+			}
+			if c%2 == 0 {
+				ops = append(ops, read(c, sess, wObj, committed[wObj], begin, base+500+int64(c)))
+			} else {
+				ops = append(ops, read(c, sess, wObj, newV, begin, base+950+int64(c)))
+			}
+		}
+		committed[wObj] = newV
+	}
+	start := time.Now()
+	res := Check(init, ops)
+	elapsed := time.Since(start)
+	if !res.Ok {
+		t.Fatalf("generated linearizable history rejected:\n%s", res.Err())
+	}
+	t.Logf("checked %d ops across %d partitions in %v", res.Ops, res.Partitions, elapsed)
+	if elapsed > 5*time.Second {
+		t.Fatalf("check took %v, budget is 5s", elapsed)
+	}
+}
+
+// Shrinking keeps counterexamples small even when the violation is
+// buried in a long healthy prefix.
+func TestShrinkingBuriedViolation(t *testing.T) {
+	x := obj(1)
+	init := map[wire.LongPtr]int64{x: 0}
+	var ops []Op
+	v := int64(0)
+	tns := int64(1)
+	for i := 0; i < 40; i++ {
+		c := 1 + i%4
+		nv := int64(100 + i)
+		ops = append(ops, write(c, i+1, x, nv, tns, tns+5))
+		ops = append(ops, read(1+(i+1)%4, i+1, x, nv, tns+6, tns+9))
+		v = nv
+		tns += 10
+	}
+	_ = v
+	// The violation: a fresh session reads a value 10 writes old.
+	ops = append(ops, read(1, 99, x, 100+29, tns+1, tns+5))
+	res := Check(init, ops)
+	if res.Ok {
+		t.Fatal("buried stale read not caught")
+	}
+	cex := res.Counterexamples[0]
+	if len(cex) > 12 {
+		t.Fatalf("shrunk counterexample has %d ops, want <= 12:\n%s", len(cex), res.Err())
+	}
+	// The write supplying the stale value must survive shrinking so the
+	// report shows where the value came from.
+	hasWrite := false
+	for _, o := range cex {
+		if o.Kind == OpWrite && o.Value == 100+29 {
+			hasWrite = true
+		}
+	}
+	if !hasWrite {
+		t.Errorf("counterexample lost the write explaining the stale value:\n%s", res.Err())
+	}
+	t.Logf("shrunk %d ops to %d", len(ops), len(cex))
+}
+
+func TestResultErrFormat(t *testing.T) {
+	x := obj(1)
+	res := Check(map[wire.LongPtr]int64{x: 5}, []Op{
+		write(2, 1, x, 7, 10, 20),
+		read(1, 2, x, 5, 25, 30),
+	})
+	if res.Ok {
+		t.Fatal("expected failure")
+	}
+	msg := res.Err()
+	for _, want := range []string{"histcheck:", "initial value 5", "client 2", "write", "read"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("counterexample report %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package nameserver
+
+import (
+	"strings"
+	"testing"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/types"
+)
+
+// TestRegistrationCollisions drives the publish path through every
+// collision shape: the server must accept byte-identical re-registration
+// (restarted clients republish their schemas) and reject anything that
+// would silently change the meaning of an ID other spaces already
+// resolved.
+func TestRegistrationCollisions(t *testing.T) {
+	base := &types.Desc{
+		ID: 10, Name: "Record",
+		Fields: []types.Field{
+			{Name: "k", Kind: types.Int64},
+			{Name: "next", Kind: types.Ptr, Elem: 10},
+		},
+	}
+	cases := []struct {
+		name    string
+		desc    *types.Desc
+		wantErr bool
+	}{
+		{
+			name:    "identical republish",
+			desc:    base,
+			wantErr: false,
+		},
+		{
+			name: "same ID, different type name",
+			desc: &types.Desc{ID: 10, Name: "Renamed",
+				Fields: base.Fields},
+			wantErr: true,
+		},
+		{
+			name: "same ID, field renamed",
+			desc: &types.Desc{ID: 10, Name: "Record",
+				Fields: []types.Field{
+					{Name: "key", Kind: types.Int64},
+					{Name: "next", Kind: types.Ptr, Elem: 10},
+				}},
+			wantErr: true,
+		},
+		{
+			name: "same ID, field kind changed",
+			desc: &types.Desc{ID: 10, Name: "Record",
+				Fields: []types.Field{
+					{Name: "k", Kind: types.Int32},
+					{Name: "next", Kind: types.Ptr, Elem: 10},
+				}},
+			wantErr: true,
+		},
+		{
+			name: "same ID, field dropped",
+			desc: &types.Desc{ID: 10, Name: "Record",
+				Fields: []types.Field{
+					{Name: "k", Kind: types.Int64},
+				}},
+			wantErr: true,
+		},
+		{
+			name: "same ID, pointer element changed",
+			desc: &types.Desc{ID: 10, Name: "Record",
+				Fields: []types.Field{
+					{Name: "k", Kind: types.Int64},
+					{Name: "next", Kind: types.Ptr, Elem: 1},
+				}},
+			wantErr: true,
+		},
+		{
+			name: "same ID, array length changed",
+			desc: &types.Desc{ID: 10, Name: "Record",
+				Fields: []types.Field{
+					{Name: "k", Kind: types.Int64, Count: 4},
+					{Name: "next", Kind: types.Ptr, Elem: 10},
+				}},
+			wantErr: true,
+		},
+		{
+			name: "name collision under a fresh ID",
+			desc: &types.Desc{ID: 11, Name: "Record",
+				Fields: []types.Field{
+					{Name: "k", Kind: types.Int64},
+				}},
+			wantErr: true,
+		},
+	}
+	_, cli, _ := setup(t)
+	if err := cli.Publish(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := cli.Publish(tc.desc)
+			if tc.wantErr && err == nil {
+				t.Errorf("collision accepted: %+v", tc.desc)
+			}
+			if !tc.wantErr && err != nil {
+				t.Errorf("publish rejected: %v", err)
+			}
+		})
+	}
+	// Whatever the collisions did, the authoritative schema must be the
+	// original one.
+	d, err := cli.Resolve(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "Record" || len(d.Fields) != 2 || d.Fields[0].Kind != types.Int64 {
+		t.Errorf("schema mutated by rejected collisions: %+v", d)
+	}
+}
+
+// TestLookupDeadOrigin drives every client operation against origins in
+// the two dead states a process actually meets: a server that existed
+// and shut down, and an address nothing ever listened on. Each call
+// must fail fast with a routing error — not hang waiting for a reply
+// that cannot come.
+func TestLookupDeadOrigin(t *testing.T) {
+	ops := []struct {
+		name string
+		call func(c *Client) error
+	}{
+		{"resolve by ID", func(c *Client) error { _, err := c.Resolve(1); return err }},
+		{"resolve by name", func(c *Client) error { _, err := c.ResolveName("TreeNode"); return err }},
+		{"publish", func(c *Client) error {
+			return c.Publish(&types.Desc{ID: 20, Name: "X",
+				Fields: []types.Field{{Name: "v", Kind: types.Int32}}})
+		}},
+		{"list", func(c *Client) error { _, err := c.List(); return err }},
+	}
+	deadServers := []struct {
+		name  string
+		setup func(t *testing.T, net *transport.Network) uint32
+	}{
+		{
+			name: "server shut down",
+			setup: func(t *testing.T, net *transport.Network) uint32 {
+				sn, err := net.Attach(serverID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv := NewServer(sn, authoritative(t))
+				_ = srv.Close()
+				return serverID
+			},
+		},
+		{
+			name: "never attached",
+			setup: func(t *testing.T, net *transport.Network) uint32 {
+				return serverID + 1
+			},
+		},
+	}
+	for _, ds := range deadServers {
+		t.Run(ds.name, func(t *testing.T) {
+			net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = net.Close() })
+			target := ds.setup(t, net)
+			cn, err := net.Attach(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli := NewClient(cn, target, types.NewRegistry())
+			t.Cleanup(func() { _ = cli.Close() })
+			for _, op := range ops {
+				t.Run(op.name, func(t *testing.T) {
+					err := op.call(cli)
+					if err == nil {
+						t.Fatal("call against dead origin succeeded")
+					}
+					if !strings.Contains(err.Error(), "transport") {
+						t.Errorf("error %q does not identify the routing failure", err)
+					}
+				})
+			}
+		})
+	}
+}
