@@ -34,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("srpcbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|scaleout|concurrent|all")
+	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|scaleout|concurrent|stream|all")
 	nodes := fs.Int("nodes", 32767, "tree size (2^k - 1 nodes)")
 	closure := fs.Int("closure", 8192, "closure size in bytes")
 	repeats := fs.Int("repeats", 10, "repeated searches for fig6")
@@ -76,12 +76,14 @@ func run(args []string) error {
 			return scaleout(model, *nodes, *closure)
 		case "concurrent":
 			return concurrent(*nodes, *closure)
+		case "stream":
+			return stream(model, *nodes)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline", "scaleout", "concurrent"} {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline", "scaleout", "concurrent", "stream"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
@@ -466,6 +468,53 @@ func concurrent(nodes, closure int) error {
 		fmt.Printf("%-8d %-7.2f %-9d %-7d %-7d %-9d %-11d %-9.3f %-9.3f %-10d %-12d\n",
 			p.clients, p.ratio, res.Sessions, res.Reads, res.Writes,
 			res.CheckedOps, res.Partitions, sec(res.CheckTime), sec(res.Wall), res.Messages, res.Bytes)
+	}
+	return nil
+}
+
+// stream prints the streamed-transfer workload: one client faults on a
+// chain whose whole closure fits the (large) fetch budget, over a chunk
+// sweep plus the monolithic-reply ablation. The ttfa column is the
+// wall-clock latency of the faulting access itself — with streaming it
+// waits only for chunk 0; without it, for the entire reply.
+func stream(model netsim.Model, nodes int) error {
+	if csv {
+		fmt.Println("stream.config,chunk_bytes,ttfa_usec,wall_s,messages,net_bytes,chunks,fetches")
+	} else {
+		fmt.Printf("\n== Streamed transfer: chain %d nodes, one closure-sized FETCH ==\n", nodes)
+		fmt.Printf("%-18s %-12s %-12s %-10s %-10s %-12s %-8s %-8s\n",
+			"config", "chunk", "ttfa(us)", "wall(s)", "messages", "bytes", "chunks", "fetches")
+	}
+	for _, p := range []struct {
+		name  string
+		chunk int
+	}{
+		{"smart-stream-16k", 16 << 10},
+		{"smart-stream-64k", 64 << 10},
+		{"smart-stream-256k", 256 << 10},
+		{"smart-nostream", -1},
+	} {
+		res, err := bench.RunStream(bench.StreamConfig{
+			Nodes:            nodes,
+			StreamChunkBytes: p.chunk,
+			Model:            model,
+		})
+		if err != nil {
+			return err
+		}
+		chunk := "off"
+		if p.chunk > 0 {
+			chunk = fmt.Sprintf("%dK", p.chunk>>10)
+		}
+		if csv {
+			fmt.Printf("%s,%d,%d,%.6f,%d,%d,%d,%d\n",
+				p.name, p.chunk, res.TTFA.Microseconds(), res.WallTime.Seconds(),
+				res.Messages, res.Bytes, res.Chunks, res.Fetches)
+			continue
+		}
+		fmt.Printf("%-18s %-12s %-12d %-10.3f %-10d %-12d %-8d %-8d\n",
+			p.name, chunk, res.TTFA.Microseconds(), res.WallTime.Seconds(),
+			res.Messages, res.Bytes, res.Chunks, res.Fetches)
 	}
 	return nil
 }

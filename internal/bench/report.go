@@ -33,7 +33,8 @@ type Report struct {
 // ReportRow is one benchmark point.
 type ReportRow struct {
 	// Figure tags the experiment family: fig4, fig6, fetch-batch,
-	// coh-delta, warm-sessions, pipeline, scaleout, or concurrent.
+	// coh-delta, warm-sessions, pipeline, scaleout, concurrent, or
+	// stream.
 	Figure string `json:"figure"`
 	// Config identifies the point within the family.
 	Policy  string  `json:"policy"`
@@ -102,6 +103,14 @@ type ReportRow struct {
 	ConcCheckedOps uint64  `json:"conc_checked_ops,omitempty"`
 	ConcPartitions uint64  `json:"conc_partitions,omitempty"`
 	ConcCheckSec   float64 `json:"conc_check_sec,omitempty"`
+	// Streaming columns (schema 7, stream rows only): Chunks counts the
+	// KindFetchChunk frames on the wire — a pure function of the
+	// configuration, so it is drift-checked — and TTFAUsec is the
+	// wall-clock latency of the first faulting access in microseconds,
+	// host-dependent like WallSec and therefore reported but not
+	// compared.
+	Chunks   uint64  `json:"chunks,omitempty"`
+	TTFAUsec float64 `json:"ttfa_usec,omitempty"`
 
 	// Host-dependent outputs (regression-checked with slack).
 	WallSec         float64 `json:"wall_sec"`
@@ -131,7 +140,7 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	rep := Report{Schema: 6, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
+	rep := Report{Schema: 7, Model: "ethernet10-sparc", Nodes: nodes, Closure: closure, Runs: runs}
 
 	var points []reportPoint
 	for _, pol := range []struct {
@@ -268,7 +277,74 @@ func BuildReport(model netsim.Model, nodes, closure, runs int) (Report, error) {
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
+
+	// The stream family (schema 7): one huge closure shipped to a single
+	// client, over a chunk-size sweep plus the monolithic-reply ablation.
+	// The chunk count is deterministic and drift-checked; the
+	// time-to-first-access column is the wall-clock payoff.
+	for _, sp := range []struct {
+		name  string
+		chunk int
+	}{
+		{"smart-stream-16k", 16 << 10},
+		{"smart-stream-64k", 64 << 10},
+		{"smart-stream-256k", 256 << 10},
+		{"smart-nostream", -1},
+	} {
+		row, err := measureStreamPoint(model, nodes, runs, sp.name, sp.chunk)
+		if err != nil {
+			return Report{}, fmt.Errorf("report stream/%s: %w", sp.name, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
 	return rep, nil
+}
+
+// measureStreamPoint runs one streamed-transfer configuration and fills
+// a stream row. The closure budget is fixed large (StreamConfig's 4 MiB
+// default) so the whole chain ships on the first fault regardless of the
+// report's closure setting.
+func measureStreamPoint(model netsim.Model, nodes, runs int, name string, chunk int) (ReportRow, error) {
+	cfg := StreamConfig{
+		Nodes:            nodes,
+		StreamChunkBytes: chunk,
+		Model:            model,
+	}
+	if _, err := RunStream(cfg); err != nil { // warm-up
+		return ReportRow{}, err
+	}
+	var last StreamResult
+	var ms1, ms2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	start := time.Now()
+	var ttfa time.Duration
+	for i := 0; i < runs; i++ {
+		res, err := RunStream(cfg)
+		if err != nil {
+			return ReportRow{}, err
+		}
+		last = res
+		ttfa += res.TTFA
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms2)
+	cfg.fill()
+	return ReportRow{
+		Figure:          "stream",
+		Policy:          name,
+		Closure:         cfg.ClosureSize,
+		ModelSec:        last.Time.Seconds(),
+		Messages:        last.Messages,
+		NetBytes:        last.Bytes,
+		Faults:          last.Faults,
+		Fetches:         last.Fetches,
+		Chunks:          last.Chunks,
+		TTFAUsec:        float64(ttfa.Microseconds()) / float64(runs),
+		WallSec:         wall.Seconds() / float64(runs),
+		AllocsPerOp:     (ms2.Mallocs - ms1.Mallocs) / uint64(runs),
+		AllocBytesPerOp: (ms2.TotalAlloc - ms1.TotalAlloc) / uint64(runs),
+	}, nil
 }
 
 // measureConcurrentPoint runs one concurrent-sessions configuration and
@@ -556,6 +632,10 @@ func Check(baseline, cur Report) error {
 			check("enc_misses", float64(want.EncMisses), float64(got.EncMisses))
 			check("enc_evictions", float64(want.EncEvictions), float64(got.EncEvictions))
 			check("enc_invalidations", float64(want.EncInvalidations), float64(got.EncInvalidations))
+		}
+		if baseline.Schema >= 7 {
+			// TTFAUsec is wall clock and skipped, like WallSec.
+			check("chunks", float64(want.Chunks), float64(got.Chunks))
 		}
 	}
 	if len(drifts) > 0 {

@@ -65,9 +65,12 @@ type cohView struct {
 // with the session they belong to. The protocol exchanges coherency items
 // on an edge only within one session at a time (distinct concurrent
 // clients are distinct peers), so a session change on an edge resets it.
+// Views are stored by value: an eager transfer records tens of thousands
+// of them in one crossing, and boxing each behind a pointer made this
+// map the top allocation site of the whole transfer path.
 type cohPeer struct {
 	sess  uint64
-	views map[wire.LongPtr]*cohView
+	views map[wire.LongPtr]cohView
 }
 
 // cohState is a runtime's delta-shipping memory, guarded by its own
@@ -82,14 +85,16 @@ type cohState struct {
 // viewsFor returns the edge state for (peer, sess). An edge recorded
 // under a different session is reset: its old baselines belong to a
 // session that ended (or died) without this space seeing the teardown,
-// and patching against them would corrupt data silently.
-func (cs *cohState) viewsFor(peer uint32, sess uint64) map[wire.LongPtr]*cohView {
+// and patching against them would corrupt data silently. hint pre-sizes
+// a freshly created edge's map — callers shipping a whole batch pass its
+// length so the map grows once instead of doubling through it.
+func (cs *cohState) viewsFor(peer uint32, sess uint64, hint int) map[wire.LongPtr]cohView {
 	if cs.peers == nil {
 		cs.peers = make(map[uint32]*cohPeer)
 	}
 	p := cs.peers[peer]
 	if p == nil || p.sess != sess {
-		p = &cohPeer{sess: sess, views: make(map[wire.LongPtr]*cohView)}
+		p = &cohPeer{sess: sess, views: make(map[wire.LongPtr]cohView, hint)}
 		cs.peers[peer] = p
 	}
 	return p.views
@@ -137,12 +142,12 @@ func (rt *Runtime) deltaShipItems(peer uint32, sess uint64, items []wire.DataIte
 	}
 	rt.coh.mu.Lock()
 	defer rt.coh.mu.Unlock()
-	views := rt.coh.viewsFor(peer, sess)
+	views := rt.coh.viewsFor(peer, sess, len(items))
 	out := items[:0]
 	for _, it := range items {
-		v := views[it.LP]
-		if v == nil {
-			views[it.LP] = &cohView{ver: 1, bytes: it.Bytes}
+		v, ok := views[it.LP]
+		if !ok {
+			views[it.LP] = cohView{ver: 1, bytes: it.Bytes}
 			rt.stats.cohItemsShipped.Add(1)
 			rt.stats.cohItemBytes.Add(uint64(len(it.Bytes)))
 			out = append(out, it)
@@ -162,6 +167,7 @@ func (rt *Runtime) deltaShipItems(peer uint32, sess uint64, items []wire.DataIte
 				BaseVer: v.ver,
 			})
 			v.ver++
+			views[it.LP] = v
 			continue
 		}
 		runs := delta.Diff(v.bytes, it.Bytes, delta.DefaultGap)
@@ -184,6 +190,7 @@ func (rt *Runtime) deltaShipItems(peer uint32, sess uint64, items []wire.DataIte
 		rt.stats.cohItemsShipped.Add(1)
 		v.ver++
 		v.bytes = it.Bytes
+		views[it.LP] = v
 	}
 	return out
 }
@@ -206,10 +213,10 @@ func (rt *Runtime) cohReceive(peer uint32, sess uint64, it wire.DataItem) (full 
 	}
 	rt.coh.mu.Lock()
 	defer rt.coh.mu.Unlock()
-	views := rt.coh.viewsFor(peer, sess)
-	v := views[it.LP]
+	views := rt.coh.viewsFor(peer, sess, 1)
+	v, ok := views[it.LP]
 	if it.Delta {
-		if v == nil {
+		if !ok {
 			return nil, false, fmt.Errorf("core: delta for %v from space %d without a baseline", it.LP, peer)
 		}
 		if v.ver != it.BaseVer {
@@ -220,6 +227,7 @@ func (rt *Runtime) cohReceive(peer uint32, sess uint64, it wire.DataItem) (full 
 			// Token: no change since the last crossing; the recorded view
 			// is the current value.
 			v.ver++
+			views[it.LP] = v
 			return v.bytes, false, nil
 		}
 		runs, err := delta.Decode(it.Bytes)
@@ -232,13 +240,15 @@ func (rt *Runtime) cohReceive(peer uint32, sess uint64, it wire.DataItem) (full 
 		}
 		v.ver++
 		v.bytes = patched
+		views[it.LP] = v
 		return patched, true, nil
 	}
-	if v == nil {
-		views[it.LP] = &cohView{ver: 1, bytes: it.Bytes}
+	if !ok {
+		views[it.LP] = cohView{ver: 1, bytes: it.Bytes}
 	} else {
 		v.ver++
 		v.bytes = it.Bytes
+		views[it.LP] = v
 	}
 	return it.Bytes, true, nil
 }

@@ -411,7 +411,7 @@ func TestServeScratchPoolNoAliasing(t *testing.T) {
 	shapes := make([]shape, 0, len(picks)*len(budgets))
 	for _, wants := range picks {
 		for _, budget := range budgets {
-			ref, err := rt.buildClosureItems(wants, 0, budget, nil)
+			ref, err := rt.buildClosureItems(wants, 0, budget, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -433,7 +433,7 @@ func TestServeScratchPoolNoAliasing(t *testing.T) {
 				// consumed.
 				sc := serveScratchPool.Get().(*serveScratch)
 				rt.serveMu.RLock()
-				items, err := rt.buildClosureItems(s.wants, 0, s.budget, sc)
+				items, err := rt.buildClosureItems(s.wants, 0, s.budget, sc, nil)
 				rt.serveMu.RUnlock()
 				if err != nil {
 					t.Errorf("worker %d iter %d: %v", w, it, err)
@@ -628,6 +628,19 @@ func TestTraceEventCoverage(t *testing.T) {
 		t.Fatalf("origin2 walk sum = %d, want %d", got, want)
 	}
 	end(clientB)
+
+	// origin3 streams: its tiny chunk threshold splits the tree-walk
+	// closure replies into chunk sequences (chunk-sent on the origin,
+	// chunk-recv/chunk-install on the client).
+	origin3 := mk(5, func(o *Options) { o.StreamChunkBytes = 128 })
+	t3 := buildTree(t, origin3, 5)
+	t3lps := treeNodeLPs(t, origin3, t3)
+	clientC := mk(6, nil)
+	begin(clientC)
+	if got, want := walk(clientC, t3lps[0]), wantSum(5); got != want {
+		t.Fatalf("origin3 walk sum = %d, want %d", got, want)
+	}
+	end(clientC)
 
 	// A raw node sends origin1 a sealed-then-corrupted frame; the reply
 	// arrives only after the origin traced the rejection.

@@ -82,10 +82,13 @@ type encEntry struct {
 // encShard is one stripe: a map for lookup plus a ring of keys the CLOCK
 // hand sweeps. The ring holds exactly the map's keys (removal
 // swap-deletes and patches the moved entry's idx), so it never
-// accumulates holes.
+// accumulates holes. Entries live in the map by value — publishing tens
+// of thousands of boxed entries during a large transfer made this the
+// second-largest allocation site of the serve path, and every mutation
+// site below is a single read-modify-write under the shard lock anyway.
 type encShard struct {
 	mu    sync.Mutex
-	m     map[vmem.VAddr]*encEntry
+	m     map[vmem.VAddr]encEntry
 	ring  []vmem.VAddr
 	hand  int
 	bytes int
@@ -122,7 +125,7 @@ func newEncCache(space *vmem.Space, capBytes int) *encCache {
 	}
 	c := &encCache{space: space, perCap: perCap}
 	for i := range c.shards {
-		c.shards[i].m = make(map[vmem.VAddr]*encEntry)
+		c.shards[i].m = make(map[vmem.VAddr]encEntry)
 	}
 	return c
 }
@@ -176,18 +179,21 @@ func (c *encCache) current(pre encPre) bool {
 func (c *encCache) lookup(lp wire.LongPtr) ([]byte, uint64, bool) {
 	s := c.shardOf(lp.Addr)
 	s.mu.Lock()
-	e := s.m[lp.Addr]
-	if e != nil && (e.lp != lp || !c.current(e.pre)) {
+	e, ok := s.m[lp.Addr]
+	if ok && (e.lp != lp || !c.current(e.pre)) {
 		c.dropLocked(s, lp.Addr, e)
 		c.invalidations.Add(1)
-		e = nil
+		ok = false
 	}
-	if e == nil {
+	if !ok {
 		s.mu.Unlock()
 		c.misses.Add(1)
 		return nil, 0, false
 	}
-	e.ref = true
+	if !e.ref {
+		e.ref = true
+		s.m[lp.Addr] = e
+	}
 	b, sum := e.bytes, e.sum
 	s.mu.Unlock()
 	c.hits.Add(1)
@@ -204,13 +210,13 @@ func (c *encCache) publish(lp wire.LongPtr, pre encPre, sum uint64, b []byte) (p
 	}
 	s := c.shardOf(lp.Addr)
 	s.mu.Lock()
-	if e := s.m[lp.Addr]; e != nil {
+	if e, ok := s.m[lp.Addr]; ok {
 		// Replace in place; the key keeps its ring slot.
 		s.bytes -= len(e.bytes)
 		c.bytes.Add(-int64(len(e.bytes)))
-		*e = encEntry{lp: lp, sum: sum, bytes: b, pre: pre, idx: e.idx}
+		s.m[lp.Addr] = encEntry{lp: lp, sum: sum, bytes: b, pre: pre, idx: e.idx}
 	} else {
-		s.m[lp.Addr] = &encEntry{lp: lp, sum: sum, bytes: b, pre: pre, idx: len(s.ring)}
+		s.m[lp.Addr] = encEntry{lp: lp, sum: sum, bytes: b, pre: pre, idx: len(s.ring)}
 		s.ring = append(s.ring, lp.Addr)
 	}
 	s.bytes += len(b)
@@ -233,6 +239,7 @@ func (c *encCache) evictLocked(s *encShard) int {
 		e := s.m[addr]
 		if e.ref {
 			e.ref = false
+			s.m[addr] = e
 			s.hand++
 			continue
 		}
@@ -245,7 +252,7 @@ func (c *encCache) evictLocked(s *encShard) int {
 
 // dropLocked removes one entry from the map and swap-deletes its ring
 // slot, patching the moved key's recorded index. Called with s.mu held.
-func (c *encCache) dropLocked(s *encShard, addr vmem.VAddr, e *encEntry) {
+func (c *encCache) dropLocked(s *encShard, addr vmem.VAddr, e encEntry) {
 	delete(s.m, addr)
 	s.bytes -= len(e.bytes)
 	c.bytes.Add(-int64(len(e.bytes)))
@@ -253,8 +260,9 @@ func (c *encCache) dropLocked(s *encShard, addr vmem.VAddr, e *encEntry) {
 	moved := s.ring[last]
 	s.ring[e.idx] = moved
 	s.ring = s.ring[:last]
-	if me := s.m[moved]; me != nil {
+	if me, ok := s.m[moved]; ok {
 		me.idx = e.idx
+		s.m[moved] = me
 	}
 }
 
@@ -266,12 +274,12 @@ func (c *encCache) dropLocked(s *encShard, addr vmem.VAddr, e *encEntry) {
 func (c *encCache) invalidate(addr vmem.VAddr) bool {
 	s := c.shardOf(addr)
 	s.mu.Lock()
-	e := s.m[addr]
-	if e != nil {
+	e, ok := s.m[addr]
+	if ok {
 		c.dropLocked(s, addr, e)
 	}
 	s.mu.Unlock()
-	if e != nil {
+	if ok {
 		c.invalidations.Add(1)
 		return true
 	}

@@ -214,7 +214,7 @@ func serveHotSetup(t testing.TB, disable bool) (*Runtime, []wire.LongPtr) {
 // scratch in, closure build, scratch back.
 func serveHot(t testing.TB, rt *Runtime, wants []wire.LongPtr) int {
 	sc := serveScratchPool.Get().(*serveScratch)
-	items, err := rt.buildClosureItems(wants, 0, 1<<20, sc)
+	items, err := rt.buildClosureItems(wants, 0, 1<<20, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

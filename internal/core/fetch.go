@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"slices"
 	"sync"
 
@@ -60,9 +61,57 @@ type fetchKey struct {
 // that wakes and still finds the page incomplete re-enters the loop and
 // issues its own request — a failed speculative fetch can park a demand
 // fault only for the duration of the failure, never indefinitely.
+//
+// primary closes as soon as the exchange's primary wants — the faulting
+// page's own entries — are resident, which on a streamed reply happens
+// while later chunks are still in flight. Joiners wake on it so a demand
+// fault is unblocked by the first chunk, not the last; a joiner that
+// finds primary already closed is watching a background drain and waits
+// for its next progress tick — each installed chunk may have made the
+// joiner's entries resident, and a fault's latency must track the chunk
+// that satisfies it, not the end of the stream. done still marks the
+// slot's release (the page's remaining work becomes claimable only
+// then).
 type inflightFetch struct {
-	spec bool
-	done chan struct{}
+	spec        bool
+	primary     chan struct{}
+	primaryOnce sync.Once
+	done        chan struct{}
+
+	// tick is the drain's progress broadcast: closed and replaced after
+	// every chunk install, under tickMu.
+	tickMu sync.Mutex
+	tick   chan struct{}
+}
+
+func newInflightFetch(spec bool) *inflightFetch {
+	return &inflightFetch{
+		spec:    spec,
+		primary: make(chan struct{}),
+		done:    make(chan struct{}),
+		tick:    make(chan struct{}),
+	}
+}
+
+// signalPrimary marks the primary wants resident (idempotent).
+func (f *inflightFetch) signalPrimary() {
+	f.primaryOnce.Do(func() { close(f.primary) })
+}
+
+// progress wakes every joiner parked on the drain: a chunk installed,
+// so a re-scan may find their entries resident.
+func (f *inflightFetch) progress() {
+	f.tickMu.Lock()
+	close(f.tick)
+	f.tick = make(chan struct{})
+	f.tickMu.Unlock()
+}
+
+// progressCh returns the channel the next progress call will close.
+func (f *inflightFetch) progressCh() <-chan struct{} {
+	f.tickMu.Lock()
+	defer f.tickMu.Unlock()
+	return f.tick
 }
 
 // fetchPage is the demand entry point: it completes page pn on behalf of
@@ -203,46 +252,96 @@ func (rt *Runtime) completeFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 				rt.trace(Event{Kind: EvPrefetchHit, Page: pn, Target: origin})
 			}
 		}
+		// If the exchange's primary signal already fired, the entry is a
+		// background drain of a streamed reply: waking on primary again
+		// would spin (the caller's re-scan finds the same drain). Wait
+		// for the drain's next chunk to install — the re-scan may then
+		// find this caller's entries resident long before the stream
+		// ends — or for the slot's release, whichever comes first.
 		select {
-		case <-f.done:
+		case <-f.primary:
+			select {
+			case <-f.progressCh():
+				return nil
+			case <-f.done:
+				return nil
+			case <-rt.stop:
+				return ErrClosed
+			}
+		default:
+		}
+		select {
+		case <-f.primary:
 			return nil
 		case <-rt.stop:
 			return ErrClosed
 		}
 	}
-	f := &inflightFetch{spec: spec, done: make(chan struct{})}
+	f := newInflightFetch(spec)
 	rt.inflight[key] = f
 	rt.inflightMu.Unlock()
+	release := func() {
+		// Remove before closing: a woken joiner that still finds work must
+		// be able to register its own exchange immediately. primary closes
+		// (idempotently) before done so no joiner can observe done without
+		// primary.
+		rt.inflightMu.Lock()
+		delete(rt.inflight, key)
+		rt.inflightMu.Unlock()
+		f.signalPrimary()
+		close(f.done)
+	}
 	var poke bool
+	var bg func()
 	err := func() error {
-		defer func() {
-			// Remove before closing: a woken joiner that still finds work must
-			// be able to register its own exchange immediately.
-			rt.inflightMu.Lock()
-			delete(rt.inflight, key)
-			rt.inflightMu.Unlock()
-			close(f.done)
-		}()
 		var err error
 		if stale {
 			poke, err = rt.validateFrom(sess, pn, origin, lps)
 		} else {
-			poke, err = rt.fetchFrom(sess, pn, origin, lps, spec)
+			poke, bg, err = rt.fetchFrom(sess, pn, origin, lps, spec, f)
 		}
 		return err
 	}()
+	if bg != nil {
+		// A streamed reply unblocked the primary wants with chunks still
+		// in flight: drain them in the background, releasing the registry
+		// slot — and poking the prefetcher — only when the stream ends.
+		// Teardown paths quiesce rt.bgDrain before touching the cache.
+		rt.bgDrain.Add(1)
+		go func() {
+			defer rt.bgDrain.Done()
+			bg()
+			release()
+			if poke {
+				rt.pfPoke(origin)
+			}
+		}()
+		return err
+	}
+	release()
 	if poke {
 		// The exchange exposed a fresh swizzled frontier; give the
 		// prefetcher a chance to run ahead of the application. The poke must
-		// come only after the defer above has released the registry slot:
-		// under Options.SyncPrefetch it completes speculative pages inline,
-		// and the candidates can include this very page (its frontier grew
+		// come only after the registry slot is released: under
+		// Options.SyncPrefetch it completes speculative pages inline, and
+		// the candidates can include this very page (its frontier grew
 		// during the install) — an inline completion must register its own
 		// exchange, not join this goroutine's still-held entry and deadlock
 		// waiting on itself.
 		rt.pfPoke(origin)
 	}
 	return err
+}
+
+// drainStreams waits out every background chunk drainer (the tail of a
+// streamed fetch whose primary wants already unblocked the faulting
+// access). Teardown paths call it right after pfDrain, before demoting
+// or invalidating the cache, so a drain never installs into a page being
+// torn down. The wait is bounded: a stalled stream abandons itself at
+// its next per-chunk CallTimeout (when one is set) and every drain wakes
+// on runtime close.
+func (rt *Runtime) drainStreams() {
+	rt.bgDrain.Wait()
 }
 
 // InflightFetches reports how many (page, origin) exchanges are currently
@@ -260,11 +359,20 @@ func (rt *Runtime) InflightFetches() int {
 // prefetcher-issued fetches: the wire flag and the pf counters are the
 // only differences — the origin serves both identically.
 //
+// The origin picks the reply form: small closures arrive as one
+// monolithic FetchReply and install exactly as the seed protocol did;
+// large closures arrive as a KindFetchChunk stream, installed chunk by
+// chunk as they are decoded. On a demand fetch, once every primary want
+// is resident the faulting access is unblocked (f.signalPrimary) and the
+// remaining chunks drain through the returned bg closure, which
+// completeFrom runs on a background goroutine; a drain error just leaves
+// entries non-resident for a later demand fetch to retry.
+//
 // poke reports that the caller should poke the prefetcher at this origin
 // once the in-flight registry slot is released (completeFrom); poking from
 // in here would let an inline speculative completion rejoin — and deadlock
 // on — the slot this exchange still holds.
-func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr, spec bool) (poke bool, err error) {
+func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr, spec bool, f *inflightFetch) (poke bool, bg func(), err error) {
 	primary := len(wants)
 	budget := rt.budgetFor(origin)
 	if !rt.noFetchBatch {
@@ -294,39 +402,210 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 	} else {
 		rt.trace(Event{Kind: EvFetchSent, Target: origin, Count: len(wants)})
 	}
-	reply, err := rt.sendAndWait(wire.Message{
+	x, err := rt.sendAndStream(wire.Message{
 		Kind:    wire.KindFetch,
 		Session: sess,
 		To:      origin,
 		Payload: p.Encode(),
 	})
 	if err != nil {
-		return false, fmt.Errorf("fetch from space %d: %w", origin, err)
+		return false, nil, fmt.Errorf("fetch from space %d: %w", origin, err)
+	}
+	reply, err := x.next()
+	if err != nil {
+		return false, nil, fmt.Errorf("fetch from space %d: %w", origin, err)
 	}
 	if reply.Err != "" {
-		return false, fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
+		reply.ReleaseFrame()
+		x.abandon()
+		return false, nil, fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
 	}
-	rp, err := wire.DecodeItemsPayload(reply.Payload)
+	if reply.Kind == wire.KindFetchReply {
+		// The classic single-frame reply (closure at or under the
+		// origin's streaming threshold).
+		rp, err := wire.DecodeItemsPayload(reply.Payload)
+		if err != nil {
+			return false, nil, fmt.Errorf("fetch from space %d: decode: %w", origin, err)
+		}
+		// Fetch replies bypass the delta-shipping state (coh=false): a datum
+		// is fetched at most once per session, so there is no baseline to
+		// diff against and tracking it would desynchronize the edge.
+		if err := rt.installItems(origin, sess, rp.Items, false); err != nil {
+			return false, nil, fmt.Errorf("fetch from space %d: install: %w", origin, err)
+		}
+		if spec {
+			var n uint64
+			for _, it := range rp.Items {
+				n += uint64(len(it.Bytes))
+			}
+			rt.stats.pfBytes.Add(n)
+			// Speculative completions chain through pfRun instead, after
+			// their in-flight slot is released.
+			return false, nil, nil
+		}
+		return true, nil, nil
+	}
+	// A streamed reply. Track which primary wants are still outstanding
+	// so the faulting access unblocks on the first chunk that covers
+	// them — by the protocol's contract that is chunk 0, but the client
+	// verifies residency rather than trusting the origin's framing.
+	missing := make(map[wire.LongPtr]bool, primary)
+	for _, lp := range wants[:primary] {
+		missing[lp] = true
+	}
+	asm := &chunkAssembler{xid: x.seq}
+	installChunk := func(m wire.Message) (final bool, err error) {
+		defer m.ReleaseFrame()
+		if m.Err != "" {
+			x.abandon()
+			return false, fmt.Errorf("fetch from space %d: %s", origin, m.Err)
+		}
+		if m.Kind != wire.KindFetchChunk {
+			x.abandon()
+			return false, fmt.Errorf("fetch from space %d: %v frame inside a chunk stream", origin, m.Kind)
+		}
+		cp, err := wire.DecodeFetchChunkPayload(m.Payload)
+		if err != nil {
+			x.abandon()
+			return false, fmt.Errorf("fetch from space %d: chunk decode: %w", origin, err)
+		}
+		if cp.Validate {
+			x.abandon()
+			return false, fmt.Errorf("fetch from space %d: validate chunk in a fetch stream", origin)
+		}
+		if err := asm.accept(&cp); err != nil {
+			x.abandon()
+			return false, fmt.Errorf("fetch from space %d: %w", origin, err)
+		}
+		rt.trace(Event{Kind: EvChunkRecv, Target: origin, Page: cp.Chunk, Count: len(cp.Items)})
+		if err := rt.installItems(origin, sess, cp.Items, false); err != nil {
+			x.abandon()
+			return false, fmt.Errorf("fetch from space %d: install: %w", origin, err)
+		}
+		rt.trace(Event{Kind: EvChunkInstall, Target: origin, Page: cp.Chunk, Count: len(cp.Items)})
+		for _, it := range cp.Items {
+			delete(missing, it.LP)
+		}
+		if spec {
+			var n uint64
+			for _, it := range cp.Items {
+				n += uint64(len(it.Bytes))
+			}
+			rt.stats.pfBytes.Add(n)
+		}
+		return cp.Final, nil
+	}
+	final, err := installChunk(reply)
+	for !final && err == nil {
+		if len(missing) == 0 && !spec {
+			// Every primary want is resident: unblock the faulting
+			// access and drain the tail in the background. Speculative
+			// completions have no one waiting and drain inline.
+			f.signalPrimary()
+			drain := func() {
+				for {
+					m, err := x.next()
+					if err != nil {
+						return
+					}
+					final, err := installChunk(m)
+					// Wake parked joiners after every install: a fault
+					// whose entries this chunk covered unblocks now.
+					f.progress()
+					if final || err != nil {
+						return
+					}
+				}
+			}
+			return true, drain, nil
+		}
+		var m wire.Message
+		if m, err = x.next(); err == nil {
+			final, err = installChunk(m)
+		}
+	}
 	if err != nil {
-		return false, fmt.Errorf("fetch from space %d: decode: %w", origin, err)
-	}
-	// Fetch replies bypass the delta-shipping state (coh=false): a datum
-	// is fetched at most once per session, so there is no baseline to
-	// diff against and tracking it would desynchronize the edge.
-	if err := rt.installItems(origin, sess, rp.Items, false); err != nil {
-		return false, fmt.Errorf("fetch from space %d: install: %w", origin, err)
+		return false, nil, err
 	}
 	if spec {
-		var n uint64
-		for _, it := range rp.Items {
-			n += uint64(len(it.Bytes))
-		}
-		rt.stats.pfBytes.Add(n)
-		// Speculative completions chain through pfRun instead, after
-		// their in-flight slot is released.
-		return false, nil
+		return false, nil, nil
 	}
-	return true, nil
+	return true, nil, nil
+}
+
+// chunkEmitter streams one serve's reply as a KindFetchChunk sequence.
+// buildClosureItems hands it item batches as the traversal produces them;
+// each batch goes out as one individually checksummed chunk frame whose
+// payload is encoded straight into a pooled frame buffer (the receiver
+// releases it after installing the chunk). A send failure latches: the
+// remaining build is not worth finishing for an unreachable peer.
+type chunkEmitter struct {
+	rt       *Runtime
+	req      wire.Message
+	limit    int // target item bytes per chunk (Options.StreamChunkBytes)
+	validate bool
+	next     uint32 // ordinal of the next chunk
+	sent     int    // chunks emitted so far
+	err      error  // first send failure (latched)
+}
+
+// emit sends one chunk carrying the given fetch items (or, for a
+// validate stream, vitems).
+func (em *chunkEmitter) emit(items []wire.DataItem, vitems []wire.ValidateItem, final bool) error {
+	if em.err != nil {
+		return em.err
+	}
+	if !em.validate && em.rt.warmEnabled() {
+		// Remember what this peer now holds: the delta base for future
+		// cross-session revalidations. Memory-only; nothing on the wire.
+		em.rt.recordServed(em.req.From, items)
+	}
+	p := wire.FetchChunkPayload{
+		XID:      em.req.Seq,
+		Chunk:    em.next,
+		Final:    final,
+		Validate: em.validate,
+		Items:    items,
+		VItems:   vitems,
+	}
+	fb := wire.NewChunkBuf()
+	p.EncodeTo(fb.Enc())
+	out := wire.Message{
+		Kind:    wire.KindFetchChunk,
+		Session: em.req.Session,
+		Seq:     em.req.Seq,
+		To:      em.req.From,
+		Payload: fb.Enc().Bytes(),
+		Frame:   fb,
+	}
+	out.Seal()
+	em.rt.trace(Event{Kind: EvChunkSent, Target: em.req.From, Page: em.next, Count: len(items) + len(vitems)})
+	if err := em.rt.node.Send(out); err != nil {
+		// Send consumes the frame reference only when it serializes or
+		// delivers; an undeliverable frame is released here.
+		out.ReleaseFrame()
+		em.err = err
+		return err
+	}
+	em.next++
+	em.sent++
+	// Yield between chunks: the point of streaming is that the receiver
+	// decodes and installs while this serve is still encoding, and on a
+	// saturated (or single-CPU) host the encode loop would otherwise
+	// monopolize the processor until preemption — the receiver would see
+	// the whole stream arrive at once, monolithic with extra framing.
+	runtime.Gosched()
+	return nil
+}
+
+// fail ends a partially sent stream with an error chunk, so the client
+// abandons the exchange immediately instead of waiting out its deadline.
+func (em *chunkEmitter) fail(errStr string) {
+	if em.err != nil {
+		return // the peer is unreachable; nothing to tell it
+	}
+	rt := em.rt
+	rt.reply(em.req, wire.KindFetchChunk, nil, errStr)
 }
 
 // serveFetch answers a data request: it sends the wanted objects plus a
@@ -334,6 +613,12 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 // speculative request is served identically — the flag is accounting on
 // the requester. Closure encoding reads the heap, so the serve holds the
 // read side of serveMu against concurrently applied write-backs.
+//
+// A closure whose encoded items exceed the streaming threshold goes out
+// as a pipelined chunk sequence (chunkEmitter) — each chunk is sent as
+// soon as the traversal fills it, so the client decodes and installs
+// while this serve is still encoding. Smaller closures (and all closures
+// under DisableStreaming) use the classic single reply frame.
 func (rt *Runtime) serveFetch(m wire.Message) {
 	p, err := wire.DecodeFetchPayload(m.Payload)
 	if err != nil {
@@ -353,9 +638,22 @@ func (rt *Runtime) serveFetch(m wire.Message) {
 		sc.reset()
 		serveScratchPool.Put(sc)
 	}()
-	items, err := rt.buildClosureItems(p.Wants, int(p.Primary), int(p.Budget), sc)
+	var em *chunkEmitter
+	if !rt.noStreaming && rt.streamChunk > 0 {
+		em = &chunkEmitter{rt: rt, req: m, limit: rt.streamChunk}
+	}
+	items, err := rt.buildClosureItems(p.Wants, int(p.Primary), int(p.Budget), sc, em)
 	if err != nil {
+		if em != nil && em.sent > 0 {
+			em.fail(err.Error())
+			return
+		}
 		rt.reply(m, wire.KindFetchReply, nil, err.Error())
+		return
+	}
+	if em != nil && em.sent > 0 {
+		// The reply streamed: the final chunk is already on the wire and
+		// recordServed ran per chunk.
 		return
 	}
 	if rt.warmEnabled() {
@@ -430,7 +728,18 @@ var serveScratchPool = sync.Pool{
 //
 // sc, when non-nil, supplies the pooled working set (serveFetch); other
 // callers pass nil and allocate fresh.
-func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int, sc *serveScratch) ([]wire.DataItem, error) {
+//
+// em, when non-nil, enables streaming: once every want has been served
+// (so chunk 0 always carries the faulting page's own entries and the
+// batched ride-alongs) and the accumulated item bytes exceed the chunk
+// limit, the accumulated items flush as one chunk and the traversal
+// continues. If any chunk was flushed, the tail goes out as the final
+// chunk and the function returns (nil, nil); a closure that never
+// reached the limit returns its items for the classic monolithic reply.
+// Under DFS (the ablation) wants drain last, so streaming effectively
+// degrades to the monolithic form — the contract, not the chunk size,
+// is what the client depends on.
+func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int, sc *serveScratch, em *chunkEmitter) ([]wire.DataItem, error) {
 	if primary <= 0 {
 		primary = len(wants)
 	}
@@ -472,6 +781,40 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int, 
 	var arena *xdr.Encoder
 	budgetLeft := budget
 	hits, misses := 0, 0
+	// resolveSpans turns spans[lo:hi] into item bytes: cache hits carry
+	// theirs already, misses slice the arena. Publishing mid-stream is
+	// sound even though the arena may still grow — append reallocation
+	// copies, so an already-sliced backing array is never written again.
+	resolveSpans := func(lo, hi int) {
+		var backing []byte
+		if arena != nil {
+			backing = arena.Bytes()
+		}
+		for k := lo; k < hi; k++ {
+			s := &spans[k]
+			if s.cached != nil {
+				items[k].Bytes = s.cached
+				continue
+			}
+			items[k].Bytes = backing[s.start:s.end]
+			if s.publish {
+				rt.encPublish(items[k].LP, s.pre, items[k].Bytes)
+			}
+		}
+	}
+	// Streaming state: wantsLeft counts unserved want jobs (no flush may
+	// split them off chunk 0), accBytes the encoded size of the items
+	// accumulated since the last flush, flushed the boundary.
+	wantsLeft := len(wants)
+	accBytes, flushed := 0, 0
+	flush := func(final bool) error {
+		resolveSpans(flushed, len(items))
+		// Cap the slice so the emitter's batch cannot alias later growth.
+		err := em.emit(items[flushed:len(items):len(items)], nil, final)
+		flushed = len(items)
+		accBytes = 0
+		return err
+	}
 	// head indexes the BFS frontier instead of re-slicing queue, so a
 	// pooled queue keeps its full backing array across serves.
 	head := 0
@@ -483,6 +826,9 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int, 
 		} else {
 			j = queue[head]
 			head++
+		}
+		if j.want {
+			wantsLeft--
 		}
 		if j.lp.IsNull() {
 			continue
@@ -530,61 +876,72 @@ func (rt *Runtime) buildClosureItems(wants []wire.LongPtr, primary, budget int, 
 		}
 		items = append(items, wire.DataItem{LP: j.lp})
 		spans = append(spans, sp)
-		if j.frozen {
-			continue
-		}
-		// Enqueue the pointed-to data, honoring any programmer-supplied
-		// closure shape hint for this type (§6: "use suggestions provided
-		// by the programmer" to optimize the closure's shape).
-		desc, layout := rv.Desc, rv.Layout
-		hint := rt.closureHint(desc.ID)
-		for i, f := range desc.Fields {
-			if f.Kind != types.Ptr {
-				continue
-			}
-			if hint != nil && !hint[f.Name] {
-				continue
-			}
-			count := f.Count
-			if count <= 1 {
-				count = 1
-			}
-			fl := layout.Fields[i]
-			for e := 0; e < count; e++ {
-				pv, err := rt.space.ReadPtrRaw(j.lp.Addr + vmem.VAddr(fl.Offset+e*fl.ElemSize))
-				if err != nil {
-					return nil, err
-				}
-				if pv == vmem.Null {
+		if !j.frozen {
+			// Enqueue the pointed-to data, honoring any programmer-supplied
+			// closure shape hint for this type (§6: "use suggestions provided
+			// by the programmer" to optimize the closure's shape).
+			desc, layout := rv.Desc, rv.Layout
+			hint := rt.closureHint(desc.ID)
+			for i, f := range desc.Fields {
+				if f.Kind != types.Ptr {
 					continue
 				}
-				target, err := rt.table.Unswizzle(pv, f.Elem)
-				if err != nil {
-					return nil, err
+				if hint != nil && !hint[f.Name] {
+					continue
 				}
-				queue = append(queue, closureJob{lp: target})
+				count := f.Count
+				if count <= 1 {
+					count = 1
+				}
+				fl := layout.Fields[i]
+				for e := 0; e < count; e++ {
+					pv, err := rt.space.ReadPtrRaw(j.lp.Addr + vmem.VAddr(fl.Offset+e*fl.ElemSize))
+					if err != nil {
+						return nil, err
+					}
+					if pv == vmem.Null {
+						continue
+					}
+					target, err := rt.table.Unswizzle(pv, f.Elem)
+					if err != nil {
+						return nil, err
+					}
+					queue = append(queue, closureJob{lp: target})
+				}
 			}
 		}
-	}
-	var backing []byte
-	if arena != nil {
-		backing = arena.Bytes()
-	}
-	for k := range items {
-		s := &spans[k]
-		if s.cached != nil {
-			items[k].Bytes = s.cached
-			continue
-		}
-		items[k].Bytes = backing[s.start:s.end]
-		if s.publish {
-			// The arena has stopped growing, so the slice is stable;
-			// publishing aliases it (on a cold serve nearly the whole
-			// arena is published, so compaction would buy nothing).
-			rt.encPublish(items[k].LP, s.pre, items[k].Bytes)
+		if em != nil {
+			blen := len(sp.cached)
+			if sp.cached == nil {
+				blen = sp.end - sp.start
+			}
+			accBytes += wire.EncodedLongPtrSize + 8 + (blen+3)&^3
+			// more is judged after this item's children were enqueued, so a
+			// linear chain (each item feeding exactly one successor) streams
+			// just like a bushy tree.
+			more := head < len(queue)
+			if rt.traversal == TraverseDFS {
+				more = len(queue) > 0
+			}
+			// Flush only with traversal still pending: a closure that ends
+			// exactly here stays monolithic (streaming with one chunk would
+			// be the classic reply with extra framing).
+			if wantsLeft == 0 && accBytes >= em.limit && more {
+				if err := flush(false); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	rt.encTraceServe(hits, misses)
+	if em != nil && em.sent > 0 {
+		// The reply streamed; close it with the tail (possibly empty).
+		if err := flush(true); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	resolveSpans(0, len(items))
 	return items, nil
 }
 
@@ -607,7 +964,7 @@ func (rt *Runtime) eagerClosureFor(args []Value) ([]wire.DataItem, error) {
 	if len(roots) == 0 {
 		return nil, nil
 	}
-	return rt.buildClosureItems(roots, 0, math.MaxInt32, nil)
+	return rt.buildClosureItems(roots, 0, math.MaxInt32, nil, nil)
 }
 
 // fetchOne retrieves a single object's canonical bytes without caching:

@@ -271,7 +271,7 @@ func CheckCohLockstep(a, b *Runtime) error {
 	hi.coh.mu.Lock()
 	defer hi.coh.mu.Unlock()
 
-	var av, bv map[wire.LongPtr]*cohView
+	var av, bv map[wire.LongPtr]cohView
 	ap, bp := a.coh.peers[b.id], b.coh.peers[a.id]
 	if ap != nil {
 		av = ap.views

@@ -206,8 +206,9 @@ func TestInvariantCatchesVersionSplit(t *testing.T) {
 		caller.coh.mu.Unlock()
 		t.Fatal("no delta-shipping views recorded on the edge")
 	}
-	for _, v := range edge.views {
+	for lp, v := range edge.views {
 		v.ver++
+		edge.views[lp] = v
 		break
 	}
 	caller.coh.mu.Unlock()

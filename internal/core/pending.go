@@ -15,11 +15,14 @@ import (
 // over the single-mutex map this replaces).
 const pendingShardCount = 16
 
-// pendingShard is one stripe: a mutex and the map of reply channels for
-// the sequence numbers hashing to it.
+// pendingShard is one stripe: a mutex and the maps of waiters for the
+// sequence numbers hashing to it — one-shot reply channels (m) and
+// stream buffers for exchanges whose reply may arrive as a chunk
+// sequence (st, lazily allocated: only fetch/validate requests stream).
 type pendingShard struct {
 	mu sync.Mutex
 	m  map[uint64]chan wire.Message
+	st map[uint64]*streamBuf
 }
 
 // pendingTable tracks the in-flight request sequence numbers awaiting
@@ -71,8 +74,52 @@ func (t *pendingTable) drop(seq uint64) {
 	s.mu.Unlock()
 }
 
-// drain removes every entry and closes its channel, failing all waiters.
-// Only the shutdown path calls it.
+// putStream registers a stream buffer for seq (stream-capable requests).
+func (t *pendingTable) putStream(seq uint64, sb *streamBuf) {
+	s := t.shard(seq)
+	s.mu.Lock()
+	if s.st == nil {
+		s.st = make(map[uint64]*streamBuf)
+	}
+	s.st[seq] = sb
+	s.mu.Unlock()
+}
+
+// peekStream returns the stream buffer registered for seq without
+// removing it: non-final chunks leave the exchange open for the rest of
+// the sequence.
+func (t *pendingTable) peekStream(seq uint64) (*streamBuf, bool) {
+	s := t.shard(seq)
+	s.mu.Lock()
+	sb, ok := s.st[seq]
+	s.mu.Unlock()
+	return sb, ok
+}
+
+// takeStream removes and returns the stream buffer registered for seq:
+// a final chunk (or a monolithic reply to a stream-capable request)
+// closes the exchange's registration.
+func (t *pendingTable) takeStream(seq uint64) (*streamBuf, bool) {
+	s := t.shard(seq)
+	s.mu.Lock()
+	sb, ok := s.st[seq]
+	if ok {
+		delete(s.st, seq)
+	}
+	s.mu.Unlock()
+	return sb, ok
+}
+
+// dropStream removes seq's stream registration (cleanup paths).
+func (t *pendingTable) dropStream(seq uint64) {
+	s := t.shard(seq)
+	s.mu.Lock()
+	delete(s.st, seq)
+	s.mu.Unlock()
+}
+
+// drain removes every entry and fails its waiter — channels close,
+// stream buffers fail. Only the shutdown path calls it.
 func (t *pendingTable) drain() {
 	for i := range t.shards {
 		s := &t.shards[i]
@@ -81,6 +128,17 @@ func (t *pendingTable) drain() {
 			close(ch)
 			delete(s.m, seq)
 		}
+		streams := make([]*streamBuf, 0, len(s.st))
+		for seq, sb := range s.st {
+			streams = append(streams, sb)
+			delete(s.st, seq)
+		}
 		s.mu.Unlock()
+		// Fail outside the shard lock: fail releases queued frame
+		// buffers, which is pure pool work but has no business under
+		// the stripe mutex.
+		for _, sb := range streams {
+			sb.fail()
+		}
 	}
 }

@@ -207,6 +207,22 @@ type Options struct {
 	// serve re-encodes from the heap, the seed behavior. Used by
 	// benchmarks and regression tests to measure the caching win.
 	DisableEncodeCache bool
+	// StreamChunkBytes is both the streaming threshold and the chunk
+	// size for served FETCH/VALIDATE replies: a reply whose encoded
+	// items stay at or under the limit goes out as the classic single
+	// reply frame (byte-identical to the seed protocol), a larger one
+	// streams as a KindFetchChunk sequence whose chunks each carry about
+	// this many item bytes. Streaming lets the client decode and
+	// install while later chunks are still being encoded and sent, and
+	// unblocks the faulting access as soon as the primary page is
+	// resident. Zero selects the default (1 MiB — above every reply the
+	// committed benchmark snapshots produce, so their wire traffic is
+	// unchanged).
+	StreamChunkBytes int
+	// DisableStreaming forces every served reply monolithic regardless
+	// of size (the seed behavior). Used by benchmarks and regression
+	// tests to measure the streaming win.
+	DisableStreaming bool
 }
 
 func (o *Options) fill() error {
@@ -249,8 +265,18 @@ func (o *Options) fill() error {
 	if o.EncodeCacheBytes < 0 {
 		o.DisableEncodeCache = true
 	}
+	if o.StreamChunkBytes == 0 {
+		o.StreamChunkBytes = defaultStreamChunkBytes
+	}
+	if o.StreamChunkBytes < 0 {
+		o.DisableStreaming = true
+	}
 	return nil
 }
+
+// defaultStreamChunkBytes is the default streaming threshold and chunk
+// size (Options.StreamChunkBytes).
+const defaultStreamChunkBytes = 1 << 20
 
 // Stats is a snapshot of one runtime's counters.
 type Stats struct {
@@ -355,6 +381,15 @@ type Runtime struct {
 	concurrent    bool
 	callTimeout   time.Duration
 	checkInv      bool
+	streamChunk   int
+	noStreaming   bool
+
+	// bgDrain tracks background chunk drainers: goroutines finishing the
+	// tail of a streamed fetch after the faulting access was unblocked.
+	// Teardown paths (session end, invalidation) quiesce it before
+	// demoting or discarding the cache, so a drain never installs into a
+	// page being torn down.
+	bgDrain sync.WaitGroup
 
 	// skipLocalInvalidate, when set, makes EndSession skip the local
 	// demote/invalidate of this space's own cache after write-back. It
@@ -540,6 +575,8 @@ func New(opts Options) (*Runtime, error) {
 		concurrent:      opts.Concurrent,
 		callTimeout:     opts.CallTimeout,
 		checkInv:        opts.CheckInvariants,
+		streamChunk:     opts.StreamChunkBytes,
+		noStreaming:     opts.DisableStreaming,
 		procs:           make(map[string]Handler),
 		pending:         newPendingTable(),
 		inflight:        make(map[fetchKey]*inflightFetch),
@@ -689,6 +726,9 @@ func (rt *Runtime) Close() error {
 		<-rt.done
 		// Fail any callers still waiting for replies.
 		rt.pending.drain()
+		// Background chunk drainers woke on stop (or their failed stream
+		// buffers); reap them so Close leaves no goroutines behind.
+		rt.bgDrain.Wait()
 	})
 	return nil
 }
@@ -841,7 +881,34 @@ func (rt *Runtime) loop() {
 				continue
 			}
 		}
+		if m.Kind == wire.KindFetchChunk {
+			// One chunk of a streamed reply. Non-final chunks leave the
+			// exchange registered for the rest of the sequence; a final
+			// chunk — including a corrupt frame, whose payload cannot
+			// name an ordinal — closes it. Chunks with no registered
+			// exchange (an abandoned or timed-out stream) release their
+			// frame buffers and drop.
+			var sb *streamBuf
+			var ok bool
+			if m.Err != "" || wire.ChunkIsFinal(m.Payload) {
+				sb, ok = rt.pending.takeStream(m.Seq)
+			} else {
+				sb, ok = rt.pending.peekStream(m.Seq)
+			}
+			if ok {
+				sb.push(m)
+			} else {
+				m.ReleaseFrame()
+			}
+			continue
+		}
 		if m.Kind.IsReply() {
+			// A monolithic reply may answer a stream-capable request
+			// (the origin answered below the streaming threshold).
+			if sb, ok := rt.pending.takeStream(m.Seq); ok {
+				sb.push(m)
+				continue
+			}
 			if ch, ok := rt.pending.take(m.Seq); ok {
 				ch <- m
 			}

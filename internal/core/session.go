@@ -84,9 +84,11 @@ func (rt *Runtime) EndSession() error {
 	sess := rt.sess
 	rt.sessMu.Unlock()
 
-	// Quiesce speculation first: in-flight prefetches install into the
-	// cache this teardown is about to examine and demote.
+	// Quiesce speculation and streamed-fetch tails first: in-flight
+	// prefetches and background chunk drains install into the cache this
+	// teardown is about to examine and demote.
 	rt.pfDrain()
+	rt.drainStreams()
 
 	// Any allocations still batched must reach their origins first, so
 	// that dirty data mentions only real addresses. (This may enlarge the
@@ -245,6 +247,7 @@ func (rt *Runtime) EndSession() error {
 // views are cleared along with the cache.
 func (rt *Runtime) AbortSession() {
 	rt.pfDrain()
+	rt.drainStreams()
 	rt.warm.clearViews()
 	rt.space.InvalidateCache()
 	rt.table.Invalidate()
@@ -681,11 +684,13 @@ func (rt *Runtime) serveInvalidate(m wire.Message) {
 		rt.reply(m, wire.KindInvalidateAck, nil, "")
 		return
 	}
-	// Quiesce speculation before touching the cache (see EndSession). The
-	// wait cannot starve the ground's invalidation round trip: this serve
-	// runs on a pool worker, so the receive loop keeps routing the fetch
-	// replies the in-flight prefetches are blocked on.
+	// Quiesce speculation and streamed-fetch tails before touching the
+	// cache (see EndSession). The waits cannot starve the ground's
+	// invalidation round trip: this serve runs on a pool worker, so the
+	// receive loop keeps routing the fetch replies and chunks the
+	// in-flight prefetches and background drains are blocked on.
 	rt.pfDrain()
+	rt.drainStreams()
 	if rt.warmEnabled() {
 		rt.demoteWarm(nil)
 	} else {

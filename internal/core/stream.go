@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"smartrpc/internal/wire"
+)
+
+// streamBufMax bounds the number of undrained frames a stream buffer
+// queues. A well-behaved origin never gets near it (the consumer drains
+// chunks as fast as they decode); hitting the cap means the peer is
+// violating the protocol, and the exchange fails rather than letting the
+// queue grow without bound.
+const streamBufMax = 4096
+
+// streamBuf is the receive queue of one streamed exchange. The
+// dispatcher pushes frames without ever blocking; the requester pops
+// them one at a time. It replaces the one-shot reply channel for
+// requests whose reply may arrive as a chunk sequence.
+type streamBuf struct {
+	mu     sync.Mutex
+	msgs   []wire.Message
+	closed bool
+	wake   chan struct{}
+}
+
+func newStreamBuf() *streamBuf {
+	return &streamBuf{wake: make(chan struct{}, 1)}
+}
+
+// push appends a frame and wakes the consumer. Never blocks. Frames
+// pushed after close (late chunks of an abandoned exchange) release
+// their buffers immediately.
+func (b *streamBuf) push(m wire.Message) {
+	b.mu.Lock()
+	if b.closed || len(b.msgs) >= streamBufMax {
+		b.mu.Unlock()
+		m.ReleaseFrame()
+		return
+	}
+	b.msgs = append(b.msgs, m)
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// fail closes the buffer, releasing any queued frames and waking the
+// consumer (which will observe closed-and-empty).
+func (b *streamBuf) fail() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	queued := b.msgs
+	b.msgs = nil
+	b.mu.Unlock()
+	for i := range queued {
+		queued[i].ReleaseFrame()
+	}
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes the oldest queued frame, reporting closed when the buffer
+// was failed and has nothing left to deliver.
+func (b *streamBuf) pop() (m wire.Message, ok, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.msgs) > 0 {
+		m = b.msgs[0]
+		b.msgs = b.msgs[1:]
+		return m, true, false
+	}
+	return wire.Message{}, false, b.closed
+}
+
+// chunkAssembler validates the chunk sequence of one streamed reply:
+// ordinals must be contiguous from zero, every chunk must echo the
+// exchange id, and nothing may follow the final chunk. Any violation —
+// a dropped, duplicated, or reordered chunk — is a protocol error; the
+// caller abandons the exchange and refetches rather than installing a
+// torn closure.
+type chunkAssembler struct {
+	xid  uint64
+	next uint32
+	done bool
+}
+
+// accept validates one decoded chunk against the stream position.
+func (a *chunkAssembler) accept(p *wire.FetchChunkPayload) error {
+	if a.done {
+		return fmt.Errorf("core: chunk %d after final chunk", p.Chunk)
+	}
+	if p.XID != a.xid {
+		return fmt.Errorf("core: chunk xid %d does not match exchange %d", p.XID, a.xid)
+	}
+	if p.Chunk != a.next {
+		return fmt.Errorf("core: chunk ordinal %d, expected %d (dropped or reordered chunk)", p.Chunk, a.next)
+	}
+	a.next++
+	if p.Final {
+		a.done = true
+	}
+	return nil
+}
+
+// streamExchange is the client half of a request whose reply may stream:
+// a registered stream buffer plus the exchange's sequence number. next()
+// yields reply frames in arrival order; abandon() unregisters the
+// exchange and releases anything still queued or in flight.
+type streamExchange struct {
+	rt  *Runtime
+	seq uint64
+	sb  *streamBuf
+}
+
+// sendAndStream sends a request and registers a stream-capable exchange
+// for its reply. The origin chooses the reply form: a single monolithic
+// reply frame or a KindFetchChunk sequence — both are delivered through
+// the returned exchange.
+func (rt *Runtime) sendAndStream(m wire.Message) (*streamExchange, error) {
+	seq := rt.seq.Add(1)
+	m.Seq = seq
+	m.Seal()
+	sb := newStreamBuf()
+	rt.pending.putStream(seq, sb)
+	if err := rt.node.Send(m); err != nil {
+		rt.pending.dropStream(seq)
+		return nil, fmt.Errorf("send %v to space %d: %w", m.Kind, m.To, err)
+	}
+	return &streamExchange{rt: rt, seq: seq, sb: sb}, nil
+}
+
+// next returns the next reply frame of the exchange, or an error when
+// the runtime closes or the wait exceeds CallTimeout. Each wait gets a
+// fresh timeout window: a streaming reply makes progress chunk by chunk,
+// so per-chunk patience bounds a stalled exchange without penalizing
+// long streams. The returned message may carry Err (remote failure or a
+// frame corrupted in flight); classification is the caller's, exactly as
+// for sendAndWait replies.
+func (x *streamExchange) next() (wire.Message, error) {
+	rt := x.rt
+	var deadline <-chan time.Time
+	if rt.callTimeout > 0 {
+		timer := time.NewTimer(rt.callTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for {
+		m, ok, closed := x.sb.pop()
+		if ok {
+			return m, nil
+		}
+		if closed {
+			return wire.Message{}, ErrClosed
+		}
+		select {
+		case <-x.sb.wake:
+		case <-deadline:
+			x.abandon()
+			return wire.Message{}, fmt.Errorf("streamed reply chunk after %v: %w",
+				rt.callTimeout, ErrDeadline)
+		case <-rt.stop:
+			x.abandon()
+			return wire.Message{}, ErrClosed
+		}
+	}
+}
+
+// abandon unregisters the exchange and releases queued frames. Late
+// frames for the sequence number find no stream registered and are
+// released by the dispatcher from then on. Idempotent.
+func (x *streamExchange) abandon() {
+	x.rt.pending.dropStream(x.seq)
+	x.sb.fail()
+}

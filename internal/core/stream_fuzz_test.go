@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"smartrpc/internal/wire"
+)
+
+// FuzzChunkReassembly drives the client-side chunk assembler with a
+// well-formed chunk sequence plus one fuzz-chosen corruption — a dropped
+// chunk, a duplicated chunk, an adjacent swap, a wrong exchange id, or a
+// chunk after the final one — and checks the assembler accepts exactly
+// the intact prefix and rejects the first out-of-contract chunk. The
+// client installs chunks as they arrive, so this gate is all that stands
+// between a reordering transport and a torn closure.
+func FuzzChunkReassembly(f *testing.F) {
+	f.Add(uint64(1), 5, 0, 0)
+	f.Add(uint64(7), 8, 1, 3)
+	f.Add(uint64(9), 2, 2, 1)
+	f.Add(uint64(3), 6, 3, 2)
+	f.Add(uint64(0xdeadbeef), 4, 4, 0)
+	f.Add(uint64(2), 3, 5, 1)
+	f.Fuzz(func(t *testing.T, xid uint64, n, mutate, pick int) {
+		if n < 1 || n > 64 {
+			return
+		}
+		seq := make([]wire.FetchChunkPayload, n)
+		for i := range seq {
+			seq[i] = wire.FetchChunkPayload{XID: xid, Chunk: uint32(i), Final: i == n-1}
+		}
+		if pick < 0 {
+			pick = -(pick + 1)
+		}
+		// badAt is the index in the (mutated) sequence where the assembler
+		// must reject; -1 means the whole sequence is in contract.
+		badAt := -1
+		switch m := ((mutate % 6) + 6) % 6; m {
+		case 0: // intact
+		case 1: // drop a non-final chunk (a dropped final is not a
+			// reassembly error — the stream just never finishes, which the
+			// timeout path owns, not the assembler)
+			if n < 2 {
+				return
+			}
+			at := pick % (n - 1)
+			seq = append(seq[:at], seq[at+1:]...)
+			badAt = at // the successor's ordinal skips one
+		case 2: // duplicate one chunk
+			at := pick % n
+			seq = append(seq[:at+1], seq[at:]...)
+			badAt = at + 1
+		case 3: // swap adjacent chunks
+			if n < 2 {
+				return
+			}
+			at := pick % (n - 1)
+			seq[at], seq[at+1] = seq[at+1], seq[at]
+			badAt = at
+		case 4: // wrong exchange id on one chunk
+			at := pick % n
+			seq[at].XID = xid + 1
+			badAt = at
+		case 5: // a chunk after the final one
+			seq = append(seq, wire.FetchChunkPayload{XID: xid, Chunk: uint32(n), Final: true})
+			badAt = n
+		}
+		asm := &chunkAssembler{xid: xid}
+		for i := range seq {
+			err := asm.accept(&seq[i])
+			if badAt == -1 || i < badAt {
+				if err != nil {
+					t.Fatalf("chunk %d (ordinal %d) rejected in an intact prefix: %v", i, seq[i].Chunk, err)
+				}
+				continue
+			}
+			if err == nil {
+				t.Fatalf("mutation %d: chunk %d (ordinal %d, xid %d) accepted; want reject",
+					((mutate%6)+6)%6, i, seq[i].Chunk, seq[i].XID)
+			}
+			return
+		}
+		if badAt != -1 {
+			t.Fatalf("mutated sequence fully accepted")
+		}
+		if !asm.done {
+			t.Fatalf("intact sequence did not finish the assembler")
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+	"smartrpc/internal/wire"
+)
+
+// streamNet builds a server (id 1) plus n client runtimes (ids 100+i) on
+// one in-memory network, like pipelineNet, but also lets the test mutate
+// the server's options — streaming is an origin-side knob, so chunked
+// replies need a server with a lowered StreamChunkBytes.
+func streamNet(t testing.TB, n int, serverMut, clientMut func(o *Options)) (*transport.Network, *Runtime, []*Runtime) {
+	t.Helper()
+	net, err := transport.NewNetwork(netsim.Model{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	reg := newTestRegistry(t)
+	mk := func(id uint32, mut func(o *Options)) *Runtime {
+		node, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{ID: id, Node: node, Registry: reg, Policy: PolicySmart}
+		if mut != nil {
+			mut(&o)
+		}
+		rt, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = rt.Close() })
+		return rt
+	}
+	server := mk(1, serverMut)
+	clients := make([]*Runtime, n)
+	for i := range clients {
+		clients[i] = mk(100+uint32(i), clientMut)
+	}
+	return net, server, clients
+}
+
+// TestStreamedFetchCorrectness: with the origin's streaming threshold
+// forced far below the closure budget, every demand fetch becomes a
+// multi-chunk stream — the faulting access unblocks on chunk 0 while the
+// rest of the closure drains in the background. The chase must still see
+// exactly the right values, the network must actually have carried chunk
+// frames, and session end must have drained every background stream.
+func TestStreamedFetchCorrectness(t *testing.T) {
+	net, server, clients := streamNet(t, 1,
+		func(o *Options) { o.StreamChunkBytes = 128 },
+		func(o *Options) { o.ClosureSize = 4096 })
+	cl := clients[0]
+	root, want := buildChain(t, server, 1024, 0)
+
+	got, err := chase(cl, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("chase sum = %d, want %d", got, want)
+	}
+	if n := net.Stats().KindMessages(uint32(wire.KindFetchChunk)); n == 0 {
+		t.Error("no chunk frames on the wire — streaming never engaged")
+	}
+	if n := cl.InflightFetches(); n != 0 {
+		t.Errorf("%d in-flight registry entries leaked after session end", n)
+	}
+}
+
+// TestJoinerOnPartiallyDrainedStream: a real link delay keeps speculative
+// chunk streams in flight while the application keeps chasing, so demand
+// faults land on pages whose exchange has already signaled its primary
+// and is still draining trailing chunks in the background. The joiner
+// must wait for the drain to finish (registry entry released), not
+// re-request the page or read a half-installed closure. Run under -race
+// this is the partially-drained-join concurrency check.
+func TestJoinerOnPartiallyDrainedStream(t *testing.T) {
+	net, server, clients := streamNet(t, 1,
+		func(o *Options) { o.StreamChunkBytes = 128 },
+		func(o *Options) {
+			o.Prefetch = true
+			o.ClosureSize = 2048
+		})
+	cl := clients[0]
+	root, want := buildChain(t, server, 1024, 0)
+
+	net.SetLinkDelay(2 * time.Millisecond)
+	defer net.SetLinkDelay(0)
+	got, err := chase(cl, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("chase sum = %d, want %d", got, want)
+	}
+	st := cl.Stats()
+	if st.PfCoalesced == 0 {
+		t.Errorf("no demand fault joined an in-flight streamed exchange: %+v", st)
+	}
+	if n := net.Stats().KindMessages(uint32(wire.KindFetchChunk)); n == 0 {
+		t.Error("no chunk frames on the wire — streaming never engaged")
+	}
+	if sent, served := st.FetchesSent, server.Stats().FetchesServed; sent != served {
+		t.Errorf("client sent %d fetches, server served %d", sent, served)
+	}
+	if n := cl.InflightFetches(); n != 0 {
+		t.Errorf("%d in-flight registry entries leaked after session end", n)
+	}
+}
+
+// TestSyncPrefetchOverChunkedStream: under SyncPrefetch the speculative
+// completion runs inline on the demand goroutine and must consume its
+// whole chunk stream there — speculative exchanges never early-unblock,
+// so a wedged drain would hang the chase. The watchdog turns that hang
+// into a failure instead of a test timeout.
+func TestSyncPrefetchOverChunkedStream(t *testing.T) {
+	net, server, clients := streamNet(t, 1,
+		func(o *Options) { o.StreamChunkBytes = 128 },
+		func(o *Options) {
+			o.Prefetch = true
+			o.SyncPrefetch = true
+			o.ClosureSize = 256
+		})
+	cl := clients[0]
+	root, want := buildChain(t, server, 512, 0)
+
+	done := make(chan struct{})
+	var got int64
+	var chaseErr error
+	go func() {
+		defer close(done)
+		got, chaseErr = chase(cl, root)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("chase wedged: inline speculative completion never finished its chunk stream")
+	}
+	if chaseErr != nil {
+		t.Fatal(chaseErr)
+	}
+	if got != want {
+		t.Fatalf("chase sum = %d, want %d", got, want)
+	}
+	if n := net.Stats().KindMessages(uint32(wire.KindFetchChunk)); n == 0 {
+		t.Error("no chunk frames on the wire — streaming never engaged")
+	}
+	if n := cl.InflightFetches(); n != 0 {
+		t.Errorf("%d in-flight registry entries leaked after session end", n)
+	}
+}
+
+// BenchmarkInstallClosure measures the client-side cost of receiving and
+// installing one full closure — the decode/install path the zero-copy
+// chunk plumbing exists to keep cheap. Warm caching is off so every
+// iteration refetches and reinstalls the whole chain. Run with -benchmem;
+// CI gates on allocs/op not regressing.
+func BenchmarkInstallClosure(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		chunk int
+	}{
+		{"streamed", 256},
+		{"monolithic", -1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, server, clients := streamNet(b, 1,
+				func(o *Options) {
+					if mode.chunk < 0 {
+						o.DisableStreaming = true
+					} else {
+						o.StreamChunkBytes = mode.chunk
+					}
+				},
+				func(o *Options) {
+					o.ClosureSize = 1 << 20
+					o.DisableWarmCache = true
+				})
+			cl := clients[0]
+			root, want := buildChain(b, server, 1024, 0)
+			// One warm-up chase primes lazily-built tables on both ends.
+			if got, err := chase(cl, root); err != nil || got != want {
+				b.Fatalf("warm-up chase = %d, %v; want %d", got, err, want)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := chase(cl, root)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("chase sum = %d, want %d", got, want)
+				}
+			}
+		})
+	}
+}

@@ -37,6 +37,9 @@ const (
 	EvEncCacheMiss
 	EvEncCacheEvict
 	EvEncCacheInvalidate
+	EvChunkSent
+	EvChunkRecv
+	EvChunkInstall
 )
 
 var eventNames = map[EventKind]string{
@@ -52,6 +55,8 @@ var eventNames = map[EventKind]string{
 	EvPrefetchWasted: "prefetch-wasted", EvRebindEvict: "rebind-evict",
 	EvEncCacheHit: "enc-cache-hit", EvEncCacheMiss: "enc-cache-miss",
 	EvEncCacheEvict: "enc-cache-evict", EvEncCacheInvalidate: "enc-cache-invalidate",
+	EvChunkSent: "chunk-sent", EvChunkRecv: "chunk-recv",
+	EvChunkInstall: "chunk-install",
 }
 
 // EventKinds returns every defined event kind, in declaration order.
@@ -104,6 +109,9 @@ func (e Event) String() string {
 	case EvFetchServed, EvInstall, EvDirtyCollected,
 		EvEncCacheHit, EvEncCacheMiss, EvEncCacheEvict:
 		return fmt.Sprintf("[%d] %v count=%d", e.Space, e.Kind, e.Count)
+	case EvChunkSent, EvChunkRecv, EvChunkInstall:
+		// Page carries the chunk ordinal; Count the item count.
+		return fmt.Sprintf("[%d] %v peer=%d chunk=%d count=%d", e.Space, e.Kind, e.Target, e.Page, e.Count)
 	case EvEncCacheInvalidate:
 		return fmt.Sprintf("[%d] %v page=%d", e.Space, e.Kind, e.Page)
 	case EvValidateHit, EvValidateMiss, EvRebindEvict:

@@ -274,7 +274,7 @@ func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 	p := wire.ValidatePayload{Tuples: tuples}
 	rt.stats.cohRevalidateMsgs.Add(1)
 	rt.trace(Event{Kind: EvValidateSent, Target: origin, Page: pn, Count: len(tuples)})
-	reply, err := rt.sendAndWait(wire.Message{
+	x, err := rt.sendAndStream(wire.Message{
 		Kind:    wire.KindValidate,
 		Session: sess,
 		To:      origin,
@@ -284,19 +284,78 @@ func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 		rt.degradeStale(tuples)
 		return false, nil
 	}
-	if reply.Err != "" {
+	items, release, ok := rt.recvValidateReply(x)
+	if !ok {
 		rt.degradeStale(tuples)
 		return false, nil
 	}
-	rp, err := wire.DecodeValidateReplyPayload(reply.Payload)
+	// Item bytes may alias pooled chunk frames; hold them until the apply
+	// has consumed (cloned or patched from) every body.
+	err = rt.applyValidateReply(tuples, items)
+	release()
 	if err != nil {
-		rt.degradeStale(tuples)
-		return false, nil
-	}
-	if err := rt.applyValidateReply(tuples, rp.Items); err != nil {
 		return false, err
 	}
 	return true, nil
+}
+
+// recvValidateReply drains one Validate exchange: either the classic
+// monolithic ValidateReply frame or a sequence of validate-flagged chunk
+// frames, whose item vectors are concatenated in order. Unlike a fetch
+// stream nothing is installed mid-drain — revalidation decisions need the
+// full answer set (unanswered tuples degrade) — so streaming here buys
+// pipelined encode/transmit on the origin, not early unblocking. The
+// returned release frees the frames backing the item bytes; callers
+// invoke it after the apply. Any protocol violation reports !ok, and the
+// caller degrades the offered tuples to plain wants.
+func (rt *Runtime) recvValidateReply(x *streamExchange) (items []wire.ValidateItem, release func(), ok bool) {
+	var frames []wire.Message
+	release = func() {
+		for i := range frames {
+			frames[i].ReleaseFrame()
+		}
+	}
+	bad := func() ([]wire.ValidateItem, func(), bool) {
+		release()
+		x.abandon()
+		return nil, func() {}, false
+	}
+	asm := &chunkAssembler{xid: x.seq}
+	for {
+		m, err := x.next()
+		if err != nil {
+			return bad()
+		}
+		frames = append(frames, m)
+		if m.Err != "" {
+			return bad()
+		}
+		if m.Kind == wire.KindValidateReply {
+			if len(frames) > 1 {
+				return bad() // monolithic frame inside a chunk stream
+			}
+			rp, err := wire.DecodeValidateReplyPayload(m.Payload)
+			if err != nil {
+				return bad()
+			}
+			return rp.Items, release, true
+		}
+		if m.Kind != wire.KindFetchChunk {
+			return bad()
+		}
+		cp, err := wire.DecodeFetchChunkPayload(m.Payload)
+		if err != nil || !cp.Validate {
+			return bad()
+		}
+		if err := asm.accept(&cp); err != nil {
+			return bad()
+		}
+		rt.trace(Event{Kind: EvChunkRecv, Target: m.From, Page: cp.Chunk, Count: len(cp.VItems)})
+		items = append(items, cp.VItems...)
+		if cp.Final {
+			return items, release, true
+		}
+	}
 }
 
 // applyValidateReply installs the origin's per-tuple answers: tokens
@@ -434,6 +493,21 @@ func (rt *Runtime) serveValidate(m wire.Message) {
 	// against concurrently applied write-backs.
 	rt.serveMu.RLock()
 	defer rt.serveMu.RUnlock()
+	// A reply heavy with full bodies streams as validate chunks, exactly
+	// like a large fetch closure (chunkEmitter); the common all-token
+	// reply stays well under the threshold and goes out monolithic.
+	var em *chunkEmitter
+	if !rt.noStreaming && rt.streamChunk > 0 {
+		em = &chunkEmitter{rt: rt, req: m, limit: rt.streamChunk, validate: true}
+	}
+	accBytes := 0
+	fail := func(errStr string) {
+		if em != nil && em.sent > 0 {
+			em.fail(errStr)
+			return
+		}
+		rt.reply(m, wire.KindValidateReply, nil, errStr)
+	}
 	out := wire.ValidateReplyPayload{Items: make([]wire.ValidateItem, 0, len(p.Tuples))}
 	rt.warm.mu.Lock()
 	defer rt.warm.mu.Unlock()
@@ -446,15 +520,14 @@ func (rt *Runtime) serveValidate(m wire.Message) {
 		rt.warm.served[m.From] = sv
 	}
 	encHits, encMisses := 0, 0
-	for _, t := range p.Tuples {
+	for ti, t := range p.Tuples {
 		if t.LP.Space != rt.id {
-			rt.reply(m, wire.KindValidateReply, nil,
-				fmt.Sprintf("core: validate for datum %v not owned by space %d", t.LP, rt.id))
+			fail(fmt.Sprintf("core: validate for datum %v not owned by space %d", t.LP, rt.id))
 			return
 		}
 		rv, err := rt.res.Resolve(t.LP.Type)
 		if err != nil {
-			rt.reply(m, wire.KindValidateReply, nil, err.Error())
+			fail(err.Error())
 			return
 		}
 		// A cache hit answers with the memoized bytes AND the memoized
@@ -469,7 +542,7 @@ func (rt *Runtime) serveValidate(m wire.Message) {
 			enc := xdr.NewEncoder(rv.Canon)
 			pure, err := encodeObjectInto(enc, rt.space, rt.table, rt.res, rv.Desc, t.LP.Addr)
 			if err != nil {
-				rt.reply(m, wire.KindValidateReply, nil, fmt.Sprintf("encode %v: %v", t.LP, err))
+				fail(fmt.Sprintf("encode %v: %v", t.LP, err))
 				return
 			}
 			cur = enc.Bytes()
@@ -499,9 +572,27 @@ func (rt *Runtime) serveValidate(m wire.Message) {
 		}
 		sv[t.LP] = cur
 		out.Items = append(out.Items, it)
+		if em != nil {
+			accBytes += wire.EncodedLongPtrSize + 8 + (len(it.Bytes)+3)&^3
+			// As in buildClosureItems, only flush with tuples still pending
+			// so a reply that ends exactly here stays monolithic. Emitted
+			// batches are fully encoded into the chunk frame, so the slice
+			// is reusable immediately.
+			if accBytes >= em.limit && ti+1 < len(p.Tuples) {
+				if err := em.emit(nil, out.Items, false); err != nil {
+					return
+				}
+				out.Items = out.Items[:0]
+				accBytes = 0
+			}
+		}
 	}
 	rt.encTraceServe(encHits, encMisses)
 	rt.stats.cohRevalidateMsgs.Add(1)
+	if em != nil && em.sent > 0 {
+		_ = em.emit(nil, out.Items, true)
+		return
+	}
 	rt.reply(m, wire.KindValidateReply, out.Encode(), "")
 }
 

@@ -299,6 +299,9 @@ func (c *Chaos) inject(from uint32, m wire.Message) []wire.Message {
 	}
 	if c.partitions[edgeKey(m.From, m.To)] {
 		c.record(FaultPartition, m, "")
+		// An undelivered zero-copy frame has no consumer left to release
+		// its pooled buffer; recycle it here.
+		m.ReleaseFrame()
 		return out
 	}
 	if !c.cfg.targets(m.Kind) {
@@ -314,6 +317,7 @@ func (c *Chaos) inject(from uint32, m wire.Message) []wire.Message {
 	switch {
 	case drawDrop < c.cfg.DropPermille:
 		c.record(FaultDrop, m, "")
+		m.ReleaseFrame() // no consumer left for a zero-copy frame
 		return out
 	case drawDelay < c.cfg.DelayPermille && m.Kind.IsReply():
 		dist := uint64(h>>40%3) + 1
@@ -322,7 +326,14 @@ func (c *Chaos) inject(from uint32, m wire.Message) []wire.Message {
 		return out
 	case drawDup < c.cfg.DupPermille:
 		c.record(FaultDup, m, "")
-		return append(out, m, m)
+		// The two deliveries must not share payload storage: the first
+		// consumer of a zero-copy chunk frame releases its pooled buffer
+		// after installing, which would leave the duplicate aliasing
+		// recycled memory. The duplicate carries its own copy, no frame.
+		d := m
+		d.Payload = append([]byte(nil), m.Payload...)
+		d.Frame = nil
+		return append(out, m, d)
 	case drawCorrupt < c.cfg.CorruptPermille && len(m.Payload) > 0:
 		flips := int(h>>42%3) + 1
 		cp := append([]byte(nil), m.Payload...)

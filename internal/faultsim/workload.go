@@ -61,6 +61,11 @@ type Scenario struct {
 	// under test is the smart-pointer one).
 	Concurrent  bool
 	CallTimeout time.Duration
+	// StreamChunkBytes, when > 0, lowers every space's streaming
+	// threshold so ordinary fetch/validate replies split into chunked
+	// streams, putting KindFetchChunk frames in the fault mix's reach.
+	// Zero keeps the production default (only oversized replies stream).
+	StreamChunkBytes int
 }
 
 // DefaultScenario derives a varied scenario from a seed: 2–4 spaces,
@@ -98,13 +103,21 @@ func DefaultScenario(seed uint64) Scenario {
 	// production default), off for some so the ablated serve paths soak
 	// too.
 	sc.EncodeCache = rng.Intn(4) != 0
-	// Drawn last of all: a third of seeds run the concurrent multi-client
-	// workload, with 2–4 clients sharing the ground tree. The extra
-	// Spaces draw happens only on concurrent seeds, so non-concurrent
-	// scenarios older seeds derive stay unchanged in every dimension.
+	// Drawn after EncodeCache, before Concurrent's draws would have run
+	// under older orderings — appended at the end so every dimension
+	// older seeds derived stays unchanged. A third of seeds run the
+	// concurrent multi-client workload, with 2–4 clients sharing the
+	// ground tree.
 	sc.Concurrent = rng.Intn(3) == 0
 	if sc.Concurrent {
 		sc.Spaces = 3 + rng.Intn(3)
+	}
+	// Drawn last: a third of seeds force a tiny streaming threshold
+	// (128–1024 bytes) so the scenario's small closures split into
+	// chunked streams and the fault mix lands on KindFetchChunk frames,
+	// partially drained exchanges, and mid-stream teardown.
+	if rng.Intn(3) == 0 {
+		sc.StreamChunkBytes = 128 << rng.Intn(4)
 	}
 	return sc
 }
@@ -411,6 +424,7 @@ func (h *harness) newRuntime(id uint32) (*core.Runtime, error) {
 		// its own seed stream.
 		SyncPrefetch:       h.sc.Concurrent && h.sc.Prefetch,
 		DisableEncodeCache: !h.sc.EncodeCache,
+		StreamChunkBytes:   h.sc.StreamChunkBytes,
 		Concurrent:         true,
 		CallTimeout:        h.sc.CallTimeout,
 		CheckInvariants:    true,

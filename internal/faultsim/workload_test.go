@@ -199,6 +199,49 @@ func TestPrefetchFetchChaosOracle(t *testing.T) {
 	}
 }
 
+// TestChunkStreamChaosOracle aims the whole fault mix at KindFetchChunk
+// frames only, with the streaming threshold forced low enough that every
+// closure fetch becomes a multi-chunk stream. A dropped, corrupted,
+// duplicated, or delayed chunk must degrade to an ordinary refetch —
+// never a torn install (the value oracle inside Run checks every
+// fault-free sum against the model), never a wedged in-flight registry
+// or background drain (checkAllIdle runs at every quiescent point), and
+// never an unrecoverable space.
+func TestChunkStreamChaosOracle(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	var faults uint64
+	var verified int
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		sc := DefaultScenario(seed)
+		sc.Policy = core.PolicySmart // lazy/eager never fault-fetch pages
+		sc.StreamChunkBytes = 128
+		sc.CrashPermille = 0
+		sc.PartitionPermille = 0
+		sc.Faults = Config{
+			DropPermille:    80,
+			DupPermille:     80,
+			CorruptPermille: 60,
+			DelayPermille:   120,
+			OnlyKinds:       []wire.Kind{wire.KindFetchChunk},
+		}
+		res, err := RunWithTimeout(sc, scenarioTimeout)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		faults += res.Faults
+		verified += res.Verified
+	}
+	if faults == 0 {
+		t.Error("chunk chaos injected zero faults — streams never engaged or OnlyKinds is miswired")
+	}
+	if verified == 0 {
+		t.Error("chunk chaos verified zero values — oracle is miswired")
+	}
+}
+
 // TestShrinkMinimizes: drive the shrinker with a deterministic failure
 // triggered through the real pipeline is hard to arrange on demand, so
 // this exercises its search behavior against a stub predicate via the

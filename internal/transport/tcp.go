@@ -194,7 +194,11 @@ func (n *TCPNode) Send(m wire.Message) error {
 		// The connection dropped between connTo and the send.
 		return fmt.Errorf("transport: connection to space %d lost", m.To)
 	}
-	if err := writeFrameFlush(bw, &m); err != nil {
+	// The frame body is serialized by the write, so a pooled payload
+	// buffer attached to the message is consumed here either way.
+	err := writeFrameFlush(bw, &m)
+	m.ReleaseFrame()
+	if err != nil {
 		// A failed (possibly partial) write leaves the stream mid-frame:
 		// the peer's reader and this writer no longer agree on frame
 		// boundaries, so every later frame on this connection would be

@@ -53,6 +53,14 @@ type Network struct {
 	// experiments (e.g. the prefetch pipeline) can demonstrate round trips
 	// actually hidden behind computation. Zero (the default) keeps
 	// delivery instantaneous.
+	//
+	// The delay is per frame and pipelined, like a real link's propagation
+	// time: Send stamps the frame's due time and returns immediately, and
+	// a per-destination delivery goroutine releases frames into the inbox
+	// in FIFO order as they come due. N back-to-back frames therefore
+	// arrive ~delay after their sends, not N×delay — which is what lets a
+	// streamed chunk sequence overlap its flight time with the receiver's
+	// decode/install work.
 	delay atomic.Int64
 
 	mu     sync.Mutex
@@ -60,8 +68,10 @@ type Network struct {
 	closed bool
 }
 
-// SetLinkDelay installs a real per-message delivery delay (see the delay
-// field). It applies to messages sent after the call.
+// SetLinkDelay installs a real per-frame delivery delay (see the delay
+// field). It applies to messages sent after the call. Set it before
+// traffic starts: frames sent with zero delay bypass the delay queue and
+// can overtake frames still held in it.
 func (n *Network) SetLinkDelay(d time.Duration) { n.delay.Store(int64(d)) }
 
 // NewNetwork creates a network charging each message to model. A nil clock
@@ -141,7 +151,11 @@ func (n *Network) route(m wire.Message) error {
 	n.clock.Advance(n.model.Cost(size))
 	n.stats.RecordKind(uint32(m.Kind), size)
 	if d := n.delay.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+		// Hand the frame to the destination's delay line. Like a real
+		// NIC, the send completes once the frame is on the wire; a
+		// destination that closes mid-flight just drops it.
+		dst.enqueueDelayed(m, time.Now().Add(time.Duration(d)))
+		return nil
 	}
 	select {
 	case dst.inbox <- m:
@@ -157,8 +171,74 @@ type memNode struct {
 	net   *Network
 	inbox chan wire.Message
 
+	// The delay line: frames waiting out the configured link delay, in
+	// FIFO order by due time (stamped from a monotonic clock at send, so
+	// arrival order equals send order). delayLoop starts lazily on the
+	// first delayed frame and releases frames into the inbox as they come
+	// due.
+	delayMu   sync.Mutex
+	delayQ    []delayedFrame
+	delayWake chan struct{}
+	delayOnce sync.Once
+
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+// delayedFrame is one frame in a node's delay line.
+type delayedFrame struct {
+	m   wire.Message
+	due time.Time
+}
+
+// enqueueDelayed appends a frame to the node's delay line, starting the
+// delivery goroutine on first use.
+func (n *memNode) enqueueDelayed(m wire.Message, due time.Time) {
+	n.delayOnce.Do(func() {
+		n.delayWake = make(chan struct{}, 1)
+		go n.delayLoop()
+	})
+	n.delayMu.Lock()
+	n.delayQ = append(n.delayQ, delayedFrame{m: m, due: due})
+	n.delayMu.Unlock()
+	select {
+	case n.delayWake <- struct{}{}:
+	default:
+	}
+}
+
+// delayLoop releases delayed frames into the inbox in FIFO order as they
+// come due, until the node closes.
+func (n *memNode) delayLoop() {
+	for {
+		n.delayMu.Lock()
+		if len(n.delayQ) == 0 {
+			n.delayMu.Unlock()
+			select {
+			case <-n.delayWake:
+				continue
+			case <-n.done:
+				return
+			}
+		}
+		f := n.delayQ[0]
+		n.delayQ = n.delayQ[1:]
+		n.delayMu.Unlock()
+		if wait := time.Until(f.due); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-n.done:
+				timer.Stop()
+				return
+			}
+		}
+		select {
+		case n.inbox <- f.m:
+		case <-n.done:
+			return
+		}
+	}
 }
 
 var _ Node = (*memNode)(nil)

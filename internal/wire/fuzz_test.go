@@ -182,6 +182,58 @@ func FuzzValidateReplyPayloadDecode(f *testing.F) {
 	})
 }
 
+func FuzzFetchChunkDecode(f *testing.F) {
+	fetch := FetchChunkPayload{
+		XID:   9,
+		Chunk: 2,
+		Items: []DataItem{
+			{LP: LongPtr{Space: 1, Addr: 0x10000, Type: 1}, Bytes: make([]byte, 40)},
+			{LP: LongPtr{Space: 1, Addr: 0x10040, Type: 1}, Bytes: []byte{1, 2, 3}},
+		},
+	}
+	f.Add(fetch.Encode())
+	fin := fetch
+	fin.Final = true
+	f.Add(fin.Encode())
+	val := FetchChunkPayload{
+		XID: 3, Final: true, Validate: true,
+		VItems: []ValidateItem{
+			{LP: LongPtr{Space: 2, Addr: 0x10000, Type: 1}, Form: ValidateCurrent},
+			{LP: LongPtr{Space: 2, Addr: 0x10020, Type: 1}, Form: ValidateFull, Bytes: make([]byte, 16)},
+		},
+	}
+	f.Add(val.Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeFetchChunkPayload(data)
+		if err != nil {
+			// ChunkIsFinal must never panic, whatever the decoder thought.
+			_ = ChunkIsFinal(data)
+			return
+		}
+		if q.Validate && len(q.Items) != 0 {
+			t.Fatalf("decoder admitted fetch items on a validate chunk")
+		}
+		if !q.Validate && len(q.VItems) != 0 {
+			t.Fatalf("decoder admitted validate items on a fetch chunk")
+		}
+		// The dispatcher's cheap finality probe must agree with the full
+		// decode on every frame the decoder accepts.
+		if got := ChunkIsFinal(data); got != q.Final {
+			t.Fatalf("ChunkIsFinal = %v, decoded Final = %v", got, q.Final)
+		}
+		enc := q.Encode()
+		q2, err := DecodeFetchChunkPayload(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q2.XID != q.XID || q2.Chunk != q.Chunk || q2.Final != q.Final ||
+			q2.Validate != q.Validate || len(q2.Items) != len(q.Items) || len(q2.VItems) != len(q.VItems) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", q, q2)
+		}
+	})
+}
+
 func FuzzAllocPayloadDecode(f *testing.F) {
 	ab := AllocBatchPayload{
 		Allocs: []AllocReq{{Token: 0xF0000001, Type: 1}},

@@ -406,6 +406,118 @@ func DecodeItemsPayload(b []byte) (ItemsPayload, error) {
 	return ItemsPayload{Items: items}, err
 }
 
+// Chunk flag bits (FetchChunkPayload.Flags on the wire).
+const (
+	// ChunkFinal marks the last chunk of a streamed reply.
+	ChunkFinal uint32 = 1 << 0
+	// ChunkValidate marks a chunk carrying validate-form items (a
+	// streamed ValidateReply) instead of data items (a streamed
+	// FetchReply).
+	ChunkValidate uint32 = 1 << 1
+
+	chunkFlagsMask = ChunkFinal | ChunkValidate
+)
+
+// fetchChunkHeaderSize is the fixed prefix of a chunk payload: the
+// 64-bit exchange id, the chunk ordinal, and the flags word.
+const fetchChunkHeaderSize = 8 + 4 + 4
+
+// FetchChunkPayload is the body of one KindFetchChunk frame: a bounded
+// slice of a streamed Fetch or Validate reply. XID echoes the request's
+// Seq (a cross-check against mis-stitched streams), Chunk is the 0-based
+// ordinal within the stream, and Final marks the last chunk. Exactly one
+// of Items (fetch streams) and VItems (validate streams) is populated.
+type FetchChunkPayload struct {
+	XID      uint64
+	Chunk    uint32
+	Final    bool
+	Validate bool
+	Items    []DataItem
+	VItems   []ValidateItem
+}
+
+func (p *FetchChunkPayload) flags() uint32 {
+	var f uint32
+	if p.Final {
+		f |= ChunkFinal
+	}
+	if p.Validate {
+		f |= ChunkValidate
+	}
+	return f
+}
+
+// EncodedSize returns the exact encoded size of p.
+func (p *FetchChunkPayload) EncodedSize() int {
+	if p.Validate {
+		return fetchChunkHeaderSize + validateItemsEncodedSize(p.VItems)
+	}
+	return fetchChunkHeaderSize + itemsEncodedSize(p.Items)
+}
+
+// EncodeTo appends the canonical encoding of p to e (the streaming serve
+// path encodes each chunk into a pooled buffer; see NewChunkBuf).
+func (p *FetchChunkPayload) EncodeTo(e *xdr.Encoder) {
+	e.PutUint64(p.XID)
+	e.PutUint32(p.Chunk)
+	e.PutUint32(p.flags())
+	if p.Validate {
+		putValidateItems(e, p.VItems)
+	} else {
+		putItems(e, p.Items)
+	}
+}
+
+// Encode returns the canonical encoding of p.
+func (p *FetchChunkPayload) Encode() []byte {
+	e := xdr.NewEncoder(p.EncodedSize())
+	p.EncodeTo(e)
+	return e.Bytes()
+}
+
+// DecodeFetchChunkPayload parses a chunk body. Item bytes alias b (see
+// getItems): the caller installs the chunk synchronously and releases
+// the backing frame buffer afterwards.
+func DecodeFetchChunkPayload(b []byte) (FetchChunkPayload, error) {
+	d := xdr.NewDecoder(b)
+	var p FetchChunkPayload
+	var err error
+	if p.XID, err = d.Uint64(); err != nil {
+		return p, fmt.Errorf("wire: chunk xid: %w", err)
+	}
+	if p.Chunk, err = d.Uint32(); err != nil {
+		return p, fmt.Errorf("wire: chunk ordinal: %w", err)
+	}
+	flags, err := d.Uint32()
+	if err != nil {
+		return p, fmt.Errorf("wire: chunk flags: %w", err)
+	}
+	if flags&^chunkFlagsMask != 0 {
+		return p, fmt.Errorf("wire: unknown chunk flags %#x", flags)
+	}
+	p.Final = flags&ChunkFinal != 0
+	p.Validate = flags&ChunkValidate != 0
+	if p.Validate {
+		p.VItems, err = getValidateItems(d)
+	} else {
+		p.Items, err = getItems(d)
+	}
+	return p, err
+}
+
+// ChunkIsFinal reports whether a chunk payload carries the final flag,
+// reading only the fixed header. Malformed headers report true: the
+// dispatcher uses this to decide whether a chunk ends its stream, and a
+// frame that cannot even parse must close the exchange so the decode
+// error surfaces to the waiter instead of stalling it.
+func ChunkIsFinal(b []byte) bool {
+	if len(b) < fetchChunkHeaderSize {
+		return true
+	}
+	flags := uint32(b[12])<<24 | uint32(b[13])<<16 | uint32(b[14])<<8 | uint32(b[15])
+	return flags&^chunkFlagsMask != 0 || flags&ChunkFinal != 0
+}
+
 // AllocReq is one batched extended_malloc request. Token is the caller's
 // provisional identifier for the new object; the reply maps it to the real
 // address assigned by the origin space.
@@ -592,19 +704,63 @@ type ValidateReplyPayload struct {
 	Items []ValidateItem
 }
 
-// Encode returns the canonical encoding of p.
-func (p *ValidateReplyPayload) Encode() []byte {
+// validateItemsEncodedSize returns the exact encoded size of a
+// validate-item vector.
+func validateItemsEncodedSize(items []ValidateItem) int {
 	n := 4
-	for _, it := range p.Items {
+	for _, it := range items {
 		n += EncodedLongPtrSize + 4 + 4 + (len(it.Bytes)+3)&^3
 	}
-	e := xdr.NewEncoder(n)
-	e.PutUint32(uint32(len(p.Items)))
-	for _, it := range p.Items {
+	return n
+}
+
+func putValidateItems(e *xdr.Encoder, items []ValidateItem) {
+	e.PutUint32(uint32(len(items)))
+	for _, it := range items {
 		putLongPtr(e, it.LP)
 		e.PutUint32(it.Form)
 		e.PutOpaque(it.Bytes)
 	}
+}
+
+// getValidateItems decodes a validate-item vector; item bytes alias the
+// decoder's buffer (see getItems).
+func getValidateItems(d *xdr.Decoder) ([]ValidateItem, error) {
+	nw, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := boundCount(d, nw, EncodedLongPtrSize+4+4, "validate item")
+	if err != nil {
+		return nil, err
+	}
+	items := make([]ValidateItem, 0, n)
+	for i := 0; i < n; i++ {
+		var it ValidateItem
+		if it.LP, err = getLongPtr(d); err != nil {
+			return nil, err
+		}
+		if it.Form, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if it.Form < ValidateCurrent || it.Form > ValidateFull {
+			return nil, fmt.Errorf("wire: unknown validate form %d", it.Form)
+		}
+		if it.Bytes, err = d.Opaque(); err != nil {
+			return nil, err
+		}
+		if it.Form == ValidateCurrent && len(it.Bytes) != 0 {
+			return nil, fmt.Errorf("wire: validate current item carries %d bytes", len(it.Bytes))
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// Encode returns the canonical encoding of p.
+func (p *ValidateReplyPayload) Encode() []byte {
+	e := xdr.NewEncoder(validateItemsEncodedSize(p.Items))
+	putValidateItems(e, p.Items)
 	return e.Bytes()
 }
 
@@ -612,37 +768,8 @@ func (p *ValidateReplyPayload) Encode() []byte {
 // the decoder's buffer (see getItems); a caller retaining them past the
 // frame's lifetime must copy.
 func DecodeValidateReplyPayload(b []byte) (ValidateReplyPayload, error) {
-	d := xdr.NewDecoder(b)
-	var p ValidateReplyPayload
-	nw, err := d.Uint32()
-	if err != nil {
-		return p, err
-	}
-	n, err := boundCount(d, nw, EncodedLongPtrSize+4+4, "validate item")
-	if err != nil {
-		return p, err
-	}
-	p.Items = make([]ValidateItem, 0, n)
-	for i := 0; i < n; i++ {
-		var it ValidateItem
-		if it.LP, err = getLongPtr(d); err != nil {
-			return p, err
-		}
-		if it.Form, err = d.Uint32(); err != nil {
-			return p, err
-		}
-		if it.Form < ValidateCurrent || it.Form > ValidateFull {
-			return p, fmt.Errorf("wire: unknown validate form %d", it.Form)
-		}
-		if it.Bytes, err = d.Opaque(); err != nil {
-			return p, err
-		}
-		if it.Form == ValidateCurrent && len(it.Bytes) != 0 {
-			return p, fmt.Errorf("wire: validate current item carries %d bytes", len(it.Bytes))
-		}
-		p.Items = append(p.Items, it)
-	}
-	return p, nil
+	items, err := getValidateItems(xdr.NewDecoder(b))
+	return ValidateReplyPayload{Items: items}, err
 }
 
 // AllocReplyPayload returns the real addresses for a batch of allocation

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"smartrpc/internal/xdr"
 )
@@ -44,6 +45,12 @@ const (
 	KindAllocReply
 	KindValidate
 	KindValidateReply
+	// KindFetchChunk is one bounded chunk of a streamed Fetch or Validate
+	// reply: the origin emits a sequence of chunk frames sharing the
+	// request's Seq instead of one monolithic reply frame, so the client
+	// can decode and install the closure while later chunks are still in
+	// flight. Each chunk is individually checksummed.
+	KindFetchChunk
 )
 
 var kindNames = map[Kind]string{
@@ -53,6 +60,7 @@ var kindNames = map[Kind]string{
 	KindInvalidate: "invalidate", KindInvalidateAck: "invalidate-ack",
 	KindAllocBatch: "alloc-batch", KindAllocReply: "alloc-reply",
 	KindValidate: "validate", KindValidateReply: "validate-reply",
+	KindFetchChunk: "fetch-chunk",
 }
 
 // String names the kind.
@@ -73,7 +81,8 @@ func (k Kind) Valid() bool {
 // requester rather than dispatched to a handler).
 func (k Kind) IsReply() bool {
 	switch k {
-	case KindReturn, KindFetchReply, KindWriteBackAck, KindInvalidateAck, KindAllocReply, KindValidateReply:
+	case KindReturn, KindFetchReply, KindWriteBackAck, KindInvalidateAck, KindAllocReply, KindValidateReply,
+		KindFetchChunk:
 		return true
 	default:
 		return false
@@ -122,6 +131,79 @@ type Message struct {
 	// frame corrupted in flight surfaces as a typed error instead of
 	// silently installing wrong bytes.
 	Sum uint32
+	// Frame, when non-nil, is the ref-counted pooled buffer Payload
+	// aliases (zero-copy chunk frames). It never travels on the wire; the
+	// final consumer calls ReleaseFrame after the last item decoded from
+	// Payload has been installed.
+	Frame *FrameBuf
+}
+
+// FrameBuf is a ref-counted pooled buffer backing a zero-copy message
+// payload. Two variants share the type: send-side chunk buffers own an
+// encoder (the origin encodes each chunk payload straight into a pooled
+// buffer), and receive-side frame buffers own the raw frame body a
+// stream reader filled. When the count reaches zero the storage returns
+// to its pool; a forgotten release only costs the recycle (the garbage
+// collector still reclaims the buffer).
+type FrameBuf struct {
+	enc  *xdr.Encoder
+	bp   *[]byte
+	refs atomic.Int32
+}
+
+// chunkFramePool recycles send-side chunk buffers (FrameBuf + encoder
+// pairs). A streamed closure reuses a handful of buffers for its whole
+// chunk sequence: the client releases each chunk after installing it,
+// returning the buffer for a later chunk of the same (or any) stream.
+var chunkFramePool = sync.Pool{New: func() any {
+	return &FrameBuf{enc: xdr.NewEncoder(4096)}
+}}
+
+// NewChunkBuf returns a pooled send-side chunk buffer with one
+// reference. Encode the chunk payload into Enc(), then attach the buffer
+// to the outgoing message via Frame.
+func NewChunkBuf() *FrameBuf {
+	fb := chunkFramePool.Get().(*FrameBuf)
+	fb.enc.Reset()
+	fb.refs.Store(1)
+	return fb
+}
+
+// Enc returns the buffer's encoder (send-side buffers only).
+func (fb *FrameBuf) Enc() *xdr.Encoder { return fb.enc }
+
+// Retain adds a reference.
+func (fb *FrameBuf) Retain() { fb.refs.Add(1) }
+
+// Release drops a reference, returning the storage to its pool at zero.
+// Extra releases are no-ops: a duplicated frame can reach two consumers
+// under fault injection, and the duplicate must not corrupt the pool.
+func (fb *FrameBuf) Release() {
+	if fb.refs.Add(-1) != 0 {
+		return
+	}
+	switch {
+	case fb.enc != nil:
+		if cap(fb.enc.Bytes()) <= maxPooledFrame {
+			chunkFramePool.Put(fb)
+		}
+	case fb.bp != nil:
+		bp := fb.bp
+		fb.bp = nil
+		if cap(*bp) <= maxPooledFrame {
+			frameBufPool.Put(bp)
+		}
+	}
+}
+
+// ReleaseFrame releases the pooled buffer backing a zero-copy payload.
+// Safe on any message (no-op when no buffer is attached); the payload
+// must not be read afterwards.
+func (m *Message) ReleaseFrame() {
+	if fb := m.Frame; fb != nil {
+		m.Frame = nil
+		fb.Release()
+	}
 }
 
 // Checksum computes the integrity checksum over the message's stable
@@ -192,8 +274,22 @@ func (m *Message) Encode(enc *xdr.Encoder) {
 	enc.PutUint32(m.Sum)
 }
 
-// Decode parses one message from dec.
+// Decode parses one message from dec. The payload is copied out of the
+// decoder's buffer, so the buffer may be reused immediately.
 func Decode(dec *xdr.Decoder) (Message, error) {
+	m, err := decodeAlias(dec)
+	if err != nil {
+		return m, err
+	}
+	p := make([]byte, len(m.Payload))
+	copy(p, m.Payload)
+	m.Payload = p
+	return m, nil
+}
+
+// decodeAlias parses one message from dec with the payload aliasing the
+// decoder's buffer. Callers own the buffer's lifetime.
+func decodeAlias(dec *xdr.Decoder) (Message, error) {
 	var m Message
 	k, err := dec.Uint32()
 	if err != nil {
@@ -221,12 +317,9 @@ func Decode(dec *xdr.Decoder) (Message, error) {
 	if m.Err, err = dec.String(); err != nil {
 		return m, fmt.Errorf("wire: err: %w", err)
 	}
-	p, err := dec.Opaque()
-	if err != nil {
+	if m.Payload, err = dec.Opaque(); err != nil {
 		return m, fmt.Errorf("wire: payload: %w", err)
 	}
-	m.Payload = make([]byte, len(p))
-	copy(m.Payload, p)
 	if m.Sum, err = dec.Uint32(); err != nil {
 		return m, fmt.Errorf("wire: sum: %w", err)
 	}
@@ -277,6 +370,10 @@ func WriteFrame(w io.Writer, m *Message) error {
 }
 
 // ReadFrame reads one length-prefixed frame from r and decodes it.
+// Chunk frames (KindFetchChunk) decode zero-copy: the payload aliases
+// the pooled frame buffer, which travels with the message as Frame and
+// returns to the pool when the consumer calls ReleaseFrame. All other
+// kinds copy the payload out so the buffer recycles immediately.
 func ReadFrame(r io.Reader) (Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -291,13 +388,29 @@ func ReadFrame(r io.Reader) (Message, error) {
 		*bp = make([]byte, n)
 	}
 	body := (*bp)[:n]
-	defer func() {
+	putBack := func() {
 		if cap(*bp) <= maxPooledFrame {
 			frameBufPool.Put(bp)
 		}
-	}()
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
+		putBack()
 		return Message{}, fmt.Errorf("wire: read frame body: %w", err)
 	}
-	return Decode(xdr.NewDecoder(body))
+	m, err := decodeAlias(xdr.NewDecoder(body))
+	if err != nil {
+		putBack()
+		return Message{}, err
+	}
+	if m.Kind == KindFetchChunk {
+		fb := &FrameBuf{bp: bp}
+		fb.refs.Store(1)
+		m.Frame = fb
+		return m, nil
+	}
+	p := make([]byte, len(m.Payload))
+	copy(p, m.Payload)
+	m.Payload = p
+	putBack()
+	return m, nil
 }
