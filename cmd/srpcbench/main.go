@@ -34,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("srpcbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|scaleout|concurrent|stream|all")
+	exp := fs.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|table1|ablations|warm|pipeline|scaleout|concurrent|stream|recover|all")
 	nodes := fs.Int("nodes", 32767, "tree size (2^k - 1 nodes)")
 	closure := fs.Int("closure", 8192, "closure size in bytes")
 	repeats := fs.Int("repeats", 10, "repeated searches for fig6")
@@ -78,12 +78,14 @@ func run(args []string) error {
 			return concurrent(*nodes, *closure)
 		case "stream":
 			return stream(model, *nodes)
+		case "recover":
+			return recoverExp(model, *closure)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline", "scaleout", "concurrent", "stream"} {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "ablations", "warm", "pipeline", "scaleout", "concurrent", "stream", "recover"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
@@ -515,6 +517,59 @@ func stream(model netsim.Model, nodes int) error {
 		fmt.Printf("%-18s %-12s %-12d %-10.3f %-10d %-12d %-8d %-8d\n",
 			p.name, chunk, res.TTFA.Microseconds(), res.WallTime.Seconds(),
 			res.Messages, res.Bytes, res.Chunks, res.Fetches)
+	}
+	return nil
+}
+
+// recoverExp prints the transparent exchange-recovery workload: the
+// repeated-session caller/callee pair run through the chaos transport.
+// The first two rows are the zero-overhead control (identical fault-free
+// workload with recovery disarmed and armed — their traffic columns must
+// be byte-identical); the faulted rows show every session still
+// completing, with the retry/replay counters pricing the recovery.
+func recoverExp(model netsim.Model, closure int) error {
+	if csv {
+		fmt.Println("recover.config,model_s,messages,net_bytes,sessions,chaos_faults,retries,retry_ok,replays,stale_drops")
+	} else {
+		fmt.Printf("\n== Exchange recovery: 3 sessions under transient faults, tree 1023 nodes, closure %d bytes ==\n", closure)
+		fmt.Printf("   every row's per-session checksum verified against the mutation oracle\n")
+		fmt.Printf("%-22s %-10s %-10s %-12s %-10s %-8s %-9s %-10s %-9s %-11s\n",
+			"config", "model(s)", "messages", "bytes", "sessions", "chaos", "retries", "retry-ok", "replays", "stale-drops")
+	}
+	for _, p := range []struct {
+		name               string
+		drop, dup, corrupt int
+		disabled           bool
+	}{
+		{name: "smart-recover-off", disabled: true},
+		{name: "smart-recover-clean"},
+		{name: "smart-recover-drop", drop: 250},
+		{name: "smart-recover-dup", dup: 100},
+		{name: "smart-recover-corrupt", corrupt: 60},
+		{name: "smart-recover-mix", drop: 150, dup: 150, corrupt: 60},
+	} {
+		res, err := bench.RunRecover(bench.RecoverConfig{
+			ClosureSize:     closure,
+			MutationRatio:   0.05,
+			DropPermille:    p.drop,
+			DupPermille:     p.dup,
+			CorruptPermille: p.corrupt,
+			Seed:            1,
+			DisableRecovery: p.disabled,
+			Model:           model,
+		})
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Printf("%s,%.6f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				p.name, sec(res.Time), res.Messages, res.Bytes, res.Sessions,
+				res.ChaosFaults, res.Retries, res.RetrySuccesses, res.Replays, res.StaleDrops)
+			continue
+		}
+		fmt.Printf("%-22s %-10.3f %-10d %-12d %-10d %-8d %-9d %-10d %-9d %-11d\n",
+			p.name, sec(res.Time), res.Messages, res.Bytes, res.Sessions,
+			res.ChaosFaults, res.Retries, res.RetrySuccesses, res.Replays, res.StaleDrops)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	srpcchaos -seeds 500 -start 1000
 //	srpcchaos -policy lazy -drop 80 -corrupt 40
 //	srpcchaos -seed 7                # one specific scenario, verbose
+//	srpcchaos -recover -seeds 200    # recovery soak: retry/replay/fence totals per seed
 //
 // On the first failing seed the runner shrinks the scenario to a minimal
 // reproducing configuration, prints the repro line and the injected
@@ -49,6 +50,7 @@ func run(args []string) error {
 	partition := fs.Int("partition", -1, "override per-op one-way-partition probability, permille")
 	noShrink := fs.Bool("noshrink", false, "skip shrinking on failure (faster triage)")
 	concurrent := fs.Bool("concurrent", false, "force the concurrent (goroutine-per-space) workload with the linearizability oracle for every scenario; about a third of seeds draw it anyway")
+	recover := fs.Bool("recover", false, "force transparent exchange recovery (retry budgets, replay caches, incarnation fencing) for every scenario and report per-seed recovery totals; about a third of seeds draw it anyway")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +89,9 @@ func run(args []string) error {
 		if *concurrent {
 			sc.Concurrent = true
 		}
+		if *recover {
+			sc.Recovery = true
+		}
 		return sc, nil
 	}
 
@@ -96,7 +101,7 @@ func run(args []string) error {
 	}
 
 	var ops, errs, verified, crashes int
-	var faults uint64
+	var faults, retries, replays, fences uint64
 	began := time.Now()
 	for i := 0; i < count; i++ {
 		seed := first + uint64(i)
@@ -120,11 +125,21 @@ func run(args []string) error {
 		verified += res.Verified
 		crashes += res.Crashes
 		faults += res.Faults
+		retries += res.Retries
+		replays += res.Replays
+		fences += res.FenceTrips
 		if *one != 0 {
 			fmt.Printf("seed %d: %+v\n", seed, res)
+		}
+		if *recover && count > 1 {
+			fmt.Printf("seed %d: %d retries, %d replay-cache hits, %d fence trips, %d/%d sessions errored\n",
+				seed, res.Retries, res.Replays, res.FenceTrips, res.Errors, res.Ops)
 		}
 	}
 	fmt.Printf("soak OK: %d seeds in %v — %d sessions, %d typed errors, %d value-verified, %d crash-restarts, %d faults injected\n",
 		count, time.Since(began).Round(time.Millisecond), ops, errs, verified, crashes, faults)
+	if *recover {
+		fmt.Printf("recovery: %d retries, %d replay-cache hits, %d fence trips\n", retries, replays, fences)
+	}
 	return nil
 }

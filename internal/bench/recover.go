@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"smartrpc/internal/core"
+	"smartrpc/internal/faultsim"
+	"smartrpc/internal/netsim"
+	"smartrpc/internal/transport"
+)
+
+// RecoverConfig parameterizes the exchange-recovery workload: the
+// caller/callee pair from the repeated-session experiment, run through
+// the chaos transport with a seeded mix of transient faults (drops,
+// duplicates, corruption) while every exchange carries a retry budget
+// and origins dedup retried non-idempotent exchanges through their
+// replay caches. The claim under measurement is twofold: with no faults
+// configured, arming recovery adds zero messages and zero bytes to the
+// wire; with faults configured, every session still completes with the
+// correct checksum, and the retry/replay counters price the recovery.
+type RecoverConfig struct {
+	// Nodes is the complete binary tree size.
+	Nodes int
+	// ClosureSize is the eager-transfer budget in bytes.
+	ClosureSize int
+	// Sessions is how many back-to-back sessions to run; a fraction of
+	// the tree mutates between sessions so write-back and revalidation
+	// traffic is in the fault mix's reach too.
+	Sessions int
+	// MutationRatio is the fraction of nodes rewritten between sessions.
+	MutationRatio float64
+	// DropPermille / DupPermille / CorruptPermille configure the chaos
+	// transport (per frame, out of 1000). All zero = fault-free.
+	DropPermille, DupPermille, CorruptPermille int
+	// Seed fixes the chaos schedule.
+	Seed uint64
+	// DisableRecovery runs the identical workload with no retry budget
+	// (the seed's fail-fast behavior) — only meaningful fault-free, as
+	// the control the zero-overhead claim is measured against.
+	DisableRecovery bool
+	// CallTimeout is the per-attempt reply deadline (real time; the
+	// retry machinery races it against injected faults). Zero = 50ms.
+	CallTimeout time.Duration
+	// PageSize overrides the simulated page size.
+	PageSize int
+	// Model is the network cost model; zero value = free network.
+	Model netsim.Model
+}
+
+func (c *RecoverConfig) fill() error {
+	if c.Nodes <= 0 {
+		c.Nodes = 1023
+	}
+	if c.ClosureSize == 0 {
+		c.ClosureSize = 8192
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 3
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 50 * time.Millisecond
+	}
+	if c.MutationRatio < 0 || c.MutationRatio > 1 {
+		return fmt.Errorf("bench: mutation ratio %v out of [0,1]", c.MutationRatio)
+	}
+	return nil
+}
+
+// RecoverResult is the outcome of one recovery run.
+type RecoverResult struct {
+	// Time is the virtual processing time (meaningful only fault-free:
+	// under faults, retries burn real time the virtual clock never sees).
+	Time time.Duration
+	// Messages and Bytes are total network traffic actually carried
+	// (frames the chaos layer dropped never reach the wire; duplicated
+	// frames are counted twice).
+	Messages, Bytes uint64
+	// Sessions is how many sessions completed; every configured session
+	// must, or RunRecover returns an error.
+	Sessions uint64
+	// Faults is the callee's access-violation (page-fault) count.
+	Faults uint64
+	// ChaosFaults is how many faults the chaos transport injected.
+	ChaosFaults uint64
+	// Retries / RetrySuccesses / Replays / StaleDrops are the recovery
+	// machinery's totals over both spaces: attempts beyond the first,
+	// exchanges that eventually completed, origin replay-cache hits, and
+	// late replies to abandoned attempts that were discarded.
+	Retries, RetrySuccesses, Replays, StaleDrops uint64
+	// Sum is the final session's checksum (verified internally).
+	Sum int64
+}
+
+// RunRecover executes the recovery experiment and verifies every
+// session's checksum against the model expectation — under faults this
+// is the correctness half of the claim (retries must be exactly-once,
+// never double-applying a mutation or serving a torn install).
+func RunRecover(cfg RecoverConfig) (RecoverResult, error) {
+	if err := cfg.fill(); err != nil {
+		return RecoverResult{}, err
+	}
+	clock := &netsim.Clock{}
+	stats := &netsim.Stats{}
+	net, err := transport.NewNetwork(cfg.Model, clock, stats)
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	defer net.Close()
+	chaos := faultsim.New(net, faultsim.Config{
+		Seed:            cfg.Seed,
+		DropPermille:    cfg.DropPermille,
+		DupPermille:     cfg.DupPermille,
+		CorruptPermille: cfg.CorruptPermille,
+	})
+	reg := NewRegistry()
+
+	mk := func(id uint32) (*core.Runtime, error) {
+		node, err := chaos.Attach(id)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{
+			ID:          id,
+			Node:        node,
+			Registry:    reg,
+			Policy:      core.PolicySmart,
+			ClosureSize: cfg.ClosureSize,
+			PageSize:    cfg.PageSize,
+			CallTimeout: cfg.CallTimeout,
+		}
+		if !cfg.DisableRecovery {
+			opts.RetryBudget = 30 * cfg.CallTimeout
+			opts.MaxRetries = 25
+		}
+		return core.New(opts)
+	}
+	caller, err := mk(CallerID)
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	defer caller.Close()
+	callee, err := mk(CalleeID)
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	defer callee.Close()
+	if err := RegisterSearch(callee); err != nil {
+		return RecoverResult{}, err
+	}
+
+	root, err := BuildTree(caller, cfg.Nodes)
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	// BuildTree numbers nodes by preorder index, so the full-tree
+	// checksum starts at n(n+1)/2; each mutation adds 1 to one node.
+	want := int64(cfg.Nodes) * int64(cfg.Nodes+1) / 2
+
+	clock.Reset()
+	stats.Reset()
+	var out RecoverResult
+	for s := 0; s < cfg.Sessions; s++ {
+		if s > 0 && cfg.MutationRatio > 0 {
+			mutated, err := MutateTree(caller, root, cfg.MutationRatio, uint64(s))
+			if err != nil {
+				return RecoverResult{}, fmt.Errorf("bench: mutate before session %d: %w", s+1, err)
+			}
+			want += int64(mutated)
+		}
+		if err := caller.BeginSession(); err != nil {
+			return RecoverResult{}, err
+		}
+		res, err := caller.Call(CalleeID, SearchProc, []core.Value{
+			root,
+			core.Int64Value(int64(cfg.Nodes)),
+			core.BoolValue(false),
+		})
+		if err != nil {
+			return RecoverResult{}, fmt.Errorf("bench: recover session %d search: %w", s+1, err)
+		}
+		if err := caller.EndSession(); err != nil {
+			return RecoverResult{}, fmt.Errorf("bench: recover session %d end: %w", s+1, err)
+		}
+		if got := res[1].Int64(); got != want {
+			return RecoverResult{}, fmt.Errorf("bench: recover session %d checksum = %d, want %d (fault handling corrupted data)", s+1, got, want)
+		}
+		out.Sum = res[1].Int64()
+		out.Sessions++
+	}
+
+	out.Time = clock.Now()
+	out.Messages = stats.Messages()
+	out.Bytes = stats.Bytes()
+	out.ChaosFaults = chaos.Total()
+	for _, rt := range []*core.Runtime{caller, callee} {
+		s := rt.Stats()
+		out.Retries += s.Retries
+		out.RetrySuccesses += s.RetrySuccesses
+		out.Replays += s.DedupReplays
+		out.StaleDrops += s.StaleReplyDrops
+	}
+	out.Faults = callee.Stats().Faults
+	return out, nil
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -680,6 +682,101 @@ func TestTraceEventCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	end(clientA)
+
+	// Recovery finale: a flaky link exercises the retry and breaker
+	// paths, a swallowed Return forces an at-most-once replay, a shed
+	// loop drives a half-open probe, and an origin restart trips the
+	// incarnation fence.
+	var fetchFails, returnSwallowed atomic.Int32
+	fnode, err := net.Attach(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyNode{
+		Node: fnode,
+		sendHook: func(m wire.Message) error {
+			if m.Kind == wire.KindFetch && fetchFails.Add(1) <= int32(breakerThreshold) {
+				return errors.New("flaky: link down")
+			}
+			return nil
+		},
+		recvHook: func(m wire.Message) (bool, time.Duration) {
+			if m.Kind == wire.KindReturn && returnSwallowed.CompareAndSwap(0, 1) {
+				return false, 0
+			}
+			return true, 0
+		},
+	}
+	clientD, err := New(Options{
+		ID:          10,
+		Node:        flaky,
+		Registry:    reg,
+		CallTimeout: 200 * time.Millisecond,
+		RetryBudget: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = clientD.Close() })
+	clientD.SetTracer(rec)
+	mkOrigin4 := func(inc uint32) *Runtime {
+		node, err := net.Attach(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := New(Options{ID: 11, Node: node, Registry: reg, Incarnation: inc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = rt.Close() })
+		rt.SetTracer(rec)
+		return rt
+	}
+	origin4 := mkOrigin4(1)
+	var bumps atomic.Int32
+	if err := origin4.Register("bump", func(*Ctx, []Value) ([]Value, error) {
+		return []Value{Int64Value(int64(bumps.Add(1)))}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t4 := buildTree(t, origin4, 3)
+	t4lps := treeNodeLPs(t, origin4, t4)
+	// The first fetch exchange fails breakerThreshold sends in a row —
+	// retry, breaker-open — then succeeds: breaker-close. The call's
+	// swallowed Return forces a deadline retry the origin answers from
+	// its reply cache: replayed-reply.
+	begin(clientD)
+	if got, want := walk(clientD, t4lps[0]), wantSum(3); got != want {
+		t.Fatalf("clientD walk sum = %d, want %d", got, want)
+	}
+	dres, err := clientD.Call(11, "bump", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dres[0].Int64(); got != 1 || bumps.Load() != 1 {
+		t.Fatalf("bump result = %d (ran %d times), want 1 run", got, bumps.Load())
+	}
+	end(clientD)
+	// Shed speculation against an open breaker until the half-open probe
+	// slot comes up: breaker-probe.
+	for i := 0; i < breakerThreshold; i++ {
+		clientD.health.noteFailure(clientD, 99)
+	}
+	for i := 0; i < breakerProbeEvery; i++ {
+		clientD.health.allowSpec(clientD, 99)
+	}
+	// origin4 restarts with a fresh heap: the next exchange's reply
+	// carries incarnation 2 and the fence trips.
+	_ = origin4.Close()
+	_ = mkOrigin4(2)
+	begin(clientD)
+	dv, err := clientD.ImportPtr(t4lps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sumTree(clientD, dv); !errors.Is(err, ErrOriginRestarted) {
+		t.Fatalf("walk after origin restart: err = %v, want ErrOriginRestarted", err)
+	}
 
 	for _, k := range EventKinds() {
 		if rec.Count(k) == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -372,6 +373,14 @@ func (rt *Runtime) InflightFetches() int {
 // once the in-flight registry slot is released (completeFrom); poking from
 // in here would let an inline speculative completion rejoin — and deadlock
 // on — the slot this exchange still holds.
+//
+// The whole exchange retries under the runtime's retry policy
+// (retryLoop): a stalled stream, a corrupted frame, or a torn chunk
+// sequence abandons the attempt and re-issues the FETCH under a fresh
+// attempt seq. Re-installing items an earlier attempt already delivered
+// is idempotent, and the abandoned attempt's late chunks are dropped by
+// seq. Failures inside a background drain never retry — a drain error
+// just leaves entries non-resident for a later demand fetch.
 func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPtr, spec bool, f *inflightFetch) (poke bool, bg func(), err error) {
 	primary := len(wants)
 	budget := rt.budgetFor(origin)
@@ -395,6 +404,21 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 		Primary:     uint32(primary),
 		Speculative: spec,
 	}
+	payload := p.Encode()
+	ferr := rt.retryLoop(origin, wire.KindFetch, func(seq uint64) (bool, error) {
+		var transient bool
+		poke, bg, transient, err = rt.fetchAttempt(sess, pn, origin, payload, wants, primary, spec, f, seq)
+		return transient, err
+	})
+	return poke, bg, ferr
+}
+
+// fetchAttempt performs one attempt of a FETCH exchange under the given
+// sequence number. transient classifies a failure for the retry loop:
+// true for faults a retry can outrun (lost or late frames, corruption,
+// a torn chunk sequence), false for terminal outcomes (remote
+// application errors, decode or install failures, a tripped fence).
+func (rt *Runtime) fetchAttempt(sess uint64, pn, origin uint32, payload []byte, wants []wire.LongPtr, primary int, spec bool, f *inflightFetch, seq uint64) (poke bool, bg func(), transient bool, err error) {
 	rt.stats.fetchesSent.Add(1)
 	if spec {
 		rt.stats.pfIssued.Add(1)
@@ -402,36 +426,51 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 	} else {
 		rt.trace(Event{Kind: EvFetchSent, Target: origin, Count: len(wants)})
 	}
-	x, err := rt.sendAndStream(wire.Message{
+	x, err := rt.sendAndStreamSeq(wire.Message{
 		Kind:    wire.KindFetch,
 		Session: sess,
 		To:      origin,
-		Payload: p.Encode(),
-	})
+		Payload: payload,
+	}, seq)
 	if err != nil {
-		return false, nil, fmt.Errorf("fetch from space %d: %w", origin, err)
+		return false, nil, !errors.Is(err, ErrClosed), fmt.Errorf("fetch from space %d: %w", origin, err)
 	}
 	reply, err := x.next()
 	if err != nil {
-		return false, nil, fmt.Errorf("fetch from space %d: %w", origin, err)
+		return false, nil, !errors.Is(err, ErrClosed), fmt.Errorf("fetch from space %d: %w", origin, err)
+	}
+	// A corrupted frame's incarnation word is garbage, so the checksum
+	// rejection must precede the fence check. Any other reply's Inc is
+	// trustworthy, so the fence runs *before* an application error is
+	// interpreted: a restarted origin answers a stale session's requests
+	// with errors, and the restart is the diagnosis, not the symptom.
+	if reply.Err == checksumRejectErr {
+		reply.ReleaseFrame()
+		x.abandon()
+		return false, nil, true, fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
+	}
+	if ferr := rt.fenceCheck(origin, reply.Inc); ferr != nil {
+		reply.ReleaseFrame()
+		x.abandon()
+		return false, nil, false, ferr
 	}
 	if reply.Err != "" {
 		reply.ReleaseFrame()
 		x.abandon()
-		return false, nil, fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
+		return false, nil, false, fmt.Errorf("fetch from space %d: %s", origin, reply.Err)
 	}
 	if reply.Kind == wire.KindFetchReply {
 		// The classic single-frame reply (closure at or under the
 		// origin's streaming threshold).
 		rp, err := wire.DecodeItemsPayload(reply.Payload)
 		if err != nil {
-			return false, nil, fmt.Errorf("fetch from space %d: decode: %w", origin, err)
+			return false, nil, false, fmt.Errorf("fetch from space %d: decode: %w", origin, err)
 		}
 		// Fetch replies bypass the delta-shipping state (coh=false): a datum
 		// is fetched at most once per session, so there is no baseline to
 		// diff against and tracking it would desynchronize the edge.
 		if err := rt.installItems(origin, sess, rp.Items, false); err != nil {
-			return false, nil, fmt.Errorf("fetch from space %d: install: %w", origin, err)
+			return false, nil, false, fmt.Errorf("fetch from space %d: install: %w", origin, err)
 		}
 		if spec {
 			var n uint64
@@ -441,9 +480,9 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 			rt.stats.pfBytes.Add(n)
 			// Speculative completions chain through pfRun instead, after
 			// their in-flight slot is released.
-			return false, nil, nil
+			return false, nil, false, nil
 		}
-		return true, nil, nil
+		return true, nil, false, nil
 	}
 	// A streamed reply. Track which primary wants are still outstanding
 	// so the faulting access unblocks on the first chunk that covers
@@ -454,8 +493,24 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 		missing[lp] = true
 	}
 	asm := &chunkAssembler{xid: x.seq}
+	// chunkTransient classifies installChunk failures for the retry
+	// loop: lost, late, duplicated, or corrupted chunk frames are worth
+	// a fresh attempt; decode and install failures are terminal.
+	chunkTransient := false
 	installChunk := func(m wire.Message) (final bool, err error) {
 		defer m.ReleaseFrame()
+		// Checksum rejection first (a corrupted frame's incarnation word
+		// is garbage), then the fence, then application errors — see the
+		// first-reply classification above.
+		if m.Err == checksumRejectErr {
+			x.abandon()
+			chunkTransient = true
+			return false, fmt.Errorf("fetch from space %d: %s", origin, m.Err)
+		}
+		if ferr := rt.fenceCheck(origin, m.Inc); ferr != nil {
+			x.abandon()
+			return false, ferr
+		}
 		if m.Err != "" {
 			x.abandon()
 			return false, fmt.Errorf("fetch from space %d: %s", origin, m.Err)
@@ -475,6 +530,9 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 		}
 		if err := asm.accept(&cp); err != nil {
 			x.abandon()
+			// A dropped, duplicated, or reordered chunk is a transport
+			// fault: the stream is torn, but a retry streams it afresh.
+			chunkTransient = true
 			return false, fmt.Errorf("fetch from space %d: %w", origin, err)
 		}
 		rt.trace(Event{Kind: EvChunkRecv, Target: origin, Page: cp.Chunk, Count: len(cp.Items)})
@@ -517,20 +575,25 @@ func (rt *Runtime) fetchFrom(sess uint64, pn, origin uint32, wants []wire.LongPt
 					}
 				}
 			}
-			return true, drain, nil
+			return true, drain, false, nil
 		}
 		var m wire.Message
 		if m, err = x.next(); err == nil {
 			final, err = installChunk(m)
+		} else {
+			// A stalled stream (per-chunk deadline) or a send-loop
+			// failure: worth a fresh attempt unless the runtime closed.
+			chunkTransient = !errors.Is(err, ErrClosed)
+			err = fmt.Errorf("fetch from space %d: %w", origin, err)
 		}
 	}
 	if err != nil {
-		return false, nil, err
+		return false, nil, chunkTransient, err
 	}
 	if spec {
-		return false, nil, nil
+		return false, nil, false, nil
 	}
-	return true, nil, nil
+	return true, nil, false, nil
 }
 
 // chunkEmitter streams one serve's reply as a KindFetchChunk sequence.
@@ -577,6 +640,7 @@ func (em *chunkEmitter) emit(items []wire.DataItem, vitems []wire.ValidateItem, 
 		To:      em.req.From,
 		Payload: fb.Enc().Bytes(),
 		Frame:   fb,
+		Inc:     em.rt.incarnation,
 	}
 	out.Seal()
 	em.rt.trace(Event{Kind: EvChunkSent, Target: em.req.From, Page: em.next, Count: len(items) + len(vitems)})

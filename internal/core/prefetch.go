@@ -108,6 +108,12 @@ func (rt *Runtime) pfPoke(origin uint32) {
 	if sess == 0 || out >= depth {
 		return
 	}
+	// An open per-origin breaker sheds speculation: prefetch is never
+	// load-bearing, so a struggling origin is spared the optional traffic
+	// while demand exchanges keep their full retry budget.
+	if !rt.health.allowSpec(rt, origin) {
+		return
+	}
 	if depth = rt.prefetchDepthFor(origin, depth); out >= depth {
 		return
 	}

@@ -88,6 +88,15 @@ var (
 	// runtime's CallTimeout: the peer is partitioned, crashed, or the
 	// request or reply frame was lost. Match with errors.Is.
 	ErrDeadline = errors.New("core: remote call deadline exceeded")
+	// ErrOriginRestarted is returned when a reply carries a restart
+	// incarnation different from the one this runtime first observed for
+	// that origin: the origin crashed and came back with a fresh heap, so
+	// every address this space still holds from it is resurrected
+	// garbage. The error is never retried — consuming data from the new
+	// incarnation under old pointers would silently read reused
+	// addresses. Warm-cache state for the origin is demoted before the
+	// error surfaces. Match with errors.Is.
+	ErrOriginRestarted = errors.New("core: origin space restarted")
 )
 
 // Handler is a remote procedure body. Arguments and results are Values;
@@ -223,6 +232,27 @@ type Options struct {
 	// of size (the seed behavior). Used by benchmarks and regression
 	// tests to measure the streaming win.
 	DisableStreaming bool
+	// RetryBudget enables transparent exchange recovery: when an
+	// individual round trip fails transiently (deadline, send error, or
+	// a frame corrupted in flight), the runtime re-issues the exchange
+	// under a fresh attempt sequence number with capped exponential
+	// backoff and deterministic jitter, for up to RetryBudget of total
+	// wall-clock time per exchange. Zero (the default) disables retries
+	// entirely — every attempt is a single shot, the seed behavior, and
+	// nothing on the wire changes. Retries only make sense with
+	// CallTimeout set (an infinite wait never fails transiently).
+	RetryBudget time.Duration
+	// MaxRetries caps re-issued attempts per exchange beyond the first
+	// (default 6 when RetryBudget is set; values above 255 clamp — the
+	// attempt ordinal travels in the top 8 bits of Seq).
+	MaxRetries int
+	// Incarnation is this runtime's restart incarnation. A supervisor
+	// that restarts a crashed space passes a value it increments per
+	// restart; the runtime stamps it into every reply it serves, and
+	// clients fence on it (ErrOriginRestarted) instead of silently
+	// consuming resurrected addresses. Zero (the default) stamps
+	// nothing and keeps every frame byte-identical to older builds.
+	Incarnation uint32
 }
 
 func (o *Options) fill() error {
@@ -271,8 +301,18 @@ func (o *Options) fill() error {
 	if o.StreamChunkBytes < 0 {
 		o.DisableStreaming = true
 	}
+	if o.RetryBudget > 0 && o.MaxRetries == 0 {
+		o.MaxRetries = defaultMaxRetries
+	}
+	if o.MaxRetries > 255 {
+		o.MaxRetries = 255
+	}
 	return nil
 }
+
+// defaultMaxRetries is the default attempt cap beyond the first when
+// Options.RetryBudget enables transparent retries.
+const defaultMaxRetries = 6
 
 // defaultStreamChunkBytes is the default streaming threshold and chunk
 // size (Options.StreamChunkBytes).
@@ -360,6 +400,28 @@ type Stats struct {
 	// gauge, not a counter). Zero when the cache is disabled — and
 	// right after a restart, since the cache dies with its runtime.
 	EncCacheBytes uint64
+	// Retries counts exchange attempts re-issued after a transient
+	// failure (Options.RetryBudget). RetrySuccesses counts exchanges
+	// that completed after at least one retry; RetriesExhausted counts
+	// exchanges that failed with their budget or attempt cap spent.
+	Retries, RetrySuccesses, RetriesExhausted uint64
+	// StaleReplyDrops counts replies that arrived for an exchange
+	// attempt its waiter had already abandoned (timed out or retried):
+	// the dispatcher positively discards them and releases any pooled
+	// frame buffer they carry.
+	StaleReplyDrops uint64
+	// DedupReplays counts retried requests this space answered from its
+	// at-most-once reply cache instead of re-executing; DedupSwallowed
+	// counts retried requests absorbed because the first attempt was
+	// still executing (the eventual reply goes to the newest attempt).
+	DedupReplays, DedupSwallowed uint64
+	// FenceTrips counts replies rejected because the origin's restart
+	// incarnation changed mid-relationship (ErrOriginRestarted).
+	FenceTrips uint64
+	// BreakerOpens counts per-origin circuit-breaker openings after
+	// consecutive demand failures; BreakerSheds counts speculative
+	// (prefetch) launches the open breaker refused.
+	BreakerOpens, BreakerSheds uint64
 }
 
 // Runtime is one address space's Smart RPC runtime system.
@@ -383,6 +445,19 @@ type Runtime struct {
 	checkInv      bool
 	streamChunk   int
 	noStreaming   bool
+	retryBudget   time.Duration
+	maxRetries    int
+	incarnation   uint32
+
+	// replay is the origin-side at-most-once reply cache
+	// (replaycache.go): retried non-idempotent exchanges replay their
+	// cached reply instead of re-executing.
+	replay *replayCache
+
+	// health is the per-origin fence + circuit-breaker state
+	// (health.go): incarnation fencing against restarted origins, and
+	// consecutive-failure tracking that sheds speculative traffic.
+	health healthState
 
 	// bgDrain tracks background chunk drainers: goroutines finishing the
 	// tail of a streamed fetch after the faulting access was unblocked.
@@ -527,6 +602,12 @@ type Runtime struct {
 		pfIssued, pfCoalesced atomic.Uint64
 		pfHits, pfWasted      atomic.Uint64
 		pfBytes               atomic.Uint64
+
+		retries, retrySuccesses, retriesExhausted atomic.Uint64
+		staleReplyDrops                           atomic.Uint64
+		dedupReplays, dedupSwallowed              atomic.Uint64
+		fenceTrips                                atomic.Uint64
+		breakerOpens, breakerSheds                atomic.Uint64
 	}
 
 	closeOnce sync.Once
@@ -577,6 +658,10 @@ func New(opts Options) (*Runtime, error) {
 		checkInv:        opts.CheckInvariants,
 		streamChunk:     opts.StreamChunkBytes,
 		noStreaming:     opts.DisableStreaming,
+		retryBudget:     opts.RetryBudget,
+		maxRetries:      opts.MaxRetries,
+		incarnation:     opts.Incarnation,
+		replay:          newReplayCache(),
 		procs:           make(map[string]Handler),
 		pending:         newPendingTable(),
 		inflight:        make(map[fetchKey]*inflightFetch),
@@ -707,6 +792,16 @@ func (rt *Runtime) Stats() Stats {
 		PfHits:      rt.stats.pfHits.Load(),
 		PfWasted:    rt.stats.pfWasted.Load(),
 		PfBytes:     rt.stats.pfBytes.Load(),
+
+		Retries:          rt.stats.retries.Load(),
+		RetrySuccesses:   rt.stats.retrySuccesses.Load(),
+		RetriesExhausted: rt.stats.retriesExhausted.Load(),
+		StaleReplyDrops:  rt.stats.staleReplyDrops.Load(),
+		DedupReplays:     rt.stats.dedupReplays.Load(),
+		DedupSwallowed:   rt.stats.dedupSwallowed.Load(),
+		FenceTrips:       rt.stats.fenceTrips.Load(),
+		BreakerOpens:     rt.stats.breakerOpens.Load(),
+		BreakerSheds:     rt.stats.breakerSheds.Load(),
 	}
 	if rt.enc != nil {
 		s.EncCacheHits = rt.enc.hits.Load()
@@ -874,10 +969,12 @@ func (rt *Runtime) loop() {
 			// corrupted Seq simply finds no requester and is dropped.
 			rt.trace(Event{Kind: EvChecksumReject, Target: m.From})
 			if m.Kind.IsReply() {
-				m.Err = "wire: frame checksum mismatch (corrupted in flight)"
+				m.Err = checksumRejectErr
 				m.Payload = nil
 			} else {
-				rt.reply(m, m.Kind.ReplyKind(), nil, "wire: frame checksum mismatch (corrupted in flight)")
+				// Raw reply: the frame's identity fields are untrustworthy,
+				// so it must not complete a replay-cache entry either.
+				rt.replyRaw(m.From, m.Session, m.Seq, m.Kind.ReplyKind(), nil, checksumRejectErr)
 				continue
 			}
 		}
@@ -898,7 +995,10 @@ func (rt *Runtime) loop() {
 			if ok {
 				sb.push(m)
 			} else {
+				// Stale chunk: the stream's waiter abandoned the exchange
+				// (timed out or retried under a fresh attempt seq).
 				m.ReleaseFrame()
+				rt.stats.staleReplyDrops.Add(1)
 			}
 			continue
 		}
@@ -911,11 +1011,35 @@ func (rt *Runtime) loop() {
 			}
 			if ch, ok := rt.pending.take(m.Seq); ok {
 				ch <- m
+				continue
 			}
+			// Stale reply: its waiter timed out or retried and abandoned
+			// this attempt's sequence number. Positively discard it —
+			// releasing any pooled frame buffer it carries — instead of
+			// leaving the frame to the garbage collector.
+			m.ReleaseFrame()
+			rt.stats.staleReplyDrops.Add(1)
 			continue
 		}
 		if rt.dupRequest(m.From, m.Session, m.Seq) {
 			continue
+		}
+		// At-most-once admission for non-idempotent requests: a retried
+		// exchange (same xid, higher attempt ordinal) must not re-execute.
+		// A completed first attempt replays its cached reply to the new
+		// attempt's seq; one still executing is swallowed, with the
+		// eventual reply redirected to the newest attempt.
+		if replayableRequest(m.Kind) {
+			switch rt.replay.admit(m) {
+			case admitReplay:
+				rt.stats.dedupReplays.Add(1)
+				rt.trace(Event{Kind: EvReplayedReply, Target: m.From})
+				rt.replay.resend(rt, m)
+				continue
+			case admitSwallow:
+				rt.stats.dedupSwallowed.Add(1)
+				continue
+			}
 		}
 		switch m.Kind {
 		case wire.KindCall:
@@ -935,10 +1059,51 @@ var replyChans = sync.Pool{
 	New: func() any { return make(chan wire.Message, 1) },
 }
 
-// sendAndWait sends a request and blocks for its reply, or until the
-// runtime closes or the configured call deadline expires.
+// checksumRejectErr is the reply-surface rendering of a frame that
+// failed integrity verification: the dispatcher substitutes it for a
+// corrupted reply's untrustworthy payload, and answers a corrupted
+// request with it. The retry layer matches it by value — it is the one
+// remote error string that marks a transient wire fault rather than an
+// application outcome.
+const checksumRejectErr = "wire: frame checksum mismatch (corrupted in flight)"
+
+// sendAndWait sends a request and blocks for its reply, retrying
+// transparently on transient failures when Options.RetryBudget is set
+// (retryLoop, health.go). One exchange id is allocated for the whole
+// exchange; each attempt travels under a distinct Seq (xid + attempt
+// ordinal in the top bits), so a late reply to an abandoned attempt
+// misses the pending table instead of masquerading as the current
+// attempt's reply, and the origin's reply cache recognizes the retry by
+// its xid. With the budget unset (the default), this is a single
+// attempt — byte-identical to the seed protocol. A checksum-rejected
+// reply that exhausts the budget is returned with its Err surface
+// intact, exactly as a single-shot exchange would have surfaced it.
 func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
-	seq := rt.seq.Add(1)
+	var r wire.Message
+	err := rt.retryLoop(m.To, m.Kind, func(seq uint64) (bool, error) {
+		var err error
+		r, err = rt.sendAndWaitSeq(m, seq)
+		if err != nil {
+			return !errors.Is(err, ErrClosed), err
+		}
+		if r.Err == checksumRejectErr {
+			// A corrupted frame's incarnation word is garbage; never
+			// feed it to the fence.
+			return true, nil
+		}
+		if ferr := rt.fenceCheck(m.To, r.Inc); ferr != nil {
+			r = wire.Message{}
+			return false, ferr
+		}
+		return false, nil
+	})
+	return r, err
+}
+
+// sendAndWaitSeq sends one attempt of a request under the given
+// sequence number and blocks for its reply, or until the runtime closes
+// or the configured call deadline expires.
+func (rt *Runtime) sendAndWaitSeq(m wire.Message, seq uint64) (wire.Message, error) {
 	m.Seq = seq
 	m.Seal()
 	ch := replyChans.Get().(chan wire.Message)
@@ -964,9 +1129,9 @@ func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
 		replyChans.Put(ch)
 		return r, nil
 	case <-deadline:
-		// A late reply finds no pending entry and is dropped; the channel
-		// may still receive a racing delivery (it is buffered), so it
-		// cannot be pooled.
+		// A late reply finds no pending entry and is positively dropped
+		// by the dispatcher; the channel may still receive a racing
+		// delivery (it is buffered), so it cannot be pooled.
 		cleanup()
 		return wire.Message{}, fmt.Errorf("%v to space %d after %v: %w",
 			m.Kind, m.To, rt.callTimeout, ErrDeadline)
@@ -978,18 +1143,35 @@ func (rt *Runtime) sendAndWait(m wire.Message) (wire.Message, error) {
 	}
 }
 
-// reply sends a response correlated to request m.
+// reply sends a response correlated to request m. For replayable
+// (non-idempotent) exchanges it also completes the at-most-once cache
+// entry the dispatcher admitted: the reply bytes are retained for
+// replay to later retries, and the response is addressed to the newest
+// attempt's sequence number in case a retry was swallowed while the
+// request executed.
 func (rt *Runtime) reply(m wire.Message, kind wire.Kind, payload []byte, errStr string) {
+	seq := m.Seq
+	if replayableRequest(m.Kind) {
+		if last, ok := rt.replay.complete(m, kind, payload, errStr); ok {
+			seq = last
+		}
+	}
+	rt.replyRaw(m.From, m.Session, seq, kind, payload, errStr)
+}
+
+// replyRaw sends a response frame with no replay-cache interaction.
+func (rt *Runtime) replyRaw(to uint32, sess, seq uint64, kind wire.Kind, payload []byte, errStr string) {
 	if payload == nil {
 		payload = []byte{}
 	}
 	resp := wire.Message{
 		Kind:    kind,
-		Session: m.Session,
-		Seq:     m.Seq,
-		To:      m.From,
+		Session: sess,
+		Seq:     seq,
+		To:      to,
 		Err:     errStr,
 		Payload: payload,
+		Inc:     rt.incarnation,
 	}
 	resp.Seal()
 	_ = rt.node.Send(resp)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -374,7 +375,7 @@ func (rt *Runtime) Call(target uint32, proc string, args []Value) ([]Value, erro
 				_ = rt.installItems(target, sess, rp.Items, true)
 			}
 		}
-		return nil, fmt.Errorf("call %s@%d: remote: %s", proc, target, reply.Err)
+		return nil, fmt.Errorf("call %s@%d: %w", proc, target, remoteErr(reply.Err))
 	}
 	rp, err := wire.DecodeCallPayload(reply.Payload)
 	if err != nil {
@@ -385,6 +386,20 @@ func (rt *Runtime) Call(target uint32, proc string, args []Value) ([]Value, erro
 		return nil, fmt.Errorf("call %s@%d: install returned data: %w", proc, target, err)
 	}
 	return rt.argsToValues(rp.Args)
+}
+
+// remoteErr converts a callee-reported error string back into an error,
+// re-typing sentinels that must survive multi-hop propagation: when a
+// callee fences a restarted space deeper in the call chain, the fence
+// crosses each hop as text in the Return's Err field, and every caller
+// up the chain must still be able to match errors.Is(err,
+// ErrOriginRestarted) — a nested restart is just as terminal (and just
+// as non-retryable) as a direct one.
+func remoteErr(s string) error {
+	if tail := ErrOriginRestarted.Error(); strings.Contains(s, tail) {
+		return fmt.Errorf("remote: %s%w", strings.TrimSuffix(s, tail), ErrOriginRestarted)
+	}
+	return fmt.Errorf("remote: %s", s)
 }
 
 // buildTransferPayload assembles the outbound payload for a control
@@ -663,6 +678,11 @@ func (rt *Runtime) serveCall(m wire.Message) {
 // split removes ("delta ... without a baseline" failures when sessions
 // overlap on one origin).
 func (rt *Runtime) serveInvalidate(m wire.Message) {
+	// The ending session's exchanges can no longer be retried: the
+	// transport delivers each route in FIFO order, so every retry of the
+	// session's requests has arrived before this frame did. Their
+	// at-most-once replay entries are dead weight now.
+	rt.replay.dropSession(m.Session)
 	rt.sessMu.Lock()
 	adopted := rt.sess == m.Session
 	rt.sessMu.Unlock()

@@ -127,7 +127,14 @@ type streamExchange struct {
 // reply frame or a KindFetchChunk sequence — both are delivered through
 // the returned exchange.
 func (rt *Runtime) sendAndStream(m wire.Message) (*streamExchange, error) {
-	seq := rt.seq.Add(1)
+	return rt.sendAndStreamSeq(m, rt.seq.Add(1)&wire.SeqXIDMask)
+}
+
+// sendAndStreamSeq is sendAndStream under a caller-supplied sequence
+// number: the retry layer re-issues a failed streamed exchange with the
+// same xid and a bumped attempt ordinal, registering a fresh stream
+// buffer so the abandoned attempt's late chunks are dropped by seq.
+func (rt *Runtime) sendAndStreamSeq(m wire.Message, seq uint64) (*streamExchange, error) {
 	m.Seq = seq
 	m.Seal()
 	sb := newStreamBuf()

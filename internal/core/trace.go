@@ -40,6 +40,16 @@ const (
 	EvChunkSent
 	EvChunkRecv
 	EvChunkInstall
+	// Recovery events: a retried exchange (Count carries the attempt
+	// ordinal), an origin replaying a cached reply to a retried request,
+	// a client tripping the incarnation fence against a restarted origin,
+	// and the per-origin breaker opening / half-open probing / closing.
+	EvRetry
+	EvReplayedReply
+	EvFenceTrip
+	EvBreakerOpen
+	EvBreakerProbe
+	EvBreakerClose
 )
 
 var eventNames = map[EventKind]string{
@@ -57,6 +67,9 @@ var eventNames = map[EventKind]string{
 	EvEncCacheEvict: "enc-cache-evict", EvEncCacheInvalidate: "enc-cache-invalidate",
 	EvChunkSent: "chunk-sent", EvChunkRecv: "chunk-recv",
 	EvChunkInstall: "chunk-install",
+	EvRetry:        "retry", EvReplayedReply: "replayed-reply",
+	EvFenceTrip: "fence-trip", EvBreakerOpen: "breaker-open",
+	EvBreakerProbe: "breaker-probe", EvBreakerClose: "breaker-close",
 }
 
 // EventKinds returns every defined event kind, in declaration order.
@@ -118,6 +131,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d] %v %v", e.Space, e.Kind, e.LP)
 	case EvPrefetchIssued, EvPrefetchHit, EvPrefetchWasted:
 		return fmt.Sprintf("[%d] %v page=%d peer=%d", e.Space, e.Kind, e.Page, e.Target)
+	case EvRetry:
+		// Proc carries the retried kind's name; Count the attempt ordinal.
+		return fmt.Sprintf("[%d] %v %s peer=%d attempt=%d", e.Space, e.Kind, e.Proc, e.Target, e.Count)
+	case EvReplayedReply:
+		return fmt.Sprintf("[%d] %v peer=%d", e.Space, e.Kind, e.Target)
+	case EvFenceTrip:
+		// Page carries the old incarnation; Count the new one.
+		return fmt.Sprintf("[%d] %v peer=%d inc=%d->%d", e.Space, e.Kind, e.Target, e.Page, e.Count)
+	case EvBreakerOpen, EvBreakerProbe, EvBreakerClose:
+		return fmt.Sprintf("[%d] %v peer=%d", e.Space, e.Kind, e.Target)
 	default:
 		return fmt.Sprintf("[%d] %v", e.Space, e.Kind)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -272,20 +273,34 @@ func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 		return false, nil
 	}
 	p := wire.ValidatePayload{Tuples: tuples}
-	rt.stats.cohRevalidateMsgs.Add(1)
-	rt.trace(Event{Kind: EvValidateSent, Target: origin, Page: pn, Count: len(tuples)})
-	x, err := rt.sendAndStream(wire.Message{
-		Kind:    wire.KindValidate,
-		Session: sess,
-		To:      origin,
-		Payload: p.Encode(),
-	})
-	if err != nil {
-		rt.degradeStale(tuples)
+	payload := p.Encode()
+	var items []wire.ValidateItem
+	var release func()
+	rerr := rt.retryLoop(origin, wire.KindValidate, func(seq uint64) (bool, error) {
+		rt.stats.cohRevalidateMsgs.Add(1)
+		rt.trace(Event{Kind: EvValidateSent, Target: origin, Page: pn, Count: len(tuples)})
+		x, err := rt.sendAndStreamSeq(wire.Message{
+			Kind:    wire.KindValidate,
+			Session: sess,
+			To:      origin,
+			Payload: payload,
+		}, seq)
+		if err != nil {
+			return !errors.Is(err, ErrClosed), err
+		}
+		items, release, err = rt.recvValidateReply(x)
+		if err != nil {
+			return errors.Is(err, errTransient), err
+		}
 		return false, nil
-	}
-	items, release, ok := rt.recvValidateReply(x)
-	if !ok {
+	})
+	if rerr != nil {
+		// A tripped fence is real state loss, not a lost reply: surface it.
+		// Everything else keeps the seed's graceful degrade — the offered
+		// tuples fall back to plain wants and the fetch loop refetches.
+		if errors.Is(rerr, ErrOriginRestarted) {
+			return false, rerr
+		}
 		rt.degradeStale(tuples)
 		return false, nil
 	}
@@ -306,54 +321,76 @@ func (rt *Runtime) validateFrom(sess uint64, pn, origin uint32, lps []wire.LongP
 // full answer set (unanswered tuples degrade) — so streaming here buys
 // pipelined encode/transmit on the origin, not early unblocking. The
 // returned release frees the frames backing the item bytes; callers
-// invoke it after the apply. Any protocol violation reports !ok, and the
-// caller degrades the offered tuples to plain wants.
-func (rt *Runtime) recvValidateReply(x *streamExchange) (items []wire.ValidateItem, release func(), ok bool) {
+// invoke it after the apply. Failures wrapped in errTransient — a stalled
+// or torn stream, a frame corrupted in flight — are worth one more
+// attempt under the retry policy; anything else (a protocol violation, a
+// tripped incarnation fence) is terminal.
+func (rt *Runtime) recvValidateReply(x *streamExchange) (items []wire.ValidateItem, release func(), err error) {
 	var frames []wire.Message
 	release = func() {
 		for i := range frames {
 			frames[i].ReleaseFrame()
 		}
 	}
-	bad := func() ([]wire.ValidateItem, func(), bool) {
+	bad := func(e error) ([]wire.ValidateItem, func(), error) {
 		release()
 		x.abandon()
-		return nil, func() {}, false
+		return nil, func() {}, e
 	}
 	asm := &chunkAssembler{xid: x.seq}
 	for {
 		m, err := x.next()
 		if err != nil {
-			return bad()
+			if errors.Is(err, ErrClosed) {
+				return bad(err)
+			}
+			return bad(fmt.Errorf("%w: %w", errTransient, err))
 		}
 		frames = append(frames, m)
+		// A frame corrupted in flight is a retryable wire fault, and its
+		// Inc word is garbage — classify before fencing. Any other frame's
+		// Inc is trustworthy (the origin sealed it), so fence *before*
+		// interpreting an application error: a restarted origin answers a
+		// stale session's requests with errors, and the restart is the
+		// diagnosis, not the symptom.
+		if m.Err == checksumRejectErr {
+			return bad(fmt.Errorf("%w: %s", errTransient, m.Err))
+		}
+		if ferr := rt.fenceCheck(m.From, m.Inc); ferr != nil {
+			return bad(ferr)
+		}
 		if m.Err != "" {
-			return bad()
+			return bad(fmt.Errorf("core: validate rejected by space %d: %s", m.From, m.Err))
 		}
 		if m.Kind == wire.KindValidateReply {
 			if len(frames) > 1 {
-				return bad() // monolithic frame inside a chunk stream
+				return bad(fmt.Errorf("core: monolithic validate reply inside a chunk stream"))
 			}
 			rp, err := wire.DecodeValidateReplyPayload(m.Payload)
 			if err != nil {
-				return bad()
+				return bad(err)
 			}
-			return rp.Items, release, true
+			return rp.Items, release, nil
 		}
 		if m.Kind != wire.KindFetchChunk {
-			return bad()
+			return bad(fmt.Errorf("core: unexpected %v in validate stream", m.Kind))
 		}
 		cp, err := wire.DecodeFetchChunkPayload(m.Payload)
-		if err != nil || !cp.Validate {
-			return bad()
+		if err != nil {
+			return bad(err)
+		}
+		if !cp.Validate {
+			return bad(fmt.Errorf("core: fetch chunk in validate stream"))
 		}
 		if err := asm.accept(&cp); err != nil {
-			return bad()
+			// Torn chunk sequence: a chunk was dropped, duplicated, or
+			// reordered in flight. Retryable.
+			return bad(fmt.Errorf("%w: %w", errTransient, err))
 		}
 		rt.trace(Event{Kind: EvChunkRecv, Target: m.From, Page: cp.Chunk, Count: len(cp.VItems)})
 		items = append(items, cp.VItems...)
 		if cp.Final {
-			return items, release, true
+			return items, release, nil
 		}
 	}
 }

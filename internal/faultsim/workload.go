@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
@@ -66,6 +67,15 @@ type Scenario struct {
 	// streams, putting KindFetchChunk frames in the fault mix's reach.
 	// Zero keeps the production default (only oversized replies stream).
 	StreamChunkBytes int
+	// Recovery turns on transparent exchange recovery for every space:
+	// each client exchange runs under a retry budget (so dropped,
+	// corrupted, and delayed frames are absorbed instead of surfacing as
+	// typed errors), origins answer retried non-idempotent exchanges from
+	// their replay cache, and every space stamps its restart incarnation
+	// (1 + its crash count) into replies so a client talking to a
+	// crashed-and-restarted space gets a fence error instead of trusting
+	// resurrected addresses. Off reproduces the seed's fail-fast behavior.
+	Recovery bool
 }
 
 // DefaultScenario derives a varied scenario from a seed: 2–4 spaces,
@@ -119,17 +129,29 @@ func DefaultScenario(seed uint64) Scenario {
 	if rng.Intn(3) == 0 {
 		sc.StreamChunkBytes = 128 << rng.Intn(4)
 	}
+	// Drawn last, after every dimension older seeds derived: a third of
+	// seeds run with transparent exchange recovery on, so the chaos corpus
+	// soaks the retry/replay-cache/incarnation-fence machinery alongside
+	// the seed's fail-fast behavior.
+	sc.Recovery = rng.Intn(3) == 0
 	return sc
 }
 
 // Result summarizes a completed scenario.
 type Result struct {
-	Ops      int // sessions attempted
-	Errors   int // sessions that failed with an acceptable typed error
-	Faults   uint64
-	Crashes  int
-	Trusted  bool // value oracle stayed authoritative to the end
-	Verified int  // operations whose values were checked against the model
+	Ops        int // sessions attempted
+	Errors     int // sessions that failed with an acceptable typed error
+	Faults     uint64
+	Crashes    int
+	Partitions int  // ops run under an injected one-way partition
+	Trusted    bool // value oracle stayed authoritative to the end
+	Verified   int  // operations whose values were checked against the model
+
+	// Recovery-machinery totals, summed over every space at the end of the
+	// run (all zero unless Scenario.Recovery is set).
+	Retries    uint64 // client retry attempts across all exchanges
+	Replays    uint64 // origin replay-cache hits serving retried exchanges
+	FenceTrips uint64 // incarnation fences tripped by restarted peers
 }
 
 // FailureError is a scenario failure: a real bug surfaced (invariant
@@ -393,8 +415,13 @@ type harness struct {
 	chaos *Chaos
 	reg   *types.Registry
 	rts   []*core.Runtime // index 0 = ground (space 1)
-	trees []*tree
-	res   Result
+	// crashes counts crash-restarts per space (index = space id - 1); a
+	// Recovery scenario's restarted space comes back with incarnation
+	// 1 + its crash count so clients can fence it. In the concurrent
+	// workload each goroutine only ever touches its own slot.
+	crashes []int
+	trees   []*tree
+	res     Result
 }
 
 func (h *harness) fail(format string, args ...any) *FailureError {
@@ -412,7 +439,7 @@ func (h *harness) newRuntime(id uint32) (*core.Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := core.New(core.Options{
+	opts := core.Options{
 		ID:               id,
 		Node:             node,
 		Registry:         h.reg,
@@ -428,7 +455,21 @@ func (h *harness) newRuntime(id uint32) (*core.Runtime, error) {
 		Concurrent:         true,
 		CallTimeout:        h.sc.CallTimeout,
 		CheckInvariants:    true,
-	})
+	}
+	if h.sc.Recovery {
+		// The budget must be generous relative to CallTimeout: recovery
+		// nests, so a caller's CALL attempt times out not only when its
+		// own frames fault but whenever the callee is stuck absorbing
+		// faults of its own (each inner retry costs a full CallTimeout).
+		// 30 call timeouts stays far inside the scenario deadline while
+		// covering several levels of nested absorption. The incarnation
+		// (1 + this space's crash count) lets every peer fence the space
+		// after a crash-restart.
+		opts.RetryBudget = 30 * h.sc.CallTimeout
+		opts.MaxRetries = 25
+		opts.Incarnation = uint32(1 + h.crashes[id-1])
+	}
+	rt, err := core.New(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -463,9 +504,10 @@ func Run(sc Scenario) (res Result, err error) {
 	sc.Faults.Seed = sc.Seed
 
 	h := &harness{
-		sc:  sc,
-		rng: rand.New(rand.NewSource(int64(splitmix64(sc.Seed)))),
-		reg: registry(),
+		sc:      sc,
+		rng:     rand.New(rand.NewSource(int64(splitmix64(sc.Seed)))),
+		reg:     registry(),
+		crashes: make([]int, sc.Spaces),
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -490,6 +532,17 @@ func Run(sc Scenario) (res Result, err error) {
 	defer func() {
 		for _, rt := range h.rts {
 			_ = rt.Close()
+		}
+	}()
+	// Runs before the closes above (LIFO): fold every space's recovery
+	// counters into the result so soaks and the chaos CLI can report how
+	// much work the retry/replay/fence machinery actually did.
+	defer func() {
+		for _, rt := range h.rts {
+			s := rt.Stats()
+			res.Retries += s.Retries
+			res.Replays += s.DedupReplays
+			res.FenceTrips += s.FenceTrips
 		}
 	}()
 
@@ -552,6 +605,7 @@ func (h *harness) runOp(op int) error {
 	if h.sc.Spaces > 1 && rng.Intn(1000) < h.sc.CrashPermille {
 		idx := 1 + rng.Intn(h.sc.Spaces-1)
 		_ = h.rts[idx].Close()
+		h.crashes[idx]++
 		rt, err := h.newRuntime(uint32(idx + 1))
 		if err != nil {
 			return h.fail("op %d: re-attach space %d after crash: %v", op, idx+1, err)
@@ -567,6 +621,7 @@ func (h *harness) runOp(op int) error {
 		b := uint32(1 + rng.Intn(h.sc.Spaces))
 		if a != b {
 			partFrom, partTo = a, b
+			h.res.Partitions++
 			h.chaos.PartitionOneWay(partFrom, partTo, true)
 			defer h.chaos.PartitionOneWay(partFrom, partTo, false)
 		}
@@ -680,8 +735,17 @@ func (h *harness) recoverOp(op int, opErr error, faultsBefore uint64, opTrees []
 			poisonedInput = true
 		}
 	}
-	if h.chaos.Total() == faultsBefore && !partitioned && !poisonedInput {
+	// An incarnation fence is the recovery machinery doing its job: a
+	// crash-restart is abnormal even though it is not an injected chaos
+	// fault, so a fence error is acceptable whenever some space actually
+	// crashed this run. Without a crash it is a bug like any other
+	// fault-free failure.
+	fenced := errors.Is(opErr, core.ErrOriginRestarted) && h.res.Crashes > 0
+	if h.chaos.Total() == faultsBefore && !partitioned && !poisonedInput && !fenced {
 		return h.fail("op %d: failed with no fault injected: %v", op, opErr)
+	}
+	if os.Getenv("CHAOS_DEBUG") != "" {
+		fmt.Fprintf(os.Stderr, "seed %d op %d failed: %v\n", h.sc.Seed, op, opErr)
 	}
 	h.res.Errors++
 	if opMutates {

@@ -113,15 +113,23 @@ func TestChaosSoak(t *testing.T) {
 		start = n
 	}
 	forceConcurrent := os.Getenv("CHAOS_CONCURRENT") == "1"
+	// CHAOS_RECOVER=1 runs every seed with transparent exchange recovery
+	// on (retry budgets, replay caches, incarnation fencing) under the
+	// full fault mix, crashes and partitions included — the recovery
+	// soak CI runs. About a third of seeds draw Recovery anyway.
+	forceRecovery := os.Getenv("CHAOS_RECOVER") == "1"
 	scenario := func(seed uint64) Scenario {
 		sc := DefaultScenario(seed)
 		if forceConcurrent {
 			sc.Concurrent = true
 		}
+		if forceRecovery {
+			sc.Recovery = true
+		}
 		return sc
 	}
 	var ops, errs, verified int
-	var faults uint64
+	var faults, retries, replays, fences uint64
 	for i := 0; i < seeds; i++ {
 		seed := start + uint64(i)
 		res, err := RunWithTimeout(scenario(seed), scenarioTimeout)
@@ -147,14 +155,150 @@ func TestChaosSoak(t *testing.T) {
 		errs += res.Errors
 		verified += res.Verified
 		faults += res.Faults
+		retries += res.Retries
+		replays += res.Replays
+		fences += res.FenceTrips
 	}
-	t.Logf("soak: %d seeds, %d ops, %d typed errors, %d value-verified ops, %d faults injected",
-		seeds, ops, errs, verified, faults)
+	t.Logf("soak: %d seeds, %d ops, %d typed errors, %d value-verified ops, %d faults injected, %d retries, %d replays, %d fence trips",
+		seeds, ops, errs, verified, faults, retries, replays, fences)
 	if faults == 0 {
 		t.Error("soak injected zero faults — fault mix is miswired")
 	}
 	if verified == 0 {
 		t.Error("soak verified zero values — oracle is miswired")
+	}
+	if forceRecovery && retries == 0 {
+		t.Error("recovery soak retried zero exchanges — retry budget is miswired")
+	}
+}
+
+// TestRecoveryTransientOnlySoak is the recovery acceptance gate: with
+// transparent recovery on and the fault schedule restricted to transient
+// classes (drops, duplicates, corruption, delays — no crashes, no
+// partitions), at least 95% of seeds must complete with ZERO failed
+// sessions. Without retries the same schedules surface typed errors on
+// most seeds; with them every transient fault must be absorbed inside
+// the retry budget. The rare residual (a delay burst straddling the
+// budget) is what the 5% slack is for.
+func TestRecoveryTransientOnlySoak(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	if s := os.Getenv("CHAOS_RECOVER_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("CHAOS_RECOVER_SEEDS=%q: %v", s, err)
+		}
+		seeds = n
+	}
+	clean := 0
+	var faults, retries, succ uint64
+	for i := 0; i < seeds; i++ {
+		seed := uint64(1 + i)
+		sc := DefaultScenario(seed)
+		sc.Recovery = true
+		sc.CrashPermille = 0
+		sc.PartitionPermille = 0
+		res, err := RunWithTimeout(sc, scenarioTimeout)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Errors == 0 {
+			clean++
+		} else {
+			t.Logf("seed %d: %d/%d sessions failed under transient-only faults (retries %d)",
+				seed, res.Errors, res.Ops, res.Retries)
+		}
+		faults += res.Faults
+		retries += res.Retries
+		succ += res.Replays
+	}
+	t.Logf("recovery soak: %d/%d seeds fully clean, %d faults absorbed, %d retries, %d replay-cache hits",
+		clean, seeds, faults, retries, succ)
+	if faults == 0 {
+		t.Fatal("transient-only soak injected zero faults — fault mix is miswired")
+	}
+	if min := (seeds*95 + 99) / 100; clean < min {
+		t.Errorf("only %d/%d seeds completed without session errors, want >= %d (95%%)", clean, seeds, min)
+	}
+}
+
+// TestDupOnlyWriteBackAtMostOnce aims duplicate faults exclusively at
+// WRITEBACK frames under the concurrent multi-client workload: a
+// duplicated write-back that were applied twice — in particular replayed
+// late, after another client's newer write — would make the recorded
+// history non-linearizable, which the histcheck oracle inside Run turns
+// into a FailureError. Every seed must come back clean.
+func TestDupOnlyWriteBackAtMostOnce(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 4
+	}
+	var faults uint64
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		sc := DefaultScenario(seed)
+		sc.Concurrent = true
+		sc.Recovery = true
+		sc.CrashPermille = 0
+		sc.PartitionPermille = 0
+		sc.Faults = Config{
+			DupPermille: 500,
+			OnlyKinds:   []wire.Kind{wire.KindWriteBack},
+		}
+		res, err := RunWithTimeout(sc, scenarioTimeout)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("seed %d: %d sessions failed — duplicated write-backs must be absorbed silently", seed, res.Errors)
+		}
+		faults += res.Faults
+	}
+	if faults == 0 {
+		t.Error("dup-only write-back chaos injected zero faults — OnlyKinds filter is miswired")
+	}
+}
+
+// TestDroppedAllocReplyNeverDoubleAllocates drops ALLOCBATCH replies so
+// the client's retry arrives at an origin that has already allocated:
+// the origin must answer from its replay cache (visible as Replays > 0)
+// rather than run the allocation again, and the value oracle plus the
+// end-of-op idle checks must stay green throughout.
+func TestDroppedAllocReplyNeverDoubleAllocates(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 4
+	}
+	var faults, replays uint64
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		sc := DefaultScenario(seed)
+		sc.Concurrent = false
+		sc.Recovery = true
+		sc.CrashPermille = 0
+		sc.PartitionPermille = 0
+		sc.Faults = Config{
+			DropPermille: 350,
+			OnlyKinds:    []wire.Kind{wire.KindAllocReply, wire.KindWriteBackAck},
+		}
+		res, err := RunWithTimeout(sc, scenarioTimeout)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("seed %d: %d sessions failed — dropped acks must be absorbed by retry + replay", seed, res.Errors)
+		}
+		if !res.Trusted {
+			t.Errorf("seed %d: value oracle lost trust — a retried exchange was re-executed", seed)
+		}
+		faults += res.Faults
+		replays += res.Replays
+	}
+	if faults == 0 {
+		t.Error("drop-only ack chaos injected zero faults — OnlyKinds filter is miswired")
+	}
+	if replays == 0 {
+		t.Error("no retried exchange was served from the replay cache — dedup is miswired")
 	}
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -88,6 +89,18 @@ func (n *TCPNode) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
+		// Learn the dialer's listen address from the handshake so this
+		// side can dial back after a teardown. Without it, a book that
+		// omits the peer (the common case for the accepting side) leaves
+		// reconnection possible in one direction only: the dialer redials
+		// a dead connection fine, while the acceptor's next Send fails
+		// with "no address". An explicit book entry always wins — the
+		// handshake can fill a hole, never override configuration.
+		if _, ok := n.book[peer]; !ok {
+			if addr := string(hello.Payload); addr != "" {
+				n.book[peer] = addr
+			}
+		}
 		if old, ok := n.conns[peer]; ok {
 			_ = old.Close()
 		}
@@ -147,7 +160,11 @@ func (n *TCPNode) connTo(peer uint32) (net.Conn, error) {
 		_ = tc.SetNoDelay(true)
 	}
 	bw := bufio.NewWriter(conn)
-	hello := wire.Message{Kind: wire.KindInvalidateAck, From: n.id, To: peer, Payload: []byte{}}
+	// The handshake announces this node's space ID and its listen
+	// address, so the acceptor can dial back after either side tears the
+	// connection down (see acceptLoop). Old peers ignore the payload.
+	hello := wire.Message{Kind: wire.KindInvalidateAck, From: n.id, To: peer,
+		Payload: []byte(n.listener.Addr().String())}
 	if err := writeFrameFlush(bw, &hello); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("transport: handshake with space %d: %w", peer, err)
@@ -181,9 +198,31 @@ func writeFrameFlush(bw *bufio.Writer, m *wire.Message) error {
 	return bw.Flush()
 }
 
-// Send routes m to the space identified by m.To.
+// Send routes m to the space identified by m.To, transparently redialing
+// once when the connection fails under the frame: a mid-frame write
+// error forces a teardown either way (the stream is no longer
+// frame-aligned), and a single fresh dial hides the common case of a
+// connection that idled out or was torn down by the peer between
+// exchanges. The pooled frame is released only after the final attempt,
+// since a retry re-serializes the payload.
 func (n *TCPNode) Send(m wire.Message) error {
 	m.From = n.id
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err = n.sendOnce(&m); err == nil || errors.Is(err, ErrClosed) {
+			break
+		}
+	}
+	m.ReleaseFrame()
+	if err != nil {
+		return fmt.Errorf("transport: send to space %d: %w", m.To, err)
+	}
+	return nil
+}
+
+// sendOnce performs one connect-and-write attempt, tearing the
+// connection down on a write failure.
+func (n *TCPNode) sendOnce(m *wire.Message) error {
 	if _, err := n.connTo(m.To); err != nil {
 		return err
 	}
@@ -192,23 +231,20 @@ func (n *TCPNode) Send(m wire.Message) error {
 	bw, ok := n.bufs[m.To]
 	if !ok {
 		// The connection dropped between connTo and the send.
-		return fmt.Errorf("transport: connection to space %d lost", m.To)
+		return errors.New("connection lost before write")
 	}
-	// The frame body is serialized by the write, so a pooled payload
-	// buffer attached to the message is consumed here either way.
-	err := writeFrameFlush(bw, &m)
-	m.ReleaseFrame()
-	if err != nil {
+	if err := writeFrameFlush(bw, m); err != nil {
 		// A failed (possibly partial) write leaves the stream mid-frame:
 		// the peer's reader and this writer no longer agree on frame
 		// boundaries, so every later frame on this connection would be
-		// garbage. Tear it down; the next Send redials cleanly.
+		// garbage. Tear it down; the retry (or the next Send) redials
+		// cleanly.
 		if c, ok := n.conns[m.To]; ok {
 			_ = c.Close()
 			delete(n.conns, m.To)
 			delete(n.bufs, m.To)
 		}
-		return fmt.Errorf("transport: send to space %d: %w", m.To, err)
+		return err
 	}
 	return nil
 }

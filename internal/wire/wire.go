@@ -110,6 +110,30 @@ func (k Kind) ReplyKind() Kind {
 	}
 }
 
+// Seq layout: the low 56 bits are the exchange id (xid), allocated once
+// per logical request/reply exchange; the high 8 bits are the attempt
+// ordinal. A retried exchange keeps its xid but bumps the attempt, so
+// every attempt has a distinct Seq — the pending table keys the full
+// Seq, which makes a late reply to an abandoned attempt miss cleanly
+// instead of being mistaken for the current attempt's reply, while the
+// origin's reply cache keys the xid to recognize the retry.
+const (
+	SeqAttemptShift = 56
+	SeqXIDMask      = uint64(1)<<SeqAttemptShift - 1
+)
+
+// SeqXID extracts the exchange id from a sequence number.
+func SeqXID(seq uint64) uint64 { return seq & SeqXIDMask }
+
+// SeqAttempt extracts the attempt ordinal from a sequence number
+// (zero for first attempts and for all pre-retry frames).
+func SeqAttempt(seq uint64) uint8 { return uint8(seq >> SeqAttemptShift) }
+
+// SeqWithAttempt combines an exchange id with an attempt ordinal.
+func SeqWithAttempt(xid uint64, attempt uint8) uint64 {
+	return (xid & SeqXIDMask) | uint64(attempt)<<SeqAttemptShift
+}
+
 // Message is one unit of communication between address spaces.
 type Message struct {
 	// Kind discriminates the payload.
@@ -131,6 +155,14 @@ type Message struct {
 	// frame corrupted in flight surfaces as a typed error instead of
 	// silently installing wrong bytes.
 	Sum uint32
+	// Inc is the sender's restart incarnation, stamped by origins into
+	// replies so a client can detect that the origin crashed and
+	// restarted mid-session (its heap is fresh; any address the client
+	// still holds is resurrected garbage). Zero means "not stamped": the
+	// field is encoded as an optional trailing word only when nonzero,
+	// so frames from runtimes that never restarted — and all frames from
+	// older builds — stay byte-identical and decode Inc as zero.
+	Inc uint32
 	// Frame, when non-nil, is the ref-counted pooled buffer Payload
 	// aliases (zero-copy chunk frames). It never travels on the wire; the
 	// final consumer calls ReleaseFrame after the last item decoded from
@@ -240,6 +272,9 @@ func (m *Message) Checksum() uint32 {
 	for _, b := range m.Payload {
 		step(b)
 	}
+	if m.Inc != 0 {
+		word(uint64(m.Inc), 4)
+	}
 	return h
 }
 
@@ -253,10 +288,14 @@ func (m *Message) SumOK() bool { return m.Sum == m.Checksum() }
 // WireSize returns the encoded size of the message, used by the network
 // cost model.
 func (m *Message) WireSize() int {
-	return 8*4 +
+	n := 8*4 +
 		4 + len(m.Proc) + pad4(len(m.Proc)) +
 		4 + len(m.Err) + pad4(len(m.Err)) +
 		4 + len(m.Payload) + pad4(len(m.Payload))
+	if m.Inc != 0 {
+		n += 4
+	}
+	return n
 }
 
 func pad4(n int) int { return (4 - n%4) % 4 }
@@ -272,6 +311,9 @@ func (m *Message) Encode(enc *xdr.Encoder) {
 	enc.PutString(m.Err)
 	enc.PutOpaque(m.Payload)
 	enc.PutUint32(m.Sum)
+	if m.Inc != 0 {
+		enc.PutUint32(m.Inc)
+	}
 }
 
 // Decode parses one message from dec. The payload is copied out of the
@@ -322,6 +364,14 @@ func decodeAlias(dec *xdr.Decoder) (Message, error) {
 	}
 	if m.Sum, err = dec.Uint32(); err != nil {
 		return m, fmt.Errorf("wire: sum: %w", err)
+	}
+	// Optional trailing incarnation word: frames from senders that never
+	// restarted (and frames from older builds) end at Sum and decode
+	// Inc as zero.
+	if dec.Remaining() >= 4 {
+		if m.Inc, err = dec.Uint32(); err != nil {
+			return m, fmt.Errorf("wire: inc: %w", err)
+		}
 	}
 	return m, nil
 }

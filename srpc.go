@@ -71,6 +71,11 @@ var (
 	// ErrInvariant reports a coherency invariant violation detected by
 	// the runtime's self-checks (enabled with Options.CheckInvariants).
 	ErrInvariant = core.ErrInvariant
+	// ErrOriginRestarted reports an origin whose reply carried a new
+	// restart incarnation mid-relationship: every address imported from
+	// it refers to a heap that no longer exists. The session must be
+	// abandoned and re-imported; retrying cannot help.
+	ErrOriginRestarted = core.ErrOriginRestarted
 )
 
 // New creates and starts a runtime attached to a transport node.
